@@ -1,0 +1,44 @@
+"""Benchmark scale configuration (shared by conftest and bench modules).
+
+Environment knobs:
+
+* ``REPRO_BENCH_WORKFLOWS`` — workflows per category (default 2);
+* ``REPRO_BENCH_FAST=1``    — small category only, for quick runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.search import HSConfig
+from repro.experiments import ExperimentConfig
+
+__all__ = ["bench_scale", "bench_fast", "bench_categories", "bench_config"]
+
+
+def bench_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_WORKFLOWS", "2"))
+
+
+def bench_fast() -> bool:
+    return os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+
+def bench_categories() -> tuple[str, ...]:
+    if bench_fast():
+        return ("small",)
+    return ("small", "medium", "large")
+
+
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        categories=bench_categories(),
+        workflows_per_category=bench_scale(),
+        es_max_states={
+            "small": 4_000,
+            "medium": 2_000,
+            "large": 1_000,
+        },
+        es_max_seconds=60.0,
+        hs_config=HSConfig(),
+    )

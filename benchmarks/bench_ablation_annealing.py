@@ -1,0 +1,63 @@
+"""Ablation — randomized search vs the paper's algorithms.
+
+Simulated annealing over the same transition space is the obvious
+alternative to the paper's purpose-built heuristic.  This bench places it
+on the quality/effort curve next to HS and HS-Greedy: SA with a few
+thousand steps should approach HS quality at Greedy-to-HS cost, without
+exploiting any ETL-specific structure (local groups, homologous sets).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import annealing_search, greedy_search, heuristic_search
+from repro.workloads import generate_workload
+
+_SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    rows = []
+    for seed in _SEEDS:
+        workload = generate_workload("small", seed=seed)
+        rows.append(
+            (
+                workload,
+                heuristic_search(workload.workflow),
+                greedy_search(workload.workflow),
+                annealing_search(workload.workflow, seed=seed, steps=2000),
+            )
+        )
+    return rows
+
+
+def test_annealing_on_the_quality_curve(benchmark, comparison, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for workload, hs, greedy, sa in comparison:
+        lines.append(
+            f"small/{workload.seed}: HS {hs.best_cost:.0f} "
+            f"({hs.visited_states}st) | Greedy {greedy.best_cost:.0f} "
+            f"({greedy.visited_states}st) | SA {sa.best_cost:.0f} "
+            f"({sa.visited_states}st)"
+        )
+        # SA must beat doing nothing and stay within 30% of HS.
+        assert sa.best_cost < sa.initial_cost
+        assert sa.best_cost <= hs.best_cost * 1.30
+    with capsys.disabled():
+        print("\nAblation: simulated annealing vs HS / HS-Greedy")
+        print("\n".join(lines))
+
+
+def test_bench_annealing_run(benchmark):
+    workload = generate_workload("small", seed=1)
+    result = benchmark.pedantic(
+        lambda: annealing_search(workload.workflow, seed=1, steps=2000),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["improvement_percent"] = round(
+        result.improvement_percent, 1
+    )

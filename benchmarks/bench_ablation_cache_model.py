@@ -1,0 +1,83 @@
+"""Ablation — the cost model decides DIS vs FAC (section 2.2's Fig. 4 logic).
+
+The paper motivates distribution with selectivity ("the activity is highly
+selective and is pushed towards the beginning") and factorization with
+caching ("the lookup table can be cached").  Because the framework is
+cost-model agnostic, swapping the model should flip the optimizer's
+choice on the very same Fig. 4 state:
+
+* processed-rows model  -> case 2 (σ distributed, SKs stay per-branch);
+* cache-aware model     -> case 3 (σ distributed *and* SKs factorized).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import CacheAwareCostModel, ProcessedRowsCostModel, estimate
+from repro.core.search import exhaustive_search
+from repro.workloads import fig4_states
+
+
+def _sk_count(workflow):
+    return sum(
+        1
+        for activity in workflow.activities()
+        if activity.template.name == "surrogate_key"
+    )
+
+
+def test_processed_rows_model_prefers_distribution(capsys):
+    states = fig4_states(cardinality=8)
+    result = exhaustive_search(states["initial"], ProcessedRowsCostModel())
+    assert result.completed
+    with capsys.disabled():
+        print(
+            f"\nAblation: cost model flips DIS/FAC — processed-rows best: "
+            f"{result.best.signature} (cost {result.best_cost:.0f})"
+        )
+    # Two surrogate keys survive: the paper's case 2 shape.
+    assert _sk_count(result.best.workflow) == 2
+
+
+def test_cache_aware_model_prefers_factorization(capsys):
+    states = fig4_states(cardinality=8)
+    model = CacheAwareCostModel(setup_cost=100.0)
+    result = exhaustive_search(states["initial"], model)
+    assert result.completed
+    with capsys.disabled():
+        print(
+            f"Ablation: cost model flips DIS/FAC — cache-aware best:     "
+            f"{result.best.signature} (cost {result.best_cost:.0f})"
+        )
+    # One factorized surrogate key: the paper's case 3 shape.
+    assert _sk_count(result.best.workflow) == 1
+
+
+def test_flip_threshold():
+    """With a negligible setup cost the cache-aware model behaves like the
+    plain model; the preference flips as priming gets expensive."""
+    states = fig4_states(cardinality=8)
+    cheap = exhaustive_search(states["initial"], CacheAwareCostModel(setup_cost=0.0))
+    costly = exhaustive_search(states["initial"], CacheAwareCostModel(setup_cost=500.0))
+    assert _sk_count(cheap.best.workflow) == 2
+    assert _sk_count(costly.best.workflow) == 1
+
+
+@pytest.mark.parametrize(
+    "model_name,model",
+    [
+        ("processed_rows", ProcessedRowsCostModel()),
+        ("cache_aware", CacheAwareCostModel(setup_cost=100.0)),
+    ],
+)
+def test_bench_fig4_under_model(benchmark, model_name, model):
+    states = fig4_states(cardinality=8)
+    result = benchmark.pedantic(
+        lambda: exhaustive_search(states["initial"], model),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["model"] = model_name
+    benchmark.extra_info["best_cost"] = result.best_cost
+    assert result.completed

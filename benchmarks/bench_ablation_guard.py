@@ -1,0 +1,135 @@
+"""Ablation — the semantic swap guard is *necessary*, not just cautious.
+
+DESIGN.md documents a conservative strengthening of the paper's four swap
+conditions: value-level interactions (in-place transforms vs filters,
+aggregation crossings) are invisible to schema subset checks.  This bench
+switches the guard off (monkeypatched, runtime only) and shows that the
+exhaustive search then reaches states that are **not** equivalent — the
+engine produces different warehouse contents — whereas with the guard on,
+every reachable state is verified equivalent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.search import exhaustive_search
+from repro.core.search.state import SearchState
+from repro.core.cost import ProcessedRowsCostModel
+from repro.core.transitions import successor_states
+from repro.core.transitions.swap import Swap
+from repro.engine import (
+    EngineContext,
+    Executor,
+    default_scalar_functions,
+    empirically_equivalent,
+)
+from repro.templates import builtin as t
+
+
+def _trap_state():
+    """An in-place transform followed by a constant comparison on the same
+    attribute: swapping them changes which rows survive."""
+    from repro.core.workflow import ETLWorkflow
+
+    wf = ETLWorkflow()
+    src = wf.add_node(
+        RecordSet("1", "S", Schema(["K", "V"]), RecordSetKind.SOURCE, 20)
+    )
+    scrub = wf.add_node(
+        Activity(
+            "2",
+            t.FUNCTION_APPLY,
+            {
+                "function": "negate",
+                "inputs": ("V",),
+                "output": "V",
+                "injective": True,
+            },
+            name="negate(V)",
+        )
+    )
+    sigma = wf.add_node(
+        Activity(
+            "3",
+            t.SELECTION,
+            {"attr": "V", "op": ">=", "value": 0.0},
+            selectivity=0.5,
+            name="σ(V>=0)",
+        )
+    )
+    dw = wf.add_node(RecordSet("9", "DW", Schema(["K", "V"]), RecordSetKind.TARGET))
+    wf.add_edge(src, scrub)
+    wf.add_edge(scrub, sigma)
+    wf.add_edge(sigma, dw)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+def _data():
+    return {"S": [{"K": i, "V": float(i - 5)} for i in range(11)]}
+
+
+def _executor():
+    return Executor(
+        context=EngineContext(scalar_functions=default_scalar_functions())
+    )
+
+
+def _all_reachable(workflow):
+    model = ProcessedRowsCostModel()
+    initial = SearchState.initial(workflow.copy(), model)
+    seen = {initial.signature}
+    frontier = [initial]
+    states = [initial]
+    while frontier:
+        state = frontier.pop()
+        for transition, successor_wf in successor_states(state.workflow):
+            successor = state.successor(transition, successor_wf, model)
+            if successor.signature in seen:
+                continue
+            seen.add(successor.signature)
+            frontier.append(successor)
+            states.append(successor)
+    return states
+
+
+def test_guard_on_every_reachable_state_is_equivalent(benchmark):
+    workflow = _trap_state()
+    states = benchmark.pedantic(
+        lambda: _all_reachable(workflow), rounds=1, iterations=1
+    )
+    executor = _executor()
+    for state in states:
+        report = empirically_equivalent(
+            workflow, state.workflow, _data(), executor
+        )
+        assert report.equivalent
+    # The guard forbids the unsound swap, so the trap pair never reorders.
+    assert len(states) == 1
+
+
+def test_guard_off_reaches_inequivalent_states(monkeypatch, capsys):
+    monkeypatch.setattr(Swap, "_semantic_guard", lambda self: None)
+    workflow = _trap_state()
+    states = _all_reachable(workflow)
+    assert len(states) > 1  # the unsound swap is now reachable
+    executor = _executor()
+    broken = [
+        state
+        for state in states
+        if not empirically_equivalent(
+            workflow, state.workflow, _data(), executor
+        )
+    ]
+    with capsys.disabled():
+        print(
+            f"\nAblation: semantic guard — without it the search reaches "
+            f"{len(states) - 1} extra state(s), of which {len(broken)} "
+            f"produce different warehouse contents"
+        )
+    assert broken, "disabling the guard must expose the unsound rewriting"

@@ -1,0 +1,61 @@
+"""Ablation — semi-incremental vs full state re-costing (section 4.1).
+
+The paper computes state costs semi-incrementally ("the variation of the
+cost from S to S' can be determined by computing only the cost of the
+path from the affected activities towards the target").  This bench
+measures the speedup of :func:`estimate_incremental` over full
+:func:`estimate` across the successor states of a large workflow, and
+asserts the two agree numerically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import (
+    ProcessedRowsCostModel,
+    estimate,
+    estimate_incremental,
+)
+from repro.core.transitions import successor_states
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def successor_set():
+    workload = generate_workload("large", seed=1)
+    model = ProcessedRowsCostModel()
+    parent = estimate(workload.workflow, model)
+    successors = list(successor_states(workload.workflow))
+    return workload.workflow, model, parent, successors
+
+
+def test_incremental_agrees_with_full(successor_set):
+    _, model, parent, successors = successor_set
+    for transition, successor in successors:
+        incremental = estimate_incremental(
+            successor, model, parent, transition.affected_nodes()
+        )
+        full = estimate(successor, model)
+        assert incremental.total == pytest.approx(full.total)
+
+
+def test_bench_full_recosting(benchmark, successor_set):
+    _, model, _, successors = successor_set
+    def run():
+        return [estimate(successor, model).total for _, successor in successors]
+    totals = benchmark(run)
+    assert totals
+
+
+def test_bench_incremental_recosting(benchmark, successor_set):
+    _, model, parent, successors = successor_set
+    def run():
+        return [
+            estimate_incremental(
+                successor, model, parent, transition.affected_nodes()
+            ).total
+            for transition, successor in successors
+        ]
+    totals = benchmark(run)
+    assert totals

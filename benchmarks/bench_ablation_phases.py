@@ -1,0 +1,80 @@
+"""Ablation — the contribution of HS's Phase I (section 4.2).
+
+The paper: "Experiments have shown that the existence of the first phase
+leads to a much better solution without consuming too many resources."
+We approximate "HS without Phase I" by an HSConfig whose per-group
+exploration budget is zero — Phases II/III still factorize/distribute,
+and Phase IV gets the same crippled budget — and compare solution quality
+and visited states against full HS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import HSConfig, heuristic_search
+from repro.workloads import generate_workload
+
+_SEEDS = (1, 2, 3)
+
+
+def _run(workload, group_cap):
+    config = HSConfig(group_cap=group_cap)
+    return heuristic_search(workload.workflow, config=config)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    results = []
+    for seed in _SEEDS:
+        workload = generate_workload("medium", seed=seed)
+        full = _run(workload, group_cap=64)
+        crippled = _run(workload, group_cap=0)
+        results.append((workload, full, crippled))
+    return results
+
+
+def test_phase1_improves_solution(benchmark, ablation_results, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    better, lines = 0, []
+    for workload, full, crippled in ablation_results:
+        lines.append(
+            f"medium/{workload.seed}: with Phase I {full.best_cost:.0f} "
+            f"({full.improvement_percent:.0f}%), without "
+            f"{crippled.best_cost:.0f} ({crippled.improvement_percent:.0f}%)"
+        )
+        assert full.best_cost <= crippled.best_cost + 1e-9
+        if full.best_cost < crippled.best_cost * 0.999:
+            better += 1
+    with capsys.disabled():
+        print("\nAblation: HS Phase I (group swap optimization)")
+        print("\n".join(lines))
+    # "much better solution": Phase I must win strictly on most workloads.
+    assert better >= len(ablation_results) - 1
+
+
+def test_phase1_cost_is_bounded(ablation_results):
+    """Phase I must not blow up the search: visited states stay within a
+    sane multiple of the crippled run."""
+    for _, full, crippled in ablation_results:
+        assert full.visited_states <= max(200, crippled.visited_states) * 100
+
+
+def test_bench_hs_with_phase1(benchmark):
+    workload = generate_workload("medium", seed=1)
+    result = benchmark.pedantic(
+        lambda: _run(workload, group_cap=64), rounds=1, iterations=1
+    )
+    benchmark.extra_info["improvement_percent"] = round(
+        result.improvement_percent, 1
+    )
+
+
+def test_bench_hs_without_phase1(benchmark):
+    workload = generate_workload("medium", seed=1)
+    result = benchmark.pedantic(
+        lambda: _run(workload, group_cap=0), rounds=1, iterations=1
+    )
+    benchmark.extra_info["improvement_percent"] = round(
+        result.improvement_percent, 1
+    )

@@ -1,0 +1,82 @@
+"""Ablation — physical optimization on top of the logical optimizer (§6).
+
+The paper leaves physical optimization as future work; this bench
+quantifies what the layer adds and how memory budgets interact with the
+*logical* choices:
+
+* picking physical implementations for the logical optimum (hash
+  variants where memory allows) cuts the modeled cost further;
+* running the logical search directly against the physical cost model
+  changes what "optimal" means: with abundant memory, blocking operators
+  become linear, so filter push-down buys relatively less.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import ProcessedRowsCostModel, estimate
+from repro.core.search import heuristic_search
+from repro.physical import PhysicalCostModel, plan_physical
+from repro.workloads import generate_workload
+
+_SEEDS = (1, 2, 3)
+
+
+@pytest.fixture(scope="module")
+def physical_results():
+    rows = []
+    for seed in _SEEDS:
+        workload = generate_workload("medium", seed=seed)
+        logical = heuristic_search(workload.workflow)
+        plan_generous = plan_physical(logical.best.workflow, memory_rows=1e9)
+        plan_tight = plan_physical(logical.best.workflow, memory_rows=1)
+        rows.append((workload, logical, plan_generous, plan_tight))
+    return rows
+
+
+def test_physical_layer_improves_logical_optimum(benchmark, physical_results, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    model = ProcessedRowsCostModel()
+    for workload, logical, generous, tight in physical_results:
+        logical_cost = estimate(logical.best.workflow, model).total
+        lines.append(
+            f"medium/{workload.seed}: logical {logical_cost:,.0f} -> "
+            f"physical(mem=1e9) {generous.total_cost:,.0f}, "
+            f"physical(mem=1) {tight.total_cost:,.0f}"
+        )
+        assert generous.total_cost <= logical_cost + 1e-9
+        assert generous.total_cost <= tight.total_cost + 1e-9
+        # With one row of memory every hash variant is infeasible, so the
+        # plan degenerates to the sort-based logical pricing.
+        assert tight.total_cost == pytest.approx(logical_cost)
+    with capsys.disabled():
+        print("\nAblation: physical planning on the logical optimum")
+        print("\n".join(lines))
+
+
+def test_bench_physical_planning(benchmark):
+    workload = generate_workload("large", seed=1)
+    plan = benchmark(lambda: plan_physical(workload.workflow, memory_rows=1e6))
+    assert plan.total_cost > 0
+
+
+def test_bench_logical_search_under_physical_model(benchmark, capsys):
+    """Interleaved logical+physical: the search runs on physical costs."""
+    workload = generate_workload("medium", seed=1)
+    result = benchmark.pedantic(
+        lambda: heuristic_search(
+            workload.workflow, model=PhysicalCostModel(memory_rows=1e9)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    plain = heuristic_search(workload.workflow)
+    with capsys.disabled():
+        print(
+            f"\nAblation: logical search under physical costs — "
+            f"improvement {result.improvement_percent:.0f}% "
+            f"(vs {plain.improvement_percent:.0f}% under the sort-based model)"
+        )
+    assert result.best_cost <= result.initial_cost

@@ -1,0 +1,76 @@
+"""Micro-benchmarks for the optimizer's hot-path primitives.
+
+Search throughput is bounded by four operations, each exercised here on
+a large (≈70-activity) workflow so regressions in the per-state cost are
+caught independently of algorithm-level changes:
+
+* copying a state graph,
+* applying one swap (copy + rewire + validate + propagate),
+* full cost estimation and semi-incremental re-costing,
+* signature computation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import ProcessedRowsCostModel, estimate, estimate_incremental
+from repro.core.signature import state_signature
+from repro.core.transitions import candidate_transitions
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def large_workflow():
+    workload = generate_workload("large", seed=2)
+    workload.workflow.validate()
+    workload.workflow.propagate_schemas()
+    return workload.workflow
+
+
+@pytest.fixture(scope="module")
+def first_swap(large_workflow):
+    from repro.core.transitions import Swap
+
+    for transition in candidate_transitions(large_workflow):
+        if isinstance(transition, Swap) and transition.try_apply(large_workflow):
+            return transition
+    pytest.skip("no applicable swap found")
+
+
+def test_bench_graph_copy(benchmark, large_workflow):
+    duplicate = benchmark(large_workflow.copy)
+    assert len(duplicate) == len(large_workflow)
+
+
+def test_bench_schema_propagation(benchmark, large_workflow):
+    derived = benchmark(large_workflow.propagate_schemas)
+    assert derived
+
+
+def test_bench_swap_application(benchmark, large_workflow, first_swap):
+    successor = benchmark(lambda: first_swap.apply(large_workflow))
+    assert successor is not large_workflow
+
+
+def test_bench_full_estimate(benchmark, large_workflow):
+    model = ProcessedRowsCostModel()
+    report = benchmark(lambda: estimate(large_workflow, model))
+    assert report.total > 0
+
+
+def test_bench_incremental_estimate(benchmark, large_workflow, first_swap):
+    model = ProcessedRowsCostModel()
+    parent = estimate(large_workflow, model)
+    successor = first_swap.apply(large_workflow)
+    report = benchmark(
+        lambda: estimate_incremental(
+            successor, model, parent, first_swap.affected_nodes()
+        )
+    )
+    assert report.total > 0
+
+
+def test_bench_signature(benchmark, large_workflow):
+    signature = benchmark(lambda: state_signature(large_workflow))
+    assert signature

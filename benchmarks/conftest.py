@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper's experiments (Tables 1 and 2) run 40 workflows across three
+size categories; that scale is hours of laptop time in pure Python, so
+the benches default to a reduced-but-faithful scale (see ``_config.py``
+for the environment knobs).
+
+The full (table-content) experiment runs once per session in the
+``experiment_records`` fixture; the ``benchmark``-timed functions time
+*representative single runs* so pytest-benchmark reports per-algorithm
+optimization latency without re-running the whole suite per round.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.workloads import generate_workload
+
+from _config import bench_categories, bench_config
+
+
+@pytest.fixture(scope="session")
+def experiment_records():
+    """All (workflow, algorithm) run records — computed once per session."""
+    return run_experiment(bench_config())
+
+
+@pytest.fixture(scope="session")
+def representative_workloads():
+    """One workload per category, for the timed representative runs."""
+    return {
+        category: generate_workload(category, seed=1)
+        for category in bench_categories()
+    }

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Incremental (delta) warehouse load via snapshot difference.
+
+A classic ETL pattern the paper's binary-activity machinery covers:
+today's full extract MINUS yesterday's loaded snapshot yields the new
+rows, which are then cleansed and loaded.  Filters distribute over the
+difference — σ(A − B) = σ(A) − σ(B) — so the optimizer can push the
+cheap selective checks *before* the expensive sort-merge difference,
+shrinking both of its inputs.
+
+Run:  python examples/incremental_delta_load.py
+"""
+
+import random
+
+from repro import Activity, ETLWorkflow, RecordSet, RecordSetKind, Schema, optimize
+from repro.core.cost import ProcessedRowsCostModel, estimate
+from repro.engine import EngineContext, Executor, default_scalar_functions, empirically_equivalent
+from repro.templates import builtin as t
+
+
+def build_workflow() -> ETLWorkflow:
+    wf = ETLWorkflow()
+    schema = Schema(["ID", "REGION", "DATE", "AMOUNT"])
+    extract = wf.add_node(
+        RecordSet("1", "EXTRACT_TODAY", schema, RecordSetKind.SOURCE, 50_000)
+    )
+    snapshot = wf.add_node(
+        RecordSet("2", "SNAPSHOT_YDAY", schema, RecordSetKind.SOURCE, 48_000)
+    )
+    delta = wf.add_node(Activity("3", t.DIFFERENCE, {}, selectivity=0.05, name="Δ(new-rows)"))
+    wf.add_edge(extract, delta, port=0)
+    wf.add_edge(snapshot, delta, port=1)
+
+    # Cleansing written after the delta — the "reading order" design.
+    amount_ok = wf.add_node(
+        Activity(
+            "4",
+            t.RANGE_CHECK,
+            {"attr": "AMOUNT", "low": 0.0, "high": 10_000.0},
+            selectivity=0.70,
+            name="RC(AMOUNT)",
+        )
+    )
+    eu_only = wf.add_node(
+        Activity(
+            "5",
+            t.SELECTION,
+            {"attr": "REGION", "op": "==", "value": "EU"},
+            selectivity=0.40,
+            name="σ(REGION=EU)",
+        )
+    )
+    wf.add_edge(delta, amount_ok)
+    wf.add_edge(amount_ok, eu_only)
+    dw = wf.add_node(RecordSet("9", "DW_DELTA", schema, RecordSetKind.TARGET))
+    wf.add_edge(eu_only, dw)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+def make_data(seed: int = 0, n_yday: int = 600, n_new: int = 40) -> dict:
+    rng = random.Random(seed)
+
+    def row(i):
+        return {
+            "ID": i,
+            "REGION": rng.choice(["EU", "US"]),
+            "DATE": f"{rng.randint(1, 6):02d}/01/2005",
+            "AMOUNT": round(rng.uniform(-100, 12_000), 2),
+        }
+
+    yesterday = [row(i) for i in range(n_yday)]
+    today = list(yesterday) + [row(10_000 + i) for i in range(n_new)]
+    rng.shuffle(today)
+    return {"EXTRACT_TODAY": today, "SNAPSHOT_YDAY": yesterday}
+
+
+def main():
+    workflow = build_workflow()
+    model = ProcessedRowsCostModel()
+    print(f"initial plan cost: {estimate(workflow, model).total:,.0f}")
+
+    result = optimize(workflow, algorithm="hs", model=model)
+    print(result.summary())
+    print("initial :", result.initial.signature)
+    print("best    :", result.best.signature)
+    # Expected shape: both checks distributed into the two difference
+    # inputs, i.e. σ/RC clones appear before node 3 on both branches.
+
+    context = EngineContext(scalar_functions=default_scalar_functions())
+    executor = Executor(context=context)
+    data = make_data(seed=3)
+    report = empirically_equivalent(workflow, result.best.workflow, data, executor)
+    print(f"equivalent on data: {bool(report)}")
+
+    run_best = executor.run(result.best.workflow, data)
+    out = run_best.targets["DW_DELTA"]
+    print(f"delta rows loaded: {len(out)} (EU-only, amount-checked, new since yesterday)")
+
+    # The win is in the sort-merge difference, whose cost grows
+    # super-linearly with its input: the distributed checks shrink what Δ
+    # has to sort (the extra filter passes are linear and cheap).
+    run_initial = executor.run(workflow, data)
+    before = run_initial.stats.rows_processed["3"]
+    after = run_best.stats.rows_processed["3"]
+    print(f"rows entering the Δ sort-merge: {before:,} -> {after:,} "
+          f"({100 * (before - after) / before:.0f}% fewer)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Physical optimization: implementations, memory budgets, interleaving.
+
+The paper's future-work section names "the physical optimization of ETL
+workflows (i.e., taking physical operators and access methods into
+consideration)" as the next step.  This example walks the layer this
+library builds for it:
+
+1. logically optimize a workflow (the paper's contribution);
+2. pick physical implementations for the result under different memory
+   budgets and inspect the plans;
+3. run the *logical* search directly against the physical cost model and
+   compare the designs it chooses.
+
+Run:  python examples/physical_planning.py
+"""
+
+from repro import optimize
+from repro.core.cost import ProcessedRowsCostModel, estimate
+from repro.physical import PhysicalCostModel, plan_physical
+from repro.workloads import generate_workload
+
+
+def main():
+    workload = generate_workload("small", seed=9)
+    model = ProcessedRowsCostModel()
+
+    print("=== 1. logical optimization (sort-based cost model) ===")
+    logical = optimize(workload.workflow, algorithm="hs", model=model)
+    print(logical.summary())
+
+    print("\n=== 2. physical plans for the logical optimum ===")
+    for memory in (1e9, 500, 1):
+        plan = plan_physical(logical.best.workflow, memory_rows=memory)
+        print(plan.describe())
+        print()
+
+    print("=== 3. logical search under physical costs ===")
+    for memory in (1e9, 1):
+        result = optimize(
+            workload.workflow,
+            algorithm="hs",
+            model=PhysicalCostModel(memory_rows=memory),
+        )
+        print(
+            f"memory={memory:g} rows: cost {result.initial_cost:,.0f} -> "
+            f"{result.best_cost:,.0f} ({result.improvement_percent:.0f}% better)"
+        )
+        print(f"  chosen design: {result.best.signature}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""repro — a reproduction of *Optimizing ETL Processes in Data Warehouses*
+(Alkis Simitsis, Panos Vassiliadis, Timos Sellis; ICDE 2005).
+
+The library models an ETL workflow as a DAG of activities and recordsets,
+generates equivalent rewritings through the paper's five transitions
+(swap, factorize, distribute, merge, split), and searches the resulting
+state space for a minimum-cost design with three algorithms: exhaustive
+(ES), heuristic (HS), and greedy (HS-Greedy).
+
+Quick start::
+
+    from repro import optimize
+    from repro.workloads import fig1_workflow
+
+    result = optimize(fig1_workflow().workflow, algorithm="heuristic")
+    print(result.summary())
+
+See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
+system inventory.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    Activity,
+    CompositeActivity,
+    ETLWorkflow,
+    NamingRegistry,
+    RecordSet,
+    RecordSetKind,
+    Schema,
+    WorkflowBuilder,
+    state_signature,
+    symbolically_equivalent,
+)
+from repro.core.cost import (
+    CostModel,
+    LinearCostModel,
+    ProcessedRowsCostModel,
+    estimate,
+)
+from repro.core.search import (
+    HSConfig,
+    annealing_search,
+    OptimizationResult,
+    exhaustive_search,
+    greedy_search,
+    heuristic_search,
+)
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Activity",
+    "CompositeActivity",
+    "ETLWorkflow",
+    "NamingRegistry",
+    "RecordSet",
+    "RecordSetKind",
+    "Schema",
+    "WorkflowBuilder",
+    "state_signature",
+    "symbolically_equivalent",
+    "CostModel",
+    "ProcessedRowsCostModel",
+    "LinearCostModel",
+    "estimate",
+    "HSConfig",
+    "OptimizationResult",
+    "exhaustive_search",
+    "heuristic_search",
+    "greedy_search",
+    "annealing_search",
+    "optimize",
+    "ReproError",
+    "__version__",
+]
+
+_ALGORITHMS = {
+    "annealing": annealing_search,
+    "sa": annealing_search,
+    "exhaustive": exhaustive_search,
+    "es": exhaustive_search,
+    "heuristic": heuristic_search,
+    "hs": heuristic_search,
+    "greedy": greedy_search,
+    "hs-greedy": greedy_search,
+}
+
+
+def optimize(
+    workflow: ETLWorkflow,
+    algorithm: str = "heuristic",
+    model: CostModel | None = None,
+    **kwargs,
+) -> OptimizationResult:
+    """Optimize an ETL workflow with one of the paper's algorithms.
+
+    Args:
+        workflow: the initial state ``S0``.
+        algorithm: ``"exhaustive"``/``"es"``, ``"heuristic"``/``"hs"`` or
+            ``"greedy"``/``"hs-greedy"`` (case-insensitive).
+        model: cost model; defaults to the paper's processed-rows model.
+        **kwargs: forwarded to the chosen algorithm (e.g. ``max_states``
+            for ES, ``merge_constraints``/``config`` for HS).
+
+    Returns:
+        The :class:`OptimizationResult` with the best state found and the
+        search statistics the paper's tables report.
+    """
+    try:
+        search = _ALGORITHMS[algorithm.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; choose one of "
+            f"{sorted(set(_ALGORITHMS))}"
+        ) from None
+    return search(workflow, model=model, **kwargs)

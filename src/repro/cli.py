@@ -1,0 +1,147 @@
+"""Command-line interface: optimize / render / lint workflows from JSON.
+
+Usage::
+
+    python -m repro optimize flow.json --algorithm hs -o optimized.json
+    python -m repro render flow.json --format dot > flow.dot
+    python -m repro lint flow.json
+    python -m repro impact flow.json --source SRC1 --attribute V2
+
+Workflows are exchanged in the JSON format of :mod:`repro.io.json_io`;
+custom templates are not resolvable from the command line (use the
+library API for those).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import optimize
+from repro.core.lint import lint_workflow
+from repro.core.impact import impact_of_attribute_removal
+from repro.io import dumps, load, to_dot, to_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "ETL workflow optimizer — reproduction of 'Optimizing ETL "
+            "Processes in Data Warehouses' (ICDE 2005)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd_optimize = commands.add_parser(
+        "optimize", help="optimize a workflow and report the result"
+    )
+    cmd_optimize.add_argument("workflow", help="path to a workflow JSON file")
+    cmd_optimize.add_argument(
+        "--algorithm",
+        default="hs",
+        choices=["es", "hs", "greedy"],
+        help="search algorithm (default: hs)",
+    )
+    cmd_optimize.add_argument(
+        "--max-states",
+        type=int,
+        default=None,
+        help="state budget (exhaustive search only)",
+    )
+    cmd_optimize.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the optimized workflow JSON here",
+    )
+
+    cmd_render = commands.add_parser(
+        "render", help="render a workflow as DOT or text"
+    )
+    cmd_render.add_argument("workflow", help="path to a workflow JSON file")
+    cmd_render.add_argument(
+        "--format", default="text", choices=["text", "dot"], dest="fmt"
+    )
+
+    cmd_lint = commands.add_parser(
+        "lint", help="check the naming-discipline contract"
+    )
+    cmd_lint.add_argument("workflow", help="path to a workflow JSON file")
+
+    cmd_impact = commands.add_parser(
+        "impact", help="what breaks if a source attribute disappears"
+    )
+    cmd_impact.add_argument("workflow", help="path to a workflow JSON file")
+    cmd_impact.add_argument("--source", required=True)
+    cmd_impact.add_argument("--attribute", required=True)
+    return parser
+
+
+def _cmd_optimize(args) -> int:
+    workflow = load(args.workflow)
+    kwargs = {}
+    if args.algorithm == "es" and args.max_states is not None:
+        kwargs["max_states"] = args.max_states
+    result = optimize(workflow, algorithm=args.algorithm, **kwargs)
+    print(result.summary())
+    print(f"initial: {result.initial.signature}")
+    print(f"best   : {result.best.signature}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(dumps(result.best.workflow))
+        print(f"optimized workflow written to {args.output}")
+    return 0
+
+
+def _cmd_render(args) -> int:
+    workflow = load(args.workflow)
+    if args.fmt == "dot":
+        print(to_dot(workflow))
+    else:
+        print(to_text(workflow))
+    return 0
+
+
+def _cmd_lint(args) -> int:
+    workflow = load(args.workflow)
+    findings = lint_workflow(workflow)
+    if not findings:
+        print("clean: the workflow honours the naming principle")
+        return 0
+    for finding in findings:
+        print(finding)
+    return 1
+
+
+def _cmd_impact(args) -> int:
+    workflow = load(args.workflow)
+    report = impact_of_attribute_removal(workflow, args.source, args.attribute)
+    if report.clean:
+        print(
+            f"removing {args.source}.{args.attribute} breaks nothing "
+            "(it is never used)"
+        )
+        return 0
+    for line in report.diagnostics:
+        print(line)
+    return 1
+
+
+_HANDLERS = {
+    "optimize": _cmd_optimize,
+    "render": _cmd_render,
+    "lint": _cmd_lint,
+    "impact": _cmd_impact,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Core model: workflows, transitions, costing, equivalence, search."""
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.attributes import AttributeMapping, NamingRegistry
+from repro.core.builder import WorkflowBuilder
+from repro.core.equivalence import (
+    EquivalenceReport,
+    symbolically_equivalent,
+    target_schemas,
+)
+from repro.core.predicates import (
+    Predicate,
+    node_predicates,
+    workflow_post_condition,
+)
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import EMPTY_SCHEMA, Schema
+from repro.core.signature import state_signature
+from repro.core.workflow import DerivedSchemas, ETLWorkflow
+
+__all__ = [
+    "Activity",
+    "CompositeActivity",
+    "AttributeMapping",
+    "NamingRegistry",
+    "WorkflowBuilder",
+    "RecordSet",
+    "RecordSetKind",
+    "Schema",
+    "EMPTY_SCHEMA",
+    "ETLWorkflow",
+    "DerivedSchemas",
+    "state_signature",
+    "Predicate",
+    "node_predicates",
+    "workflow_post_condition",
+    "EquivalenceReport",
+    "symbolically_equivalent",
+    "target_schemas",
+]

@@ -1,0 +1,133 @@
+"""Reference attribute names and the naming principle (paper section 3.1).
+
+The paper resolves the homonym/synonym problem ("PARTS1.COST and PARTS2.COST
+are homonyms but denote different entities") by mapping every attribute of
+the workflow onto a finite set of *reference attribute names*, written Ωn in
+the paper, under a simple naming principle:
+
+* all synonyms refer to the same real-world entity, and
+* different reference names refer to different entities.
+
+:class:`NamingRegistry` implements that mapping.  Workflow construction code
+registers each original attribute (qualified by the recordset it comes from)
+together with the real-world *entity* it denotes; the registry hands back a
+reference name and refuses mappings that would break the principle.
+
+Throughout the rest of the library, schemas and activity parameters use
+reference names only (plain strings), exactly as the paper does after
+section 3.1 ("in the sequel, we will employ only reference attribute names").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import NamingError
+
+__all__ = ["AttributeMapping", "NamingRegistry"]
+
+
+@dataclass(frozen=True)
+class AttributeMapping:
+    """One resolved attribute: where it came from and what it denotes.
+
+    Attributes:
+        original: the attribute name as it appears in the source recordset,
+            qualified, e.g. ``"PARTS2.COST"``.
+        entity: a human-readable description of the real-world entity,
+            e.g. ``"per-delivery cost in dollars"``.
+        reference: the reference name used everywhere in the library,
+            e.g. ``"DCOST"``.
+    """
+
+    original: str
+    entity: str
+    reference: str
+
+
+@dataclass
+class NamingRegistry:
+    """The set Ωn of reference attribute names plus the entity mapping.
+
+    The registry enforces the naming principle at registration time:
+
+    * registering the same *entity* twice under two different reference
+      names raises :class:`~repro.exceptions.NamingError`;
+    * registering two different entities under the same reference name
+      raises :class:`~repro.exceptions.NamingError`;
+    * re-registering an identical (entity, reference) pair is a no-op, so
+      synonyms from several recordsets naturally converge on one name.
+
+    A registry is optional equipment: the core optimizer works on reference
+    names (strings) alone.  Scenario builders use a registry to document and
+    sanity-check their name choices.
+    """
+
+    _by_reference: dict[str, str] = field(default_factory=dict)
+    _by_entity: dict[str, str] = field(default_factory=dict)
+    _mappings: list[AttributeMapping] = field(default_factory=list)
+
+    def register(self, original: str, entity: str, reference: str) -> str:
+        """Map ``original`` (denoting ``entity``) to ``reference``.
+
+        Returns the reference name for convenience so call sites can write
+        ``cost = registry.register("PARTS2.COST", "dollar cost", "DCOST")``.
+        """
+        known_entity = self._by_reference.get(reference)
+        if known_entity is not None and known_entity != entity:
+            raise NamingError(
+                f"reference name {reference!r} already denotes entity "
+                f"{known_entity!r}; cannot also denote {entity!r}"
+            )
+        known_reference = self._by_entity.get(entity)
+        if known_reference is not None and known_reference != reference:
+            raise NamingError(
+                f"entity {entity!r} is already mapped to reference name "
+                f"{known_reference!r}; cannot also map it to {reference!r}"
+            )
+        self._by_reference[reference] = entity
+        self._by_entity[entity] = reference
+        self._mappings.append(AttributeMapping(original, entity, reference))
+        return reference
+
+    def reference_for(self, entity: str) -> str:
+        """Return the reference name of a registered entity."""
+        try:
+            return self._by_entity[entity]
+        except KeyError:
+            raise NamingError(f"entity {entity!r} is not registered") from None
+
+    def entity_for(self, reference: str) -> str:
+        """Return the entity a reference name denotes."""
+        try:
+            return self._by_reference[reference]
+        except KeyError:
+            raise NamingError(
+                f"reference name {reference!r} is not registered"
+            ) from None
+
+    def fresh(self, base: str, entity: str) -> str:
+        """Mint a new reference name derived from ``base`` for ``entity``.
+
+        Used by generated schemas: e.g. an aggregation producing a monthly
+        sum of ``ECOST`` can mint ``ECOST_M``.  If ``base`` itself is free it
+        is used directly; otherwise a numeric suffix is appended.
+        """
+        if entity in self._by_entity:
+            return self._by_entity[entity]
+        candidate = base
+        counter = 1
+        while candidate in self._by_reference:
+            counter += 1
+            candidate = f"{base}_{counter}"
+        return self.register(f"<generated:{base}>", entity, candidate)
+
+    @property
+    def reference_names(self) -> frozenset[str]:
+        """The current contents of Ωn."""
+        return frozenset(self._by_reference)
+
+    @property
+    def mappings(self) -> tuple[AttributeMapping, ...]:
+        """All registrations in insertion order (for documentation/tests)."""
+        return tuple(self._mappings)

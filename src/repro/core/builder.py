@@ -1,0 +1,180 @@
+"""A fluent builder for assembling ETL workflows.
+
+The raw :class:`~repro.core.workflow.ETLWorkflow` API (add nodes, wire
+port-annotated edges) is explicit but verbose.  :class:`WorkflowBuilder`
+layers the conveniences scenario code wants on top of it:
+
+* automatic priority ids in creation order (the paper's topological
+  numbering), with optional explicit ids;
+* linear chaining — each branch tracks its own head;
+* template lookup by name against a :class:`TemplateLibrary`.
+
+Example::
+
+    from repro.core.builder import WorkflowBuilder
+
+    b = WorkflowBuilder()
+    orders = b.source("ORDERS", ["OID", "AMOUNT"], cardinality=10_000)
+    flow = b.chain(
+        orders,
+        b.activity("not_null", {"attr": "AMOUNT"}, selectivity=0.95),
+        b.activity(
+            "selection",
+            {"attr": "AMOUNT", "op": ">=", "value": 10.0},
+            selectivity=0.5,
+        ),
+    )
+    b.target("DW", ["OID", "AMOUNT"], provider=flow)
+    workflow = b.build()
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import WorkflowError
+from repro.templates.library import TemplateLibrary, default_library
+
+__all__ = ["WorkflowBuilder"]
+
+
+class WorkflowBuilder:
+    """Incrementally assemble a validated :class:`ETLWorkflow`."""
+
+    def __init__(self, library: TemplateLibrary | None = None):
+        self.library = library if library is not None else default_library()
+        self.workflow = ETLWorkflow()
+        self._next_priority = 0
+
+    # -- id management ---------------------------------------------------------
+
+    def _fresh_id(self, explicit: str | None) -> str:
+        if explicit is not None:
+            return explicit
+        self._next_priority += 1
+        while str(self._next_priority) in {n.id for n in self.workflow.nodes()}:
+            self._next_priority += 1
+        return str(self._next_priority)
+
+    # -- nodes -----------------------------------------------------------------
+
+    def source(
+        self,
+        name: str,
+        schema: Iterable[str] | Schema,
+        cardinality: float = 0.0,
+        id: str | None = None,
+    ) -> RecordSet:
+        """Add a source recordset."""
+        node = RecordSet(
+            self._fresh_id(id),
+            name,
+            schema if isinstance(schema, Schema) else Schema(schema),
+            RecordSetKind.SOURCE,
+            cardinality,
+        )
+        return self.workflow.add_node(node)
+
+    def staging(
+        self,
+        name: str,
+        schema: Iterable[str] | Schema,
+        provider: Node | None = None,
+        id: str | None = None,
+    ) -> RecordSet:
+        """Add an intermediate (staging) recordset, optionally wired."""
+        node = RecordSet(
+            self._fresh_id(id),
+            name,
+            schema if isinstance(schema, Schema) else Schema(schema),
+            RecordSetKind.INTERMEDIATE,
+        )
+        self.workflow.add_node(node)
+        if provider is not None:
+            self.workflow.add_edge(provider, node)
+        return node
+
+    def target(
+        self,
+        name: str,
+        schema: Iterable[str] | Schema,
+        provider: Node | None = None,
+        id: str | None = None,
+    ) -> RecordSet:
+        """Add a target recordset, optionally wired to its provider."""
+        node = RecordSet(
+            self._fresh_id(id),
+            name,
+            schema if isinstance(schema, Schema) else Schema(schema),
+            RecordSetKind.TARGET,
+        )
+        self.workflow.add_node(node)
+        if provider is not None:
+            self.workflow.add_edge(provider, node)
+        return node
+
+    def activity(
+        self,
+        template: str,
+        params: Mapping[str, Any],
+        selectivity: float = 1.0,
+        name: str | None = None,
+        id: str | None = None,
+    ) -> Activity:
+        """Create (but do not wire) an activity from a library template."""
+        node = Activity(
+            self._fresh_id(id),
+            self.library.get(template),
+            params,
+            selectivity=selectivity,
+            name=name,
+        )
+        return self.workflow.add_node(node)
+
+    # -- wiring ------------------------------------------------------------------
+
+    def chain(self, head: Node, *activities: Activity) -> Node:
+        """Wire ``activities`` in sequence after ``head``; returns the tail."""
+        current = head
+        for activity in activities:
+            self.workflow.add_edge(current, activity)
+            current = activity
+        return current
+
+    def combine(
+        self,
+        template: str,
+        left: Node,
+        right: Node,
+        params: Mapping[str, Any] | None = None,
+        selectivity: float = 1.0,
+        name: str | None = None,
+        id: str | None = None,
+    ) -> Activity:
+        """Add a binary activity consuming ``left`` (port 0) and ``right``."""
+        node = self.activity(
+            template, params or {}, selectivity=selectivity, name=name, id=id
+        )
+        self.workflow.add_edge(left, node, port=0)
+        self.workflow.add_edge(right, node, port=1)
+        return node
+
+    def connect(self, provider: Node, consumer: Node, port: int = 0) -> None:
+        """Wire one explicit edge (escape hatch)."""
+        self.workflow.add_edge(provider, consumer, port=port)
+
+    # -- finish --------------------------------------------------------------------
+
+    def build(self) -> ETLWorkflow:
+        """Validate and return the workflow."""
+        try:
+            self.workflow.validate()
+            self.workflow.propagate_schemas()
+        except WorkflowError:
+            raise
+        return self.workflow

@@ -1,0 +1,22 @@
+"""Cost models and state costing (paper sections 2.2 and 4.1)."""
+
+from repro.core.cost.cache_aware import CacheAwareCostModel
+from repro.core.cost.estimator import CostReport, estimate, estimate_incremental
+from repro.core.cost.formulas import cost_for_shape, nlogn
+from repro.core.cost.model import (
+    CostModel,
+    LinearCostModel,
+    ProcessedRowsCostModel,
+)
+
+__all__ = [
+    "CostModel",
+    "ProcessedRowsCostModel",
+    "LinearCostModel",
+    "CacheAwareCostModel",
+    "CostReport",
+    "estimate",
+    "estimate_incremental",
+    "cost_for_shape",
+    "nlogn",
+]

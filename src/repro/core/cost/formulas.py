@@ -1,0 +1,38 @@
+"""Concrete cost formulae per cost shape (Fig. 4 and reference [15]).
+
+The paper's Fig. 4 example prices a surrogate-key assignment at
+``n·log2 n`` and a selection at ``n``; these helpers generalize that to the
+four shipped shapes.  ``n·log2 n`` degrades gracefully to ``n`` for inputs
+of one row or fewer so costs stay monotone and non-negative.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ReproError
+from repro.templates.base import CostShape
+
+__all__ = ["nlogn", "cost_for_shape"]
+
+
+def nlogn(n: float) -> float:
+    """``n · log2 n``, clamped to ``n`` for ``n <= 2`` (where log2 n <= 1)."""
+    if n < 0:
+        raise ReproError(f"negative cardinality: {n}")
+    if n <= 2:
+        return float(n)
+    return n * math.log2(n)
+
+
+def cost_for_shape(shape: CostShape, input_cards: tuple[float, ...]) -> float:
+    """Invocation cost of an activity with the given shape and inputs."""
+    if shape is CostShape.LINEAR:
+        return float(input_cards[0])
+    if shape is CostShape.SORT:
+        return nlogn(input_cards[0])
+    if shape is CostShape.MERGE:
+        return float(input_cards[0] + input_cards[1])
+    if shape is CostShape.SORT_MERGE:
+        return nlogn(input_cards[0]) + nlogn(input_cards[1])
+    raise ReproError(f"unknown cost shape: {shape!r}")

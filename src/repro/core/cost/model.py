@@ -1,0 +1,121 @@
+"""Cost-model protocol (section 2.2).
+
+The paper is deliberately cost-model agnostic: "our approach is general in
+that it is not in particular dependent on the cost model chosen".  A cost
+model answers two questions per activity: *what does one invocation cost*
+(as a function of input cardinalities) and *how many rows come out*.  The
+state cost is the sum of activity costs, ``C(S) = Σ c(a_i)``.
+
+:class:`ProcessedRowsCostModel` is the paper's experimental model — "a
+simple cost model taking into consideration only the number of processed
+rows based on simple formulae [15] and assigned selectivities".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.cost.formulas import cost_for_shape
+from repro.exceptions import ReproError
+
+__all__ = ["CostModel", "ProcessedRowsCostModel", "LinearCostModel"]
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Anything that can price an activity and predict its output size."""
+
+    def activity_cost(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        """Cost of one invocation given its input cardinalities."""
+        ...
+
+    def output_cardinality(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        """Expected output row count given its input cardinalities."""
+        ...
+
+
+class ProcessedRowsCostModel:
+    """The paper's processed-rows model with per-shape formulae.
+
+    Costs (``n`` = input rows): row-wise activities cost ``n``; sort-based
+    ones (surrogate key, aggregation) cost ``n·log2 n`` — the Fig. 4
+    formulae; union costs ``n1+n2``; join/difference/intersection cost
+    ``n1·log2 n1 + n2·log2 n2``.
+
+    Cardinalities come from the *declared* selectivity of each activity:
+    ``sel·n`` for unary activities (for aggregations the selectivity is the
+    grouping ratio), ``n1+n2`` for union, ``sel·n1·n2`` for join,
+    ``sel·n1`` for difference and ``sel·min(n1,n2)`` for intersection.
+    """
+
+    def activity_cost(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        if isinstance(activity, CompositeActivity):
+            return self._composite_cost(activity, input_cards)
+        self._check_arity(activity, input_cards)
+        return cost_for_shape(activity.template.cost_shape, input_cards)
+
+    def output_cardinality(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        if isinstance(activity, CompositeActivity):
+            card = input_cards[0]
+            for component in activity.components:
+                card = self.output_cardinality(component, (card,))
+            return card
+        self._check_arity(activity, input_cards)
+        if activity.is_unary:
+            return activity.selectivity * input_cards[0]
+        left, right = input_cards
+        name = activity.template.name
+        if name == "union":
+            return left + right
+        if name == "join":
+            return activity.selectivity * left * right
+        if name == "difference":
+            return activity.selectivity * left
+        if name == "intersection":
+            return activity.selectivity * min(left, right)
+        # Custom binary templates fall back to a selectivity over the
+        # larger input — a neutral default users can override.
+        return activity.selectivity * max(left, right)
+
+    def _composite_cost(
+        self, composite: CompositeActivity, input_cards: tuple[float, ...]
+    ) -> float:
+        card = input_cards[0]
+        total = 0.0
+        for component in composite.components:
+            total += self.activity_cost(component, (card,))
+            card = self.output_cardinality(component, (card,))
+        return total
+
+    @staticmethod
+    def _check_arity(activity: Activity, input_cards: tuple[float, ...]) -> None:
+        if len(input_cards) != activity.arity:
+            raise ReproError(
+                f"activity {activity.id}: expected {activity.arity} input "
+                f"cardinalities, got {len(input_cards)}"
+            )
+
+
+class LinearCostModel(ProcessedRowsCostModel):
+    """A degenerate model where every activity costs its input row count.
+
+    Useful as a second instance to exercise the cost-model-agnostic API and
+    in tests that need hand-computable numbers.
+    """
+
+    def activity_cost(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        if isinstance(activity, CompositeActivity):
+            return self._composite_cost(activity, input_cards)
+        self._check_arity(activity, input_cards)
+        return float(sum(input_cards))

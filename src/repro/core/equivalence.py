@@ -1,0 +1,75 @@
+"""Symbolic workflow equivalence (section 3.4).
+
+Two workflows (states) are equivalent when
+
+(a) the schema of the data propagated to each target recordset is
+    identical, and
+(b) their workflow post-conditions are equivalent.
+
+This module implements that check over the :mod:`repro.core.predicates`
+calculus.  It is a *necessary* condition maintained as an invariant by
+every transition (the library's rendering of Theorem 2); the execution
+engine (:mod:`repro.engine.validate`) provides the complementary empirical
+check — same input data, same target output — used throughout the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.predicates import Predicate, workflow_post_condition
+from repro.core.schema import Schema
+from repro.core.workflow import ETLWorkflow
+
+__all__ = ["EquivalenceReport", "target_schemas", "symbolically_equivalent"]
+
+
+@dataclass(frozen=True)
+class EquivalenceReport:
+    """Outcome of a symbolic-equivalence check, with diagnostics."""
+
+    equivalent: bool
+    schema_mismatches: tuple[str, ...]
+    only_in_first: frozenset[Predicate]
+    only_in_second: frozenset[Predicate]
+
+    def __bool__(self) -> bool:
+        return self.equivalent
+
+
+def target_schemas(workflow: ETLWorkflow) -> dict[str, Schema]:
+    """Map each target recordset name to the schema it receives."""
+    derived = workflow.propagate_schemas()
+    return {t.name: derived[t].output for t in workflow.targets()}
+
+
+def symbolically_equivalent(
+    first: ETLWorkflow, second: ETLWorkflow
+) -> EquivalenceReport:
+    """Check conditions (a) and (b) of the paper's equivalence definition."""
+    first_targets = target_schemas(first)
+    second_targets = target_schemas(second)
+    mismatches: list[str] = []
+    if set(first_targets) != set(second_targets):
+        mismatches.append(
+            f"different target recordsets: {sorted(first_targets)} vs "
+            f"{sorted(second_targets)}"
+        )
+    else:
+        for name, schema in first_targets.items():
+            other = second_targets[name]
+            if not schema.compatible(other):
+                mismatches.append(
+                    f"target {name}: {schema} vs {other}"
+                )
+    cond_first = workflow_post_condition(first)
+    cond_second = workflow_post_condition(second)
+    only_first = cond_first - cond_second
+    only_second = cond_second - cond_first
+    equivalent = not mismatches and not only_first and not only_second
+    return EquivalenceReport(
+        equivalent=equivalent,
+        schema_mismatches=tuple(mismatches),
+        only_in_first=frozenset(only_first),
+        only_in_second=frozenset(only_second),
+    )

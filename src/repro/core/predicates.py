@@ -1,0 +1,89 @@
+"""Activity post-conditions (section 3.4).
+
+The paper establishes transition correctness with a black-box calculus:
+every node carries a logical *post-condition* — a predicate over the
+attributes of its functionality schema (activities) or of its schema
+(recordsets) — set to true once the node has processed all its data.  A
+workflow's post-condition ``Cond_G`` is the conjunction of its nodes'
+predicates; two workflows are equivalent when their target schemas match
+and their post-conditions are logically equivalent.
+
+Conjunction is commutative and idempotent, so ``Cond_G`` is represented as
+a *set* of :class:`Predicate` values: swapping activities leaves the set
+unchanged, and factorize/distribute/merge/split replace activities with
+semantically identical ones (clones or packages), again leaving the set
+unchanged — which is exactly the paper's Theorem 2 in this representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.recordset import RecordSet
+from repro.core.workflow import ETLWorkflow, Node
+
+__all__ = ["Predicate", "node_predicates", "workflow_post_condition"]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One post-condition: a named predicate with fixed semantics.
+
+    ``name`` is the template's predicate name (``NN``, ``SEL``, ``SK`` ...);
+    ``variables`` are the functionality-schema attributes materializing the
+    template's parameter variables (``$2E(#vrbl1)`` instantiated as
+    ``$2E(COST)`` in the paper's example); ``qualifier`` pins the remaining
+    instantiation parameters so that e.g. two selections on the same
+    attribute with different thresholds stay distinguishable.
+    """
+
+    name: str
+    variables: tuple[str, ...]
+    qualifier: Any = ()
+
+    def __str__(self) -> str:
+        return f"{self.name}({','.join(self.variables)})"
+
+
+def node_predicates(node: Node) -> frozenset[Predicate]:
+    """The post-condition predicates contributed by one node.
+
+    Plain activities and recordsets contribute one predicate; a merged
+    (composite) activity contributes the predicates of its components —
+    MER/SPL only package activities, they do not change semantics.
+    """
+    if isinstance(node, CompositeActivity):
+        result: set[Predicate] = set()
+        for component in node.components:
+            result |= node_predicates(component)
+        return frozenset(result)
+    if isinstance(node, Activity):
+        return frozenset(
+            {
+                Predicate(
+                    name=node.template.predicate_name,
+                    variables=node.functionality.attrs,
+                    qualifier=node.semantics_key(),
+                )
+            }
+        )
+    assert isinstance(node, RecordSet)
+    return frozenset(
+        {
+            Predicate(
+                name=node.name,
+                variables=tuple(sorted(node.schema.as_set)),
+                qualifier=node.kind.value,
+            )
+        }
+    )
+
+
+def workflow_post_condition(workflow: ETLWorkflow) -> frozenset[Predicate]:
+    """``Cond_G``: the conjunction of all node post-conditions, as a set."""
+    result: set[Predicate] = set()
+    for node in workflow.nodes():
+        result |= node_predicates(node)
+    return frozenset(result)

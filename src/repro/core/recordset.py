@@ -1,0 +1,70 @@
+"""Recordsets: the data-store nodes of an ETL workflow (section 2.1).
+
+A recordset is "any data store that can provide a flat record schema" —
+relational tables and record files being the common cases.  Recordsets have
+exactly one schema.  The subset ``RS_S`` (sources) feeds the workflow; the
+subset ``RS_T`` (targets) receives the warehouse data.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.schema import Schema
+from repro.exceptions import WorkflowError
+
+__all__ = ["RecordSetKind", "RecordSet"]
+
+
+class RecordSetKind(enum.Enum):
+    """Role of a recordset in the workflow graph."""
+
+    SOURCE = "source"            # in RS_S: no providers, ships the input data
+    TARGET = "target"            # in RS_T: no consumers, receives the output
+    INTERMEDIATE = "intermediate"  # staging store inside the flow
+
+
+class RecordSet:
+    """One data store node.
+
+    Attributes:
+        id: unique identifier (priority from the initial topological order).
+        name: display name, e.g. ``"PARTS1"``.
+        schema: the (reference-named) record schema.
+        kind: source / target / intermediate.
+        cardinality: for sources, the declared row count used by cost
+            models; ignored elsewhere.
+    """
+
+    __slots__ = ("id", "name", "schema", "kind", "cardinality")
+
+    def __init__(
+        self,
+        id: str,
+        name: str,
+        schema: Schema,
+        kind: RecordSetKind = RecordSetKind.INTERMEDIATE,
+        cardinality: float = 0.0,
+    ):
+        if not isinstance(id, str) or not id:
+            raise WorkflowError(f"recordset id must be a non-empty string, got {id!r}")
+        if len(schema) == 0:
+            raise WorkflowError(f"recordset {name!r}: schema must be non-empty")
+        if cardinality < 0:
+            raise WorkflowError(f"recordset {name!r}: cardinality must be >= 0")
+        self.id = id
+        self.name = name
+        self.schema = schema
+        self.kind = kind
+        self.cardinality = float(cardinality)
+
+    @property
+    def is_source(self) -> bool:
+        return self.kind is RecordSetKind.SOURCE
+
+    @property
+    def is_target(self) -> bool:
+        return self.kind is RecordSetKind.TARGET
+
+    def __repr__(self) -> str:
+        return f"RecordSet({self.id}:{self.name}:{self.kind.value})"

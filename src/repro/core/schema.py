@@ -1,0 +1,124 @@
+"""Schemas: finite ordered lists of reference attribute names (section 2.1).
+
+Every node of an ETL workflow is characterized by one or more schemata.  A
+:class:`Schema` is an immutable, ordered, duplicate-free sequence of
+reference attribute names.  Order matters for presentation (it is how the
+designer laid the recordset out) but *not* for compatibility: two schemas
+are compatible when they contain the same set of names, which is what the
+union-branch check and the target-schema check use.
+
+The class supports the small algebra the transition machinery needs:
+subset tests, union, difference, and stable concatenation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.exceptions import SchemaError
+
+__all__ = ["Schema", "EMPTY_SCHEMA"]
+
+
+class Schema:
+    """An immutable ordered collection of attribute (reference) names."""
+
+    __slots__ = ("_attrs", "_attr_set")
+
+    def __init__(self, attrs: Iterable[str] = ()):
+        attrs = tuple(attrs)
+        seen: set[str] = set()
+        for attr in attrs:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(f"invalid attribute name: {attr!r}")
+            if attr in seen:
+                raise SchemaError(f"duplicate attribute {attr!r} in schema")
+            seen.add(attr)
+        self._attrs: tuple[str, ...] = attrs
+        self._attr_set: frozenset[str] = frozenset(seen)
+
+    # -- basic container protocol -------------------------------------------
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attrs)
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __contains__(self, attr: object) -> bool:
+        return attr in self._attr_set
+
+    def __getitem__(self, index: int) -> str:
+        return self._attrs[index]
+
+    def __eq__(self, other: object) -> bool:
+        """Order-sensitive equality (same attributes in the same order)."""
+        if isinstance(other, Schema):
+            return self._attrs == other._attrs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attrs)!r})"
+
+    def __str__(self) -> str:
+        return "[" + ", ".join(self._attrs) + "]"
+
+    # -- algebra --------------------------------------------------------------
+
+    @property
+    def attrs(self) -> tuple[str, ...]:
+        """The attribute names, in order."""
+        return self._attrs
+
+    @property
+    def as_set(self) -> frozenset[str]:
+        """The attribute names as a set (for compatibility checks)."""
+        return self._attr_set
+
+    def issubset(self, other: "Schema | Iterable[str]") -> bool:
+        """True when every attribute of this schema appears in ``other``."""
+        if isinstance(other, Schema):
+            return self._attr_set <= other._attr_set
+        return self._attr_set <= set(other)
+
+    def compatible(self, other: "Schema") -> bool:
+        """True when both schemas contain the same attribute *set*.
+
+        Order is a presentation detail; union branches and target recordsets
+        are checked with this, not with ``==``.
+        """
+        return self._attr_set == other._attr_set
+
+    def union(self, other: "Schema | Iterable[str]") -> "Schema":
+        """Attributes of self followed by attributes of other not in self."""
+        extra = [a for a in other if a not in self._attr_set]
+        return Schema(self._attrs + tuple(extra))
+
+    def minus(self, other: "Schema | Iterable[str]") -> "Schema":
+        """Attributes of self that do not appear in ``other`` (stable)."""
+        removed = other.as_set if isinstance(other, Schema) else set(other)
+        return Schema(a for a in self._attrs if a not in removed)
+
+    def intersect(self, other: "Schema | Iterable[str]") -> "Schema":
+        """Attributes of self that also appear in ``other`` (stable)."""
+        kept = other.as_set if isinstance(other, Schema) else set(other)
+        return Schema(a for a in self._attrs if a in kept)
+
+    def project(self, attrs: Iterable[str]) -> "Schema":
+        """Reorder/restrict to ``attrs``; every name must be present."""
+        attrs = tuple(attrs)
+        missing = [a for a in attrs if a not in self._attr_set]
+        if missing:
+            raise SchemaError(f"cannot project on missing attributes {missing}")
+        return Schema(attrs)
+
+    def normalized(self) -> "Schema":
+        """A canonical (sorted) ordering, used by signatures and comparisons."""
+        return Schema(sorted(self._attrs))
+
+
+EMPTY_SCHEMA = Schema(())
+"""The empty schema (e.g. the generated schema of a filter)."""

@@ -1,0 +1,18 @@
+"""State-space search algorithms: ES, HS, HS-Greedy (paper section 4)."""
+
+from repro.core.search.annealing import annealing_search
+from repro.core.search.exhaustive import exhaustive_search
+from repro.core.search.greedy import greedy_search
+from repro.core.search.heuristic import HSConfig, heuristic_search
+from repro.core.search.result import OptimizationResult
+from repro.core.search.state import SearchState
+
+__all__ = [
+    "SearchState",
+    "OptimizationResult",
+    "HSConfig",
+    "exhaustive_search",
+    "annealing_search",
+    "heuristic_search",
+    "greedy_search",
+]

@@ -1,0 +1,100 @@
+"""Simulated annealing over the transition space (an extension).
+
+The paper ships ES / HS / HS-Greedy; randomized local search is the
+natural next point on the quality/effort curve and slots straight into
+the same state space: states are workflows, neighbours are the applicable
+transitions, and the objective is ``C(S)``.  This implementation is a
+textbook Metropolis scheme with geometric cooling and a seeded RNG, so
+runs are reproducible.
+
+It exists to *compare against* the paper's algorithms (see
+``benchmarks/bench_ablation_annealing.py``); it is not part of the
+reproduction claims.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+
+from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.result import OptimizationResult
+from repro.core.search.state import SearchState
+from repro.core.transitions.enumerate import candidate_transitions
+from repro.core.workflow import ETLWorkflow
+
+__all__ = ["annealing_search"]
+
+
+def annealing_search(
+    workflow: ETLWorkflow,
+    model: CostModel | None = None,
+    seed: int = 0,
+    steps: int = 2000,
+    initial_temperature: float | None = None,
+    cooling: float = 0.995,
+    max_seconds: float | None = None,
+) -> OptimizationResult:
+    """Optimize with simulated annealing.
+
+    Args:
+        workflow: the initial state ``S0``.
+        model: cost model (default: processed-rows).
+        seed: RNG seed; equal seeds give equal runs.
+        steps: number of proposed moves.
+        initial_temperature: Metropolis temperature at step 0; defaults to
+            5 % of the initial state's cost (accepting small regressions
+            early on).
+        cooling: geometric cooling factor per step.
+        max_seconds: wall-clock budget; returns best-so-far when it trips.
+    """
+    model = model if model is not None else ProcessedRowsCostModel()
+    rng = random.Random(seed)
+    started = time.perf_counter()
+
+    initial = SearchState.initial(workflow, model)
+    current = initial
+    best = initial
+    seen: set[str] = {initial.signature}
+    temperature = (
+        initial_temperature
+        if initial_temperature is not None
+        else max(1.0, 0.05 * initial.cost)
+    )
+    completed = True
+
+    for _ in range(steps):
+        if max_seconds is not None and time.perf_counter() - started > max_seconds:
+            completed = False
+            break
+        candidates = list(candidate_transitions(current.workflow))
+        if not candidates:
+            break
+        rng.shuffle(candidates)
+        moved = False
+        for transition in candidates:
+            successor_workflow = transition.try_apply(current.workflow)
+            if successor_workflow is None:
+                continue
+            successor = current.successor(transition, successor_workflow, model)
+            seen.add(successor.signature)
+            delta = successor.cost - current.cost
+            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
+                current = successor
+                if successor.cost < best.cost:
+                    best = successor
+                moved = True
+                break
+        if not moved:
+            break  # local minimum with no acceptable uphill move proposed
+        temperature *= cooling
+
+    return OptimizationResult(
+        algorithm="SA",
+        initial=initial,
+        best=best,
+        visited_states=len(seen),
+        elapsed_seconds=time.perf_counter() - started,
+        completed=completed,
+    )

@@ -1,0 +1,512 @@
+"""HS — the Heuristic Search algorithm of Fig. 7, and its greedy variant.
+
+HS prunes the exhaustive space with four heuristics (section 4.2):
+
+1. factorize only *homologous* activities against their common binary;
+2. distribute only activities that can actually be transferred in front of
+   a binary activity;
+3. merge constraint-bound activities up front (and split at the end);
+4. divide and conquer — optimize *local groups* instead of the whole graph.
+
+The four phases:
+
+* **Phase I** — swap-optimize the ordering of every local group of S0.
+* **Phase II** — for each homologous pair, push both members next to their
+  common binary activity (``ShiftFrw`` = a chain of swaps) and factorize;
+  every resulting state is recorded in ``visited``.
+* **Phase III** — for each recorded state, pull each distributable
+  activity of the *initial* state back in front of its upstream binary
+  (``ShiftBkw``) and distribute it into the branches.
+* **Phase IV** — re-run the Phase-I swap optimization on every recorded
+  state, since factorization/distribution changed the local groups.
+
+Where the 8-page pseudocode leaves latitude, this implementation chooses
+(and documents) the following: Phase I explores each local group's
+reachable orderings best-first under a per-group budget
+(``HSConfig.group_cap``); **HS-Greedy** replaces that exploration with
+first-improvement hill climbing — "swaps only those that lead to a state
+with less cost" — which is exactly the paper's description of the greedy
+variant, and reproduces its profile (nearly as good on small workflows,
+much faster, increasingly unstable on large ones).
+
+Visited-state accounting matches section 4.1: every *unique* generated
+state (signature-deduplicated), including the intermediate states of
+shifts, counts as visited.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from dataclasses import dataclass
+
+from repro.core.activity import Activity, CompositeActivity, base_clone_id
+from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.result import OptimizationResult
+from repro.core.search.state import SearchState
+from repro.core.transitions.factorize import Distribute, Factorize
+from repro.core.transitions.merge import Merge, split_fully
+from repro.core.transitions.swap import Swap
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import SearchBudgetExceeded, TransitionError, WorkflowError
+
+__all__ = ["HSConfig", "heuristic_search"]
+
+
+@dataclass
+class HSConfig:
+    """Tuning knobs for HS / HS-Greedy.
+
+    Attributes:
+        group_cap: per-local-group budget (number of ordering states to
+            expand) for the Phase I/IV best-first exploration; ignored in
+            greedy mode.
+        phase_state_cap: maximum number of states kept on the Phase II/III
+            ``visited`` worklist (guards pathological fan-out).
+        phase_iv_cap: number of recorded states (cheapest first) whose
+            local groups Phase IV re-optimizes.
+        max_seconds: overall wall-clock budget; best-so-far is returned
+            with ``completed=False`` when it trips.
+    """
+
+    group_cap: int = 64
+    phase_state_cap: int = 48
+    phase_iv_cap: int = 8
+    max_seconds: float | None = None
+
+
+class _Session:
+    """Shared bookkeeping: cost model, dedup, clocks, and the running SMIN."""
+
+    def __init__(self, model: CostModel, config: HSConfig):
+        self.model = model
+        self.config = config
+        self.seen: set[str] = set()
+        self.started = time.perf_counter()
+        self.best: SearchState | None = None
+
+    def record(self, state: SearchState) -> bool:
+        """Register a generated state; returns False when already seen."""
+        if self.config.max_seconds is not None:
+            if time.perf_counter() - self.started > self.config.max_seconds:
+                raise SearchBudgetExceeded("HS wall-clock budget exhausted")
+        if state.signature in self.seen:
+            return False
+        self.seen.add(state.signature)
+        if self.best is None or state.cost < self.best.cost:
+            self.best = state
+        return True
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self.started
+
+
+def heuristic_search(
+    workflow: ETLWorkflow,
+    model: CostModel | None = None,
+    merge_constraints: tuple[tuple[str, str], ...] = (),
+    config: HSConfig | None = None,
+    greedy: bool = False,
+) -> OptimizationResult:
+    """Run HS (or HS-Greedy with ``greedy=True``) on the initial state.
+
+    Args:
+        workflow: the initial workflow ``S0``.
+        model: cost model; defaults to the processed-rows model.
+        merge_constraints: pairs of activity ids to MERGE during
+            pre-processing (design constraints / user constraints); the
+            resulting packages are SPLIT again before returning.
+        config: see :class:`HSConfig`.
+        greedy: switch to the HS-Greedy swap strategy.
+    """
+    model = model if model is not None else ProcessedRowsCostModel()
+    config = config if config is not None else HSConfig()
+    session = _Session(model, config)
+
+    # Pre-processing (Fig. 7 lines 4-8): apply MER per constraints.
+    prepared = _apply_merge_constraints(workflow, merge_constraints)
+    initial = SearchState.initial(prepared, model)
+    # Register S0 directly: the budget clock must not trip before the
+    # search proper starts.
+    session.seen.add(initial.signature)
+    session.best = initial
+    # Results are reported against the *unmerged* S0 for comparability;
+    # merging never changes the state cost (components are priced as-is).
+    reported_initial = SearchState.initial(workflow.copy(), model)
+
+    homologous_pairs = _find_homologous(initial.workflow)
+    distributable = _find_distributable(initial.workflow)
+
+    completed = True
+    visited_list: list[SearchState] = []
+    try:
+        # Phase I (lines 9-13): swap-optimize every local group.
+        smin = _optimize_all_groups(initial, session, greedy)
+        visited_list = [smin]
+
+        # Phase II (lines 14-20): factorize homologous pairs.
+        visited_list = _phase_factorize(visited_list, homologous_pairs, session)
+
+        # Phase III (lines 21-28): distribute the initial state's
+        # distributable activities over each recorded state.
+        visited_list = _phase_distribute(visited_list, distributable, session)
+
+        # Phase IV (lines 29-35): re-optimize the groups of the most
+        # promising recorded states (the factorized/distributed designs
+        # changed their local groups, so new orderings may now win).
+        ranked = sorted(visited_list, key=lambda s: (s.cost, s.signature))
+        for state in ranked[: config.phase_iv_cap]:
+            _optimize_all_groups(state, session, greedy)
+    except SearchBudgetExceeded:
+        completed = False
+
+    best = session.best if session.best is not None else initial
+    # Post-processing (line 36): split every merged activity.
+    best = _split_all(best, session)
+
+    return OptimizationResult(
+        algorithm="HS-Greedy" if greedy else "HS",
+        initial=reported_initial,
+        best=best,
+        visited_states=len(session.seen),
+        elapsed_seconds=session.elapsed,
+        completed=completed,
+    )
+
+
+# -- pre/post-processing -------------------------------------------------------------
+
+
+def _apply_merge_constraints(
+    workflow: ETLWorkflow, merge_constraints: tuple[tuple[str, str], ...]
+) -> ETLWorkflow:
+    current = workflow.copy()
+    for first_id, second_id in merge_constraints:
+        first = current.node_by_id(first_id)
+        second = current.node_by_id(second_id)
+        if not isinstance(first, Activity) or not isinstance(second, Activity):
+            raise WorkflowError(
+                f"merge constraint ({first_id},{second_id}) names a recordset"
+            )
+        current = Merge(first, second).apply(current)
+    return current
+
+
+def _split_all(state: SearchState, session: _Session) -> SearchState:
+    has_composites = any(
+        isinstance(a, CompositeActivity) for a in state.workflow.activities()
+    )
+    if not has_composites:
+        return state
+    split_workflow = split_fully(state.workflow)
+    final = SearchState.initial(split_workflow, session.model)
+    return final
+
+
+# -- homologous / distributable discovery (Fig. 7 lines 6-7) ---------------------------
+
+
+def _next_binary_downstream(
+    workflow: ETLWorkflow, activity: Activity
+) -> Activity | None:
+    """The first binary activity the flow of ``activity`` reaches."""
+    current: Node = activity
+    for _ in range(len(workflow)):
+        consumers = workflow.consumers(current)
+        if len(consumers) != 1:
+            return None
+        nxt = consumers[0]
+        if isinstance(nxt, Activity):
+            if nxt.is_binary:
+                return nxt
+            current = nxt
+            continue
+        return None
+    return None
+
+
+def _nearest_binary_upstream(
+    workflow: ETLWorkflow, activity: Activity
+) -> Activity | None:
+    """The binary activity feeding the local group of ``activity``, if any."""
+    current: Node = activity
+    for _ in range(len(workflow)):
+        providers = workflow.providers(current)
+        if len(providers) != 1:
+            return None
+        prev = providers[0]
+        if isinstance(prev, Activity):
+            if prev.is_binary:
+                return prev
+            current = prev
+            continue
+        return None
+    return None
+
+
+def _find_homologous(
+    workflow: ETLWorkflow,
+) -> list[tuple[Activity, Activity, Activity]]:
+    """All (a1, a2, ab): homologous pair converging on binary ab."""
+    unary = [
+        a
+        for a in workflow.activities()
+        if a.is_unary and not isinstance(a, CompositeActivity)
+    ]
+    unary.sort(key=lambda a: a.id)
+    found: list[tuple[Activity, Activity, Activity]] = []
+    for first, second in itertools.combinations(unary, 2):
+        if first.semantics_key() != second.semantics_key():
+            continue
+        binary_first = _next_binary_downstream(workflow, first)
+        binary_second = _next_binary_downstream(workflow, second)
+        if binary_first is None or binary_first is not binary_second:
+            continue
+        if binary_first.template.name not in first.distributes_over:
+            continue
+        found.append((first, second, binary_first))
+    return found
+
+
+def _find_distributable(workflow: ETLWorkflow) -> list[Activity]:
+    """Activities that could be transferred in front of an upstream binary."""
+    found: list[Activity] = []
+    for activity in sorted(workflow.activities(), key=lambda a: a.id):
+        if not activity.is_unary or isinstance(activity, CompositeActivity):
+            continue
+        binary = _nearest_binary_upstream(workflow, activity)
+        if binary is None:
+            continue
+        if binary.template.name in activity.distributes_over:
+            found.append(activity)
+    return found
+
+
+def _root_id(activity_id: str) -> str:
+    """Strip DIS clone suffixes recursively: ``8_1_2`` -> ``8``."""
+    current = activity_id
+    while True:
+        stripped = base_clone_id(current)
+        if stripped == current:
+            return current
+        current = stripped
+
+
+def _distributable_in_state(
+    state: SearchState, distributable_roots: set[str]
+) -> list[Activity]:
+    """Activities of ``state`` that descend from an initial distributable.
+
+    Phase III must not re-distribute activities factorized in Phase II
+    (Fig. 7 uses the *initial* state's D), but a clone produced by an
+    earlier DIS is still "an activity of the initial state" — just pushed
+    into a branch — and distributing it again cascades a selection down a
+    union *tree*.  Membership is therefore tested on the clone-root id.
+    """
+    found: list[Activity] = []
+    for activity in sorted(state.workflow.activities(), key=lambda a: a.id):
+        if not activity.is_unary or isinstance(activity, CompositeActivity):
+            continue
+        if _root_id(activity.id) in distributable_roots:
+            found.append(activity)
+    return found
+
+
+# -- shifting (chains of swaps; every intermediate is a counted state) ------------------
+
+
+def _shift_forward_state(
+    state: SearchState, activity: Activity, binary: Activity, session: _Session
+) -> SearchState | None:
+    current = state
+    for _ in range(len(state.workflow)):
+        consumers = current.workflow.consumers(activity)
+        if len(consumers) != 1:
+            return None
+        consumer = consumers[0]
+        if consumer is binary:
+            return current
+        if not isinstance(consumer, Activity) or not consumer.is_unary:
+            return None
+        swap = Swap(activity, consumer)
+        shifted = swap.try_apply(current.workflow)
+        if shifted is None:
+            return None
+        current = current.successor(swap, shifted, session.model)
+        session.record(current)
+    return None
+
+
+def _shift_backward_state(
+    state: SearchState, activity: Activity, binary: Activity, session: _Session
+) -> SearchState | None:
+    current = state
+    for _ in range(len(state.workflow)):
+        providers = current.workflow.providers(activity)
+        if len(providers) != 1:
+            return None
+        provider = providers[0]
+        if provider is binary:
+            return current
+        if not isinstance(provider, Activity) or not provider.is_unary:
+            return None
+        swap = Swap(provider, activity)
+        shifted = swap.try_apply(current.workflow)
+        if shifted is None:
+            return None
+        current = current.successor(swap, shifted, session.model)
+        session.record(current)
+    return None
+
+
+# -- Phase I / IV: local-group ordering optimization -------------------------------------
+
+
+def _optimize_all_groups(
+    state: SearchState, session: _Session, greedy: bool
+) -> SearchState:
+    """Optimize each local group's ordering in turn (cumulative)."""
+    current = state
+    for group in current.workflow.local_groups():
+        members = set(group)
+        if len(members) < 2:
+            continue
+        if greedy:
+            current = _hill_climb_group(current, members, session)
+        else:
+            current = _explore_group(current, members, session)
+    return current
+
+
+def _group_swaps(workflow: ETLWorkflow, members: set[Activity]) -> list[Swap]:
+    """Adjacent swap candidates confined to one local group."""
+    swaps: list[Swap] = []
+    for activity in sorted(members, key=lambda a: a.id):
+        consumers = workflow.consumers(activity)
+        if len(consumers) != 1:
+            continue
+        consumer = consumers[0]
+        if isinstance(consumer, Activity) and consumer in members:
+            swaps.append(Swap(activity, consumer))
+    return swaps
+
+
+def _explore_group(
+    state: SearchState, members: set[Activity], session: _Session
+) -> SearchState:
+    """Best-first exploration of a group's reachable orderings (HS)."""
+    best = state
+    local_seen = {state.signature}
+    counter = itertools.count()
+    heap: list[tuple[float, int, SearchState]] = [(state.cost, next(counter), state)]
+    expansions = 0
+    while heap and expansions < session.config.group_cap:
+        _, _, expanding = heapq.heappop(heap)
+        expansions += 1
+        for swap in _group_swaps(expanding.workflow, members):
+            shifted = swap.try_apply(expanding.workflow)
+            if shifted is None:
+                continue
+            successor = expanding.successor(swap, shifted, session.model)
+            if successor.signature in local_seen:
+                continue
+            local_seen.add(successor.signature)
+            session.record(successor)
+            if successor.cost < best.cost:
+                best = successor
+            heapq.heappush(heap, (successor.cost, next(counter), successor))
+    return best
+
+
+def _hill_climb_group(
+    state: SearchState, members: set[Activity], session: _Session
+) -> SearchState:
+    """First-improvement hill climbing over a group's ordering (HS-Greedy)."""
+    current = state
+    improved = True
+    while improved:
+        improved = False
+        for swap in _group_swaps(current.workflow, members):
+            shifted = swap.try_apply(current.workflow)
+            if shifted is None:
+                continue
+            successor = current.successor(swap, shifted, session.model)
+            session.record(successor)
+            if successor.cost < current.cost:
+                current = successor
+                improved = True
+                break
+    return current
+
+
+# -- Phase II: factorization -------------------------------------------------------------
+
+
+def _phase_factorize(
+    visited: list[SearchState],
+    homologous_pairs: list[tuple[Activity, Activity, Activity]],
+    session: _Session,
+) -> list[SearchState]:
+    worklist = list(visited)
+    produced = list(visited)
+    for state in worklist:
+        for first, second, binary in homologous_pairs:
+            if first not in state.workflow or second not in state.workflow:
+                continue
+            if binary not in state.workflow:
+                continue
+            shifted_first = _shift_forward_state(state, first, binary, session)
+            if shifted_first is None:
+                continue
+            shifted_both = _shift_forward_state(
+                shifted_first, second, binary, session
+            )
+            if shifted_both is None:
+                continue
+            factorize = Factorize(binary, first, second)
+            try:
+                new_workflow = factorize.apply(shifted_both.workflow)
+            except TransitionError:
+                continue
+            new_state = shifted_both.successor(
+                factorize, new_workflow, session.model
+            )
+            if session.record(new_state) and len(produced) < session.config.phase_state_cap:
+                produced.append(new_state)
+                worklist.append(new_state)
+    return produced
+
+
+# -- Phase III: distribution ---------------------------------------------------------------
+
+
+def _phase_distribute(
+    visited: list[SearchState],
+    distributable: list[Activity],
+    session: _Session,
+) -> list[SearchState]:
+    distributable_roots = {_root_id(a.id) for a in distributable}
+    worklist = list(visited)
+    produced = list(visited)
+    for state in worklist:
+        for activity in _distributable_in_state(state, distributable_roots):
+            binary = _nearest_binary_upstream(state.workflow, activity)
+            if binary is None:
+                continue
+            if binary.template.name not in activity.distributes_over:
+                continue
+            shifted = _shift_backward_state(state, activity, binary, session)
+            if shifted is None:
+                continue
+            distribute = Distribute(binary, activity)
+            try:
+                new_workflow = distribute.apply(shifted.workflow)
+            except TransitionError:
+                continue
+            new_state = shifted.successor(distribute, new_workflow, session.model)
+            if session.record(new_state) and len(produced) < session.config.phase_state_cap:
+                produced.append(new_state)
+                worklist.append(new_state)
+    return produced

@@ -1,0 +1,66 @@
+"""Optimization results and search statistics.
+
+The paper's experiments report three measures per run (Table 2): the
+volume of visited states, the improvement over the initial state's cost,
+and execution time — plus the quality of the solution relative to the best
+known state (Table 1).  :class:`OptimizationResult` carries everything
+needed to reproduce those tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.search.state import SearchState
+
+__all__ = ["OptimizationResult"]
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of one optimizer run over one initial workflow."""
+
+    algorithm: str
+    initial: SearchState
+    best: SearchState
+    visited_states: int
+    elapsed_seconds: float
+    #: False when a budgeted search (ES) stopped before exhausting the space
+    #: — the paper's "the algorithm did not terminate" footnote.
+    completed: bool = True
+
+    @property
+    def initial_cost(self) -> float:
+        return self.initial.cost
+
+    @property
+    def best_cost(self) -> float:
+        return self.best.cost
+
+    @property
+    def improvement_percent(self) -> float:
+        """Cost improvement over the initial state, in percent (Table 2)."""
+        if self.initial.cost == 0:
+            return 0.0
+        return 100.0 * (self.initial.cost - self.best.cost) / self.initial.cost
+
+    def quality_percent(self, reference_cost: float) -> float:
+        """Quality of solution vs a reference optimum (Table 1).
+
+        100 means this run matched the reference cost; lower values mean
+        the found state is costlier.  Computed as ``reference / found`` so
+        a run that reaches half-way to the reference scores 50.
+        """
+        if self.best.cost == 0:
+            return 100.0
+        return min(100.0, 100.0 * reference_cost / self.best.cost)
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        status = "" if self.completed else " (budget exhausted)"
+        return (
+            f"{self.algorithm}: cost {self.initial.cost:.0f} -> "
+            f"{self.best.cost:.0f} ({self.improvement_percent:.1f}% better), "
+            f"{self.visited_states} states visited in "
+            f"{self.elapsed_seconds:.2f}s{status}"
+        )

@@ -1,0 +1,78 @@
+"""Search-state wrapper: a workflow plus its cached cost and signature.
+
+States are ETL workflows (section 2.2); during search we decorate each with
+the memoized quantities every algorithm needs — total cost (with the full
+:class:`~repro.core.cost.estimator.CostReport` for semi-incremental
+re-costing of successors) and the canonical signature used to suppress
+duplicate states (section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost.estimator import (
+    CostReport,
+    estimate,
+    estimate_incremental,
+)
+from repro.core.cost.model import CostModel
+from repro.core.signature import state_signature
+from repro.core.transitions.base import Transition
+from repro.core.workflow import ETLWorkflow
+
+__all__ = ["SearchState"]
+
+
+@dataclass
+class SearchState:
+    """One explored state: workflow + signature + cost report."""
+
+    workflow: ETLWorkflow
+    signature: str
+    report: CostReport
+    #: Transition that produced this state from its parent (None for S0).
+    produced_by: Transition | None = None
+    #: Number of transitions from the initial state.
+    depth: int = 0
+
+    @property
+    def cost(self) -> float:
+        return self.report.total
+
+    @classmethod
+    def initial(cls, workflow: ETLWorkflow, model: CostModel) -> "SearchState":
+        """Wrap the initial workflow S0 (validates it first)."""
+        workflow.validate()
+        workflow.propagate_schemas()
+        return cls(
+            workflow=workflow,
+            signature=state_signature(workflow),
+            report=estimate(workflow, model),
+        )
+
+    def successor(
+        self,
+        transition: Transition,
+        successor_workflow: ETLWorkflow,
+        model: CostModel,
+        incremental: bool = True,
+    ) -> "SearchState":
+        """Wrap a successor produced by ``transition``.
+
+        With ``incremental=True`` the successor's cost derives from this
+        state's report via the semi-incremental scheme of section 4.1.
+        """
+        if incremental:
+            report = estimate_incremental(
+                successor_workflow, model, self.report, transition.affected_nodes()
+            )
+        else:
+            report = estimate(successor_workflow, model)
+        return SearchState(
+            workflow=successor_workflow,
+            signature=state_signature(successor_workflow),
+            report=report,
+            produced_by=transition,
+            depth=self.depth + 1,
+        )

@@ -1,0 +1,60 @@
+"""Canonical state signatures (section 4.1).
+
+During search we must discern states from one another so that the same
+state is never generated (and costed) twice.  The paper assigns each
+activity its priority from the initial topological ordering as a lifelong
+identifier and builds a string per state; the signature of Fig. 1 is
+``((1.3)//(2.4.5.6)).7.8.9``.
+
+We reproduce that format: a linear chain renders as ids joined by ``.``;
+converging branches render as ``(b1//b2)`` in front of the id of the node
+they converge on.  For *commutative* binary activities (union, join,
+intersection) the branch strings are sorted so that mirror-image states get
+one canonical signature; for non-commutative ones (difference) port order
+is preserved.  Workflows with several targets are rendered as the sorted
+``//``-join of the per-target signatures.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity
+from repro.core.workflow import ETLWorkflow, Node
+
+__all__ = ["state_signature"]
+
+
+def state_signature(workflow: ETLWorkflow) -> str:
+    """The canonical signature string of a state."""
+    memo: dict[Node, str] = {}
+    target_signatures = sorted(
+        _node_signature(workflow, target, memo) for target in workflow.targets()
+    )
+    return "//".join(target_signatures)
+
+
+def _node_signature(
+    workflow: ETLWorkflow, node: Node, memo: dict[Node, str]
+) -> str:
+    cached = memo.get(node)
+    if cached is not None:
+        return cached
+    providers = workflow.providers(node)
+    if not providers:
+        signature = str(node.id)
+    elif len(providers) == 1:
+        prefix = _node_signature(workflow, providers[0], memo)
+        signature = f"{prefix}.{node.id}"
+    else:
+        branches = [f"({_node_signature(workflow, p, memo)})" for p in providers]
+        if _is_commutative(node):
+            branches.sort()
+        joined = "//".join(branches)
+        signature = f"({joined}).{node.id}"
+    memo[node] = signature
+    return signature
+
+
+def _is_commutative(node: Node) -> bool:
+    if isinstance(node, Activity) and node.is_binary:
+        return node.template.commutative
+    return True

@@ -1,0 +1,86 @@
+"""Transition machinery shared by SWA / FAC / DIS / MER / SPL.
+
+A :class:`Transition` is bound to concrete nodes of a *source* state.
+Applying it never mutates that state: the source workflow is copied, the
+copy is rewired, and the copy is validated (structure + schema
+propagation).  Because schema propagation re-derives every input/output
+schema from the sources, a successful :meth:`Transition.apply` implies the
+paper's swap conditions (3) and (4) "both before and after" the transition,
+and the Theorem 1 invariant (schemas of unaffected activities unchanged) is
+asserted by construction.
+
+``try_apply`` is the search-facing entry point: it returns ``None`` instead
+of raising when the transition turns out to be inapplicable, so search
+loops stay exception-free on their hot path.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import (
+    ReproError,
+    SchemaError,
+    TransitionError,
+    WorkflowError,
+)
+
+__all__ = ["Transition"]
+
+
+class Transition(abc.ABC):
+    """One state-space transition bound to concrete nodes."""
+
+    #: Short mnemonic matching the paper (SWA, FAC, DIS, MER, SPL).
+    mnemonic: str = "?"
+
+    @abc.abstractmethod
+    def check(self, workflow: ETLWorkflow) -> None:
+        """Verify structural preconditions against ``workflow``.
+
+        Raises :class:`~repro.exceptions.TransitionError` with a diagnostic
+        message when a precondition fails.  Schema-level conditions are
+        *not* checked here — they are enforced by the propagate-and-validate
+        step in :meth:`apply`.
+        """
+
+    @abc.abstractmethod
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        """Perform the graph surgery on ``workflow`` (already a copy)."""
+
+    @abc.abstractmethod
+    def affected_nodes(self) -> tuple[Node, ...]:
+        """Nodes whose position/existence changes (for incremental costing)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """The paper-style rendering, e.g. ``SWA(5,6)``."""
+
+    def apply(self, workflow: ETLWorkflow) -> ETLWorkflow:
+        """Produce the successor state, raising when inapplicable."""
+        self.check(workflow)
+        successor = workflow.copy()
+        self.rewire(successor)
+        try:
+            successor.validate()
+            successor.propagate_schemas()
+        except (WorkflowError, SchemaError) as exc:
+            raise TransitionError(
+                f"{self.describe()} produced an invalid state: {exc}"
+            ) from exc
+        return successor
+
+    def try_apply(self, workflow: ETLWorkflow) -> ETLWorkflow | None:
+        """Like :meth:`apply`, but returns ``None`` when inapplicable."""
+        try:
+            return self.apply(workflow)
+        except ReproError:
+            return None
+
+    def is_applicable(self, workflow: ETLWorkflow) -> bool:
+        """True when :meth:`apply` would succeed on ``workflow``."""
+        return self.try_apply(workflow) is not None
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

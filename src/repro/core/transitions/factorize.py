@@ -1,0 +1,189 @@
+"""FAC and DIS — moving unary activities across binary ones (section 3.3).
+
+*Factorize* replaces two **homologous** activities ``a1``/``a2`` — same
+semantics, applied on different flows converging into the binary activity
+``ab`` — with a single equivalent activity ``a`` placed right after ``ab``.
+*Distribute* is the inverse: it clones an activity sitting right after a
+binary activity into each converging branch.
+
+Applicability adds one condition beyond the paper's structural ones: the
+unary activity's template must declare the binary's template in its
+``distributes_over`` set (filters move across union / join / difference /
+intersection, injective functions across union / difference /
+intersection, plain functions across union only, aggregations never — see
+:mod:`repro.templates.builtin`).  Schema-level feasibility — e.g. a filter
+distributed over a join must find its functionality attributes on *both*
+branches — is enforced by the propagate-and-validate step.
+
+Clone identifiers: DIS names its clones ``<id>_1`` / ``<id>_2``; FAC of two
+clones sharing a base recovers the base id, so ``FAC(DIS(S))`` carries the
+same signature as ``S`` and the search space stays duplicate-free.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity, CompositeActivity, base_clone_id
+from repro.core.transitions.base import Transition
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import TransitionError
+
+__all__ = ["Factorize", "Distribute", "homologous"]
+
+
+def homologous(
+    workflow: ETLWorkflow, first: Activity, second: Activity
+) -> bool:
+    """True when two activities are homologous (section 3.2).
+
+    They must (a) sit in converging local groups — operationally: be
+    distinct unary activities whose flows reach a common binary consumer —
+    (b) share the same algebraic semantics, and (c) share functionality,
+    generated and projected-out schemata.  With template-derived schemata,
+    (b) and (c) reduce to an equal ``semantics_key``.
+    """
+    if first is second:
+        return False
+    if not (first.is_unary and second.is_unary):
+        return False
+    return first.semantics_key() == second.semantics_key()
+
+
+class Factorize(Transition):
+    """``FAC(ab, a1, a2)``: merge homologous activities after ``ab``."""
+
+    mnemonic = "FAC"
+
+    def __init__(self, binary: Activity, first: Activity, second: Activity):
+        self.binary = binary
+        self.first = first
+        self.second = second
+        self.result: Activity | None = None  # set by rewire()
+
+    def describe(self) -> str:
+        return f"FAC({self.binary.id},{self.first.id},{self.second.id})"
+
+    def affected_nodes(self) -> tuple[Node, ...]:
+        affected: tuple[Node, ...] = (self.binary,)
+        if self.result is not None:
+            affected += (self.result,)
+        return affected
+
+    def check(self, workflow: ETLWorkflow) -> None:
+        ab, a1, a2 = self.binary, self.first, self.second
+        for node in (ab, a1, a2):
+            if node not in workflow:
+                raise TransitionError(f"{self.describe()}: {node.id} not in state")
+        if not ab.is_binary:
+            raise TransitionError(f"{self.describe()}: {ab.id} is not binary")
+        for activity in (a1, a2):
+            if isinstance(activity, CompositeActivity):
+                raise TransitionError(
+                    f"{self.describe()}: merged activity {activity.id} cannot "
+                    "be factorized; split it first"
+                )
+            if workflow.consumers(activity) != [ab]:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} is not adjacent to "
+                    f"{ab.id}"
+                )
+        if not homologous(workflow, a1, a2):
+            raise TransitionError(
+                f"{self.describe()}: {a1.id} and {a2.id} are not homologous"
+            )
+        if ab.template.name not in a1.distributes_over:
+            raise TransitionError(
+                f"{self.describe()}: {a1.template.name} does not move across "
+                f"{ab.template.name}"
+            )
+        if len(workflow.consumers(ab)) != 1:
+            raise TransitionError(
+                f"{self.describe()}: {ab.id} must have exactly one consumer"
+            )
+
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        ab, a1, a2 = self.binary, self.first, self.second
+        provider1 = workflow.providers(a1)[0]
+        provider2 = workflow.providers(a2)[0]
+        port1 = workflow.edge_port(a1, ab)
+        port2 = workflow.edge_port(a2, ab)
+        consumer = workflow.consumers(ab)[0]
+        consumer_port = workflow.edge_port(ab, consumer)
+
+        base1 = base_clone_id(a1.id)
+        if base1 == base_clone_id(a2.id):
+            merged = a1.clone(base1)
+        else:
+            merged = a1.clone(min(a1.id, a2.id))
+
+        workflow.remove_node(a1)
+        workflow.remove_node(a2)
+        workflow.add_node(merged)
+        workflow.add_edge(provider1, ab, port=port1)
+        workflow.add_edge(provider2, ab, port=port2)
+        workflow.remove_edge(ab, consumer)
+        workflow.add_edge(ab, merged, port=0)
+        workflow.add_edge(merged, consumer, port=consumer_port)
+        self.result = merged
+
+
+class Distribute(Transition):
+    """``DIS(ab, a)``: clone ``a`` into each flow converging on ``ab``."""
+
+    mnemonic = "DIS"
+
+    def __init__(self, binary: Activity, activity: Activity):
+        self.binary = binary
+        self.activity = activity
+        self.clones: tuple[Activity, ...] = ()
+
+    def describe(self) -> str:
+        return f"DIS({self.binary.id},{self.activity.id})"
+
+    def affected_nodes(self) -> tuple[Node, ...]:
+        return (self.binary,) + self.clones
+
+    def check(self, workflow: ETLWorkflow) -> None:
+        ab, a = self.binary, self.activity
+        for node in (ab, a):
+            if node not in workflow:
+                raise TransitionError(f"{self.describe()}: {node.id} not in state")
+        if not ab.is_binary:
+            raise TransitionError(f"{self.describe()}: {ab.id} is not binary")
+        if isinstance(a, CompositeActivity):
+            raise TransitionError(
+                f"{self.describe()}: merged activity {a.id} cannot be "
+                "distributed; split it first"
+            )
+        if not a.is_unary:
+            raise TransitionError(f"{self.describe()}: {a.id} is not unary")
+        if workflow.consumers(ab) != [a]:
+            raise TransitionError(
+                f"{self.describe()}: {a.id} is not the sole consumer of {ab.id}"
+            )
+        if len(workflow.consumers(a)) != 1:
+            raise TransitionError(
+                f"{self.describe()}: {a.id} must have exactly one consumer"
+            )
+        if ab.template.name not in a.distributes_over:
+            raise TransitionError(
+                f"{self.describe()}: {a.template.name} does not move across "
+                f"{ab.template.name}"
+            )
+
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        ab, a = self.binary, self.activity
+        providers = workflow.providers(ab)
+        consumer = workflow.consumers(a)[0]
+        consumer_port = workflow.edge_port(a, consumer)
+
+        clones = tuple(
+            a.clone(f"{a.id}_{index + 1}") for index in range(len(providers))
+        )
+        workflow.remove_node(a)
+        for index, (provider, clone) in enumerate(zip(providers, clones)):
+            workflow.add_node(clone)
+            workflow.remove_edge(provider, ab)
+            workflow.add_edge(provider, clone, port=0)
+            workflow.add_edge(clone, ab, port=index)
+        workflow.add_edge(ab, consumer, port=consumer_port)
+        self.clones = clones

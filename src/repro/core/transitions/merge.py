@@ -1,0 +1,143 @@
+"""MER and SPL — packaging and unpackaging activities (section 3.3).
+
+Merge groups a pair of adjacent unary activities into one opaque
+:class:`~repro.core.activity.CompositeActivity` — used when design
+constraints dictate that no activity may come between them or that they
+must not be commuted (e.g. enriching rows with source information right
+before a surrogate-key assignment).  The benefit is proactive search-space
+reduction (Heuristic 3).  Split is the inverse; per the paper, splitting
+``a+b+c`` yields ``a`` and ``b+c``.
+
+The merged activity's output schema is the second activity's output and
+its input schema is the first activity's input; both fall out of the
+component-wise schema derivation in :class:`CompositeActivity`.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.transitions.base import Transition
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import TransitionError
+
+__all__ = ["Merge", "Split", "split_fully"]
+
+
+class Merge(Transition):
+    """``MER(a1+2, a1, a2)``: package two adjacent unary activities."""
+
+    mnemonic = "MER"
+
+    def __init__(self, first: Activity, second: Activity):
+        self.first = first
+        self.second = second
+        self.result: CompositeActivity | None = None
+
+    def describe(self) -> str:
+        return f"MER({self.first.id}+{self.second.id},{self.first.id},{self.second.id})"
+
+    def affected_nodes(self) -> tuple[Node, ...]:
+        return (self.result,) if self.result is not None else ()
+
+    def check(self, workflow: ETLWorkflow) -> None:
+        a1, a2 = self.first, self.second
+        for activity in (a1, a2):
+            if activity not in workflow:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} not in state"
+                )
+            if not activity.is_unary:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} is not unary"
+                )
+        if workflow.consumers(a1) != [a2]:
+            raise TransitionError(
+                f"{self.describe()}: activities are not adjacent"
+            )
+        if len(workflow.consumers(a2)) != 1:
+            raise TransitionError(
+                f"{self.describe()}: {a2.id} must have exactly one consumer"
+            )
+
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        a1, a2 = self.first, self.second
+        provider = workflow.providers(a1)[0]
+        provider_port = workflow.edge_port(provider, a1)
+        consumer = workflow.consumers(a2)[0]
+        consumer_port = workflow.edge_port(a2, consumer)
+
+        components: list[Activity] = []
+        for part in (a1, a2):
+            if isinstance(part, CompositeActivity):
+                components.extend(part.components)
+            else:
+                components.append(part)
+        merged = CompositeActivity(tuple(components))
+
+        workflow.remove_node(a1)
+        workflow.remove_node(a2)
+        workflow.add_node(merged)
+        workflow.add_edge(provider, merged, port=provider_port)
+        workflow.add_edge(merged, consumer, port=consumer_port)
+        self.result = merged
+
+
+class Split(Transition):
+    """``SPL(a1+2, a1, a2)``: unpackage a merged activity."""
+
+    mnemonic = "SPL"
+
+    def __init__(self, merged: CompositeActivity):
+        self.merged = merged
+        self.parts: tuple[Activity, Activity] | None = None
+
+    def describe(self) -> str:
+        return f"SPL({self.merged.id})"
+
+    def affected_nodes(self) -> tuple[Node, ...]:
+        return self.parts if self.parts is not None else ()
+
+    def check(self, workflow: ETLWorkflow) -> None:
+        if self.merged not in workflow:
+            raise TransitionError(f"{self.describe()}: not in state")
+        if not isinstance(self.merged, CompositeActivity):
+            raise TransitionError(
+                f"{self.describe()}: {self.merged.id} is not a merged activity"
+            )
+        if len(workflow.consumers(self.merged)) != 1:
+            raise TransitionError(
+                f"{self.describe()}: {self.merged.id} must have exactly one "
+                "consumer"
+            )
+
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        provider = workflow.providers(self.merged)[0]
+        provider_port = workflow.edge_port(provider, self.merged)
+        consumer = workflow.consumers(self.merged)[0]
+        consumer_port = workflow.edge_port(self.merged, consumer)
+
+        head, tail = self.merged.split_pair()
+        workflow.remove_node(self.merged)
+        workflow.add_node(head)
+        workflow.add_node(tail)
+        workflow.add_edge(provider, head, port=provider_port)
+        workflow.add_edge(head, tail, port=0)
+        workflow.add_edge(tail, consumer, port=consumer_port)
+        self.parts = (head, tail)
+
+
+def split_fully(workflow: ETLWorkflow) -> ETLWorkflow:
+    """Apply SPL until no merged activities remain (HS post-processing)."""
+    current = workflow
+    while True:
+        merged = next(
+            (
+                node
+                for node in current.activities()
+                if isinstance(node, CompositeActivity)
+            ),
+            None,
+        )
+        if merged is None:
+            return current
+        current = Split(merged).apply(current)

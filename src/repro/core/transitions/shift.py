@@ -1,0 +1,90 @@
+"""ShiftFrw / ShiftBkw — moving an activity next to a binary one (Fig. 7).
+
+HS Phase II asks, for a pair of homologous activities, whether both "can be
+pushed to be adjacent to their next binary operator" (``ShiftFrw``); Phase
+III asks whether an activity can be transferred back in front of a binary
+activity (``ShiftBkw``).  Both are realized as chains of SWA transitions,
+so every intermediate state is itself a correct state.
+
+Each helper returns the shifted workflow (a new state) or ``None`` when
+some swap along the way is inapplicable.  The helpers also report the
+intermediate states so callers can count them as *visited* (the paper's
+visited-states metric counts every generated state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.activity import Activity
+from repro.core.transitions.swap import Swap
+from repro.core.workflow import ETLWorkflow
+
+__all__ = ["ShiftResult", "shift_forward", "shift_backward"]
+
+
+@dataclass
+class ShiftResult:
+    """Outcome of a shift: the final state plus every state passed through."""
+
+    workflow: ETLWorkflow
+    intermediates: list[ETLWorkflow] = field(default_factory=list)
+    swaps: list[Swap] = field(default_factory=list)
+
+
+def shift_forward(
+    workflow: ETLWorkflow, activity: Activity, binary: Activity
+) -> ShiftResult | None:
+    """Push ``activity`` forward until it is the direct provider of ``binary``.
+
+    Returns ``None`` when the activity cannot reach the binary activity via
+    applicable swaps (or when ``binary`` is not downstream of it at all).
+    """
+    current = workflow
+    result = ShiftResult(workflow=current)
+    guard = len(workflow)  # no path is longer than the node count
+    for _ in range(guard):
+        consumers = current.consumers(activity)
+        if len(consumers) != 1:
+            return None
+        consumer = consumers[0]
+        if consumer is binary:
+            result.workflow = current
+            return result
+        if not isinstance(consumer, Activity) or not consumer.is_unary:
+            return None
+        swap = Swap(activity, consumer)
+        shifted = swap.try_apply(current)
+        if shifted is None:
+            return None
+        current = shifted
+        result.intermediates.append(shifted)
+        result.swaps.append(swap)
+    return None
+
+
+def shift_backward(
+    workflow: ETLWorkflow, activity: Activity, binary: Activity
+) -> ShiftResult | None:
+    """Pull ``activity`` backward until ``binary`` is its direct provider."""
+    current = workflow
+    result = ShiftResult(workflow=current)
+    guard = len(workflow)
+    for _ in range(guard):
+        providers = current.providers(activity)
+        if len(providers) != 1:
+            return None
+        provider = providers[0]
+        if provider is binary:
+            result.workflow = current
+            return result
+        if not isinstance(provider, Activity) or not provider.is_unary:
+            return None
+        swap = Swap(provider, activity)
+        shifted = swap.try_apply(current)
+        if shifted is None:
+            return None
+        current = shifted
+        result.intermediates.append(shifted)
+        result.swaps.append(swap)
+    return None

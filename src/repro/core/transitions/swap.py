@@ -1,0 +1,202 @@
+"""SWA — swapping two adjacent unary activities (sections 2.2 and 3.3).
+
+The paper's applicability conditions:
+
+1. ``a1`` and ``a2`` are adjacent in the graph (``a1`` provides ``a2``);
+2. both have a single input and output schema and their output schema has
+   exactly one consumer;
+3. the functionality schema of each is a subset of its input schema *both
+   before and after* the swap (Fig. 5: ``σ(€)`` may not precede ``$2€``);
+4. the input schemata remain subsets of their providers' outputs (Fig. 6:
+   a projected-out attribute may not be demanded downstream).
+
+Conditions (3) and (4) are enforced by propagating schemas on the swapped
+copy (see :class:`repro.core.transitions.base.Transition`).  On top of
+those, this implementation adds a *semantic guard* — the conservative
+strengthening DESIGN.md documents — because the four schema conditions
+alone cannot see value-level interactions:
+
+* a row-wise activity may cross an **aggregation** only when it is a filter
+  over group-by attributes, or an in-place *injective* function over
+  group-by attributes (the paper's A2E/γ example); two aggregations never
+  swap;
+* two activities that both *transform values in place* on a shared
+  attribute never swap (their compositions need not commute);
+* a filter never swaps with an in-place transform touching the same
+  attribute.  The naming principle makes such pairs rare by construction
+  (a value-changing transform whose consumers are format-sensitive must
+  generate a fresh reference name), but rejecting them keeps every allowed
+  swap verifiable by the execution engine.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.transitions.base import Transition
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import TransitionError
+from repro.templates.base import ActivityKind
+
+__all__ = ["Swap"]
+
+
+class Swap(Transition):
+    """``SWA(a1, a2)``: interchange two adjacent unary activities."""
+
+    mnemonic = "SWA"
+
+    def __init__(self, first: Activity, second: Activity):
+        self.first = first
+        self.second = second
+
+    def describe(self) -> str:
+        return f"SWA({self.first.id},{self.second.id})"
+
+    def affected_nodes(self) -> tuple[Node, ...]:
+        return (self.first, self.second)
+
+    # -- preconditions ---------------------------------------------------------
+
+    def check(self, workflow: ETLWorkflow) -> None:
+        a1, a2 = self.first, self.second
+        for activity in (a1, a2):
+            if activity not in workflow:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} not in state"
+                )
+            if not activity.is_unary:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} is not unary"
+                )
+            if len(workflow.consumers(activity)) != 1:
+                raise TransitionError(
+                    f"{self.describe()}: {activity.id} must have exactly one "
+                    "consumer (condition 2)"
+                )
+        if workflow.consumers(a1) != [a2]:
+            raise TransitionError(
+                f"{self.describe()}: activities are not adjacent (condition 1)"
+            )
+        self._semantic_guard()
+
+    def _semantic_guard(self) -> None:
+        a1, a2 = self.first, self.second
+        agg_first = _is_aggregating(a1)
+        agg_second = _is_aggregating(a2)
+        if agg_first and agg_second:
+            raise TransitionError(
+                f"{self.describe()}: two aggregating activities never swap"
+            )
+        if agg_first or agg_second:
+            aggregate, row_wise = (a1, a2) if agg_first else (a2, a1)
+            _guard_crossing_aggregation(self, aggregate, row_wise)
+            return
+        _guard_row_wise_pair(self, a1, a2)
+
+    # -- surgery --------------------------------------------------------------
+
+    def rewire(self, workflow: ETLWorkflow) -> None:
+        a1, a2 = self.first, self.second
+        provider = workflow.providers(a1)[0]
+        provider_port = workflow.edge_port(provider, a1)
+        consumer = workflow.consumers(a2)[0]
+        consumer_port = workflow.edge_port(a2, consumer)
+        workflow.remove_edge(provider, a1)
+        workflow.remove_edge(a1, a2)
+        workflow.remove_edge(a2, consumer)
+        workflow.add_edge(provider, a2, port=provider_port)
+        workflow.add_edge(a2, a1, port=0)
+        workflow.add_edge(a1, consumer, port=consumer_port)
+
+
+# -- semantic guard helpers ------------------------------------------------------
+
+
+def _components(activity: Activity) -> tuple[Activity, ...]:
+    if isinstance(activity, CompositeActivity):
+        flattened: list[Activity] = []
+        for component in activity.components:
+            flattened.extend(_components(component))
+        return tuple(flattened)
+    return (activity,)
+
+
+def _is_aggregating(activity: Activity) -> bool:
+    return any(
+        c.kind is ActivityKind.AGGREGATION for c in _components(activity)
+    )
+
+
+def _is_in_place_transform(activity: Activity) -> bool:
+    """A value-changing transform that keeps its attribute's reference name.
+
+    Detected structurally (FUNCTION kind, reads attributes, generates
+    none) so that custom templates are covered, not just the builtin
+    ``function_apply``.
+    """
+    return (
+        activity.kind is ActivityKind.FUNCTION
+        and len(activity.generated) == 0
+        and len(activity.functionality) > 0
+    )
+
+
+def _is_injective(activity: Activity) -> bool:
+    """Instance-level injectivity, falling back to the template flag."""
+    flag = activity.params.get("injective")
+    if flag is not None:
+        return bool(flag)
+    return activity.template.injective
+
+
+def _guard_crossing_aggregation(
+    transition: Swap, aggregate: Activity, row_wise: Activity
+) -> None:
+    """Allow only group-preserving activities to cross an aggregation."""
+    if _is_aggregating(row_wise):
+        raise TransitionError(
+            f"{transition.describe()}: two aggregating activities never swap"
+        )
+    group_by: set[str] = set()
+    for component in _components(aggregate):
+        if component.kind is ActivityKind.AGGREGATION:
+            group_by |= set(component.params["group_by"])
+    for component in _components(row_wise):
+        fun = component.functionality.as_set
+        if not fun <= group_by:
+            raise TransitionError(
+                f"{transition.describe()}: {component.id} touches "
+                f"{sorted(fun - group_by)} which are not group-by attributes"
+            )
+        if component.kind is ActivityKind.FILTER:
+            continue
+        if _is_in_place_transform(component) and _is_injective(component):
+            continue
+        raise TransitionError(
+            f"{transition.describe()}: {component.id} ({component.name}) is "
+            "neither a filter nor an injective in-place function over the "
+            "group-by attributes"
+        )
+
+
+def _guard_row_wise_pair(transition: Swap, a1: Activity, a2: Activity) -> None:
+    """Reject value-level interactions between row-wise activities."""
+    for c1 in _components(a1):
+        for c2 in _components(a2):
+            _guard_component_pair(transition, c1, c2)
+            _guard_component_pair(transition, c2, c1)
+
+
+def _guard_component_pair(
+    transition: Swap, left: Activity, right: Activity
+) -> None:
+    if not _is_in_place_transform(left):
+        return
+    overlap = left.functionality.as_set & right.functionality.as_set
+    if not overlap:
+        return
+    if _is_in_place_transform(right) or right.kind is ActivityKind.FILTER:
+        raise TransitionError(
+            f"{transition.describe()}: {left.id} transforms "
+            f"{sorted(overlap)} in place while {right.id} also reads them"
+        )

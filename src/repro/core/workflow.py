@@ -1,0 +1,362 @@
+"""The ETL workflow graph — the *state* of the search problem (section 2.1).
+
+An ETL workflow is a DAG ``G(V, E)`` with ``V = A ∪ RS`` (activities and
+recordsets) and ``E = Pr`` (data-provider relationships).  This module
+implements the graph, its structural validation, schema propagation
+("after each transition ... schemata are automatically re-generated"),
+and the *local groups* decomposition HS uses (maximal linear paths of unary
+activities, bounded by binary activities and recordsets).
+
+Binary activities have ordered inputs: every edge carries a ``port``
+attribute (0 or 1); difference is the only shipped non-commutative binary,
+but ports are maintained uniformly.
+
+Workflows are mutable while being built; search code treats states as
+immutable and lets transitions work on :meth:`ETLWorkflow.copy` copies
+(node objects — activities and recordsets — are shared between copies,
+which keeps state generation cheap).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.exceptions import SchemaError, WorkflowError
+
+__all__ = ["Node", "DerivedSchemas", "ETLWorkflow"]
+
+Node = Activity | RecordSet
+
+
+@dataclass(frozen=True)
+class DerivedSchemas:
+    """The regenerated input/output schemata of one node in one state."""
+
+    inputs: tuple[Schema, ...]
+    output: Schema
+
+
+class ETLWorkflow:
+    """A directed acyclic graph of activities and recordsets."""
+
+    def __init__(self) -> None:
+        self._graph = nx.DiGraph()
+        self._ids: set[str] = set()
+        self._topo_cache: list[Node] | None = None
+        self._providers_cache: dict[Node, list[Node]] | None = None
+
+    def _invalidate(self) -> None:
+        self._topo_cache = None
+        self._providers_cache = None
+
+    # -- construction ----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Add an activity or recordset; returns it for chaining."""
+        if not isinstance(node, (Activity, RecordSet)):
+            raise WorkflowError(f"not a workflow node: {node!r}")
+        if node in self._graph:
+            raise WorkflowError(f"node {node!r} already in workflow")
+        if node.id in self._ids:
+            raise WorkflowError(f"duplicate node id {node.id!r}: {node!r}")
+        self._graph.add_node(node)
+        self._ids.add(node.id)
+        self._invalidate()
+        return node
+
+    def add_edge(self, provider: Node, consumer: Node, port: int = 0) -> None:
+        """Record that ``consumer`` receives data from ``provider``.
+
+        ``port`` selects the input schema of a binary consumer (0 = left,
+        1 = right); unary consumers always use port 0.
+        """
+        for node in (provider, consumer):
+            if node not in self._graph:
+                raise WorkflowError(f"node {node!r} not in workflow")
+        if port not in (0, 1):
+            raise WorkflowError(f"port must be 0 or 1, got {port}")
+        if self._graph.has_edge(provider, consumer):
+            raise WorkflowError(
+                f"edge {provider.id} -> {consumer.id} already exists"
+            )
+        self._graph.add_edge(provider, consumer, port=port)
+        self._invalidate()
+
+    def remove_edge(self, provider: Node, consumer: Node) -> None:
+        self._graph.remove_edge(provider, consumer)
+        self._invalidate()
+
+    def remove_node(self, node: Node) -> None:
+        self._graph.remove_node(node)
+        self._ids.discard(node.id)
+        self._invalidate()
+
+    def copy(self) -> "ETLWorkflow":
+        """A structural copy sharing the (immutable) node objects."""
+        duplicate = ETLWorkflow()
+        duplicate._graph = self._graph.copy()
+        duplicate._ids = set(self._ids)
+        return duplicate
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only by convention)."""
+        return self._graph
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._graph
+
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._graph.nodes)
+
+    def activities(self) -> Iterator[Activity]:
+        return (n for n in self._graph.nodes if isinstance(n, Activity))
+
+    def recordsets(self) -> Iterator[RecordSet]:
+        return (n for n in self._graph.nodes if isinstance(n, RecordSet))
+
+    def sources(self) -> list[RecordSet]:
+        """The recordsets in RS_S, ordered by id."""
+        found = [n for n in self.recordsets() if n.is_source]
+        return sorted(found, key=lambda n: n.id)
+
+    def targets(self) -> list[RecordSet]:
+        """The recordsets in RS_T, ordered by id."""
+        found = [n for n in self.recordsets() if n.is_target]
+        return sorted(found, key=lambda n: n.id)
+
+    def node_by_id(self, node_id: str) -> Node:
+        for node in self._graph.nodes:
+            if node.id == node_id:
+                return node
+        raise WorkflowError(f"no node with id {node_id!r}")
+
+    def providers(self, node: Node) -> list[Node]:
+        """Data providers of ``node``, ordered by input port (cached)."""
+        cache = self._providers_cache
+        if cache is None:
+            cache = {}
+            self._providers_cache = cache
+        cached = cache.get(node)
+        if cached is None:
+            cached = sorted(
+                self._graph.predecessors(node),
+                key=lambda p: self._graph.edges[p, node]["port"],
+            )
+            cache[node] = cached
+        return cached
+
+    def consumers(self, node: Node) -> list[Node]:
+        """Data consumers of ``node`` (ordered by node id for determinism)."""
+        return sorted(self._graph.successors(node), key=lambda n: n.id)
+
+    def edge_port(self, provider: Node, consumer: Node) -> int:
+        return self._graph.edges[provider, consumer]["port"]
+
+    def topological_order(self) -> list[Node]:
+        """A deterministic topological order (ties broken by node id).
+
+        Kahn's algorithm with an id-ordered ready heap; raises
+        :class:`~repro.exceptions.WorkflowError` on cycles.  Cached; any
+        mutation of the graph invalidates the cache.  Search code treats
+        workflows as immutable once built, so the cache is computed once
+        per state.
+        """
+        if self._topo_cache is None:
+            pred = self._graph.pred
+            succ = self._graph.succ
+            in_degree = {node: len(pred[node]) for node in pred}
+            ready = [
+                (node.id, node) for node, degree in in_degree.items() if degree == 0
+            ]
+            heapq.heapify(ready)
+            order: list[Node] = []
+            while ready:
+                _, node = heapq.heappop(ready)
+                order.append(node)
+                for consumer in succ[node]:
+                    in_degree[consumer] -= 1
+                    if in_degree[consumer] == 0:
+                        heapq.heappush(ready, (consumer.id, consumer))
+            if len(order) != len(in_degree):
+                raise WorkflowError("workflow graph contains a cycle")
+            self._topo_cache = order
+        return self._topo_cache
+
+    def downstream(self, node: Node) -> set[Node]:
+        """All nodes reachable from ``node`` (excluding itself)."""
+        return set(nx.descendants(self._graph, node))
+
+    # -- validation -----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural well-formedness rules of section 2.1.
+
+        Raises :class:`~repro.exceptions.WorkflowError` when the graph is
+        not a DAG, an activity lacks a provider or consumer, an arity does
+        not match the in-degree, or input ports are wired inconsistently.
+        """
+        if self._graph.number_of_nodes() == 0:
+            raise WorkflowError("empty workflow")
+        self.topological_order()  # raises on cycles
+        pred = self._graph.pred
+        succ = self._graph.succ
+        for node in self._graph.nodes:
+            in_deg = len(pred[node])
+            out_deg = len(succ[node])
+            if isinstance(node, Activity):
+                if in_deg != node.arity:
+                    raise WorkflowError(
+                        f"activity {node.id} ({node.name}) has arity "
+                        f"{node.arity} but {in_deg} provider(s)"
+                    )
+                if out_deg == 0:
+                    raise WorkflowError(
+                        f"activity {node.id} ({node.name}) has no consumer"
+                    )
+                ports = sorted(
+                    data["port"] for data in pred[node].values()
+                )
+                expected = list(range(node.arity))
+                if ports != expected:
+                    raise WorkflowError(
+                        f"activity {node.id}: input ports {ports} != {expected}"
+                    )
+            else:  # RecordSet
+                if node.kind is RecordSetKind.SOURCE:
+                    if in_deg != 0:
+                        raise WorkflowError(
+                            f"source recordset {node.name} has a provider"
+                        )
+                    if out_deg == 0:
+                        raise WorkflowError(
+                            f"source recordset {node.name} has no consumer"
+                        )
+                elif node.kind is RecordSetKind.TARGET:
+                    if out_deg != 0:
+                        raise WorkflowError(
+                            f"target recordset {node.name} has a consumer"
+                        )
+                    if in_deg != 1:
+                        raise WorkflowError(
+                            f"target recordset {node.name} must have exactly "
+                            f"one provider, has {in_deg}"
+                        )
+                else:
+                    if in_deg != 1 or out_deg == 0:
+                        raise WorkflowError(
+                            f"intermediate recordset {node.name} must have one "
+                            f"provider and at least one consumer"
+                        )
+
+    # -- schema propagation (section 3.2 / Theorem 1) ----------------------------------
+
+    def propagate_schemas(self) -> dict[Node, DerivedSchemas]:
+        """Regenerate every node's input/output schemata from the sources.
+
+        Walks the graph in topological order, deriving each activity's
+        output schema from its providers via the template rules.  Raises
+        :class:`~repro.exceptions.SchemaError` when an activity's
+        functionality schema is not covered by its input, when union-family
+        branches disagree, or when a target recordset would receive data
+        under a schema incompatible with its declared one.
+
+        A state is *valid* exactly when this method succeeds — which is how
+        the library enforces swap conditions (3) and (4) "both before and
+        after" a transition: the transition is attempted on a copy and the
+        copy is propagated.
+        """
+        derived: dict[Node, DerivedSchemas] = {}
+        for node in self.topological_order():
+            provider_outputs = tuple(
+                derived[p].output for p in self.providers(node)
+            )
+            if isinstance(node, RecordSet):
+                if node.is_source:
+                    derived[node] = DerivedSchemas((), node.schema)
+                    continue
+                received = provider_outputs[0]
+                if not received.compatible(node.schema):
+                    raise SchemaError(
+                        f"recordset {node.name} declared {node.schema} but "
+                        f"receives {received}"
+                    )
+                derived[node] = DerivedSchemas(provider_outputs, node.schema)
+                continue
+            output = node.derive_output(provider_outputs)
+            derived[node] = DerivedSchemas(provider_outputs, output)
+        return derived
+
+    def is_valid(self) -> bool:
+        """True when the workflow is structurally and schema-wise sound."""
+        try:
+            self.validate()
+            self.propagate_schemas()
+        except (WorkflowError, SchemaError):
+            return False
+        return True
+
+    # -- local groups (section 3.2) ---------------------------------------------------
+
+    def local_groups(self) -> list[list[Activity]]:
+        """Maximal linear paths of unary activities.
+
+        Borders are binary activities and recordsets (and fan-out points).
+        For Fig. 1 the groups are ``{3}``, ``{4,5,6}`` and ``{8}``.
+        Groups are returned in topological order of their first member.
+        """
+        groups: list[list[Activity]] = []
+        for node in self.topological_order():
+            if not isinstance(node, Activity) or not node.is_unary:
+                continue
+            if self._starts_group(node):
+                group = [node]
+                current: Node = node
+                while True:
+                    consumers = self.consumers(current)
+                    if len(consumers) != 1:
+                        break
+                    nxt = consumers[0]
+                    if not isinstance(nxt, Activity) or not nxt.is_unary:
+                        break
+                    group.append(nxt)
+                    current = nxt
+                groups.append(group)
+        return groups
+
+    def _starts_group(self, activity: Activity) -> bool:
+        providers = self.providers(activity)
+        if len(providers) != 1:
+            return False
+        provider = providers[0]
+        if not isinstance(provider, Activity) or not provider.is_unary:
+            return True
+        # A unary provider with fan-out ends its own chain, so this
+        # activity starts a fresh group.
+        return len(self.consumers(provider)) != 1
+
+    def group_of(self, activity: Activity) -> list[Activity]:
+        """The local group containing ``activity``."""
+        for group in self.local_groups():
+            if activity in group:
+                return group
+        raise WorkflowError(
+            f"activity {activity.id} is not part of any local group"
+        )
+
+    def __repr__(self) -> str:
+        n_act = sum(1 for _ in self.activities())
+        n_rs = sum(1 for _ in self.recordsets())
+        return f"ETLWorkflow({n_act} activities, {n_rs} recordsets)"

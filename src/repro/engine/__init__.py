@@ -1,0 +1,42 @@
+"""Execution engine: runs ETL workflows on in-memory data."""
+
+from repro.engine.calibrate import (
+    apply_selectivities,
+    calibrate_workflow,
+    measure_selectivities,
+)
+from repro.engine.checkpoint import (
+    CheckpointingExecutor,
+    CheckpointStore,
+    SimulatedFailure,
+)
+from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
+from repro.engine.operators import (
+    EngineContext,
+    OperatorRegistry,
+    default_registry,
+    default_scalar_functions,
+)
+from repro.engine.rows import Row, as_multiset, freeze_row
+from repro.engine.validate import RunEquivalenceReport, empirically_equivalent
+
+__all__ = [
+    "Executor",
+    "ExecutionResult",
+    "ExecutionStats",
+    "CheckpointingExecutor",
+    "CheckpointStore",
+    "SimulatedFailure",
+    "measure_selectivities",
+    "apply_selectivities",
+    "calibrate_workflow",
+    "EngineContext",
+    "OperatorRegistry",
+    "default_registry",
+    "default_scalar_functions",
+    "Row",
+    "freeze_row",
+    "as_multiset",
+    "RunEquivalenceReport",
+    "empirically_equivalent",
+]

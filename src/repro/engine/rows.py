@@ -1,0 +1,50 @@
+"""Row utilities for the execution engine.
+
+The engine represents a record as a plain ``dict`` keyed by reference
+attribute names, and a flow as a ``list`` of such rows (bag semantics).
+:func:`freeze_row` canonicalizes a row to a hashable value so that bags can
+be compared as multisets regardless of row order — which is how empirical
+workflow equivalence is defined (same input, same target *multisets*).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.core.schema import Schema
+from repro.exceptions import ExecutionError
+
+__all__ = ["Row", "freeze_row", "as_multiset", "check_rows_match_schema"]
+
+Row = dict[str, Any]
+
+
+def freeze_row(row: Mapping[str, Any]) -> tuple:
+    """A hashable, order-insensitive rendering of one row."""
+    try:
+        frozen = tuple(sorted(row.items()))
+        hash(frozen)
+    except TypeError as exc:
+        raise ExecutionError(f"row contains unhashable values: {row!r}") from exc
+    return frozen
+
+
+def as_multiset(rows: Iterable[Mapping[str, Any]]) -> Counter:
+    """The bag of rows as a Counter of frozen rows."""
+    return Counter(freeze_row(row) for row in rows)
+
+
+def check_rows_match_schema(rows: Iterable[Row], schema: Schema, where: str) -> None:
+    """Verify every row carries exactly the schema's attributes."""
+    expected = schema.as_set
+    for index, row in enumerate(rows):
+        present = set(row)
+        if present != expected:
+            missing = sorted(expected - present)
+            extra = sorted(present - expected)
+            raise ExecutionError(
+                f"{where}: row {index} does not match schema {schema} "
+                f"(missing {missing}, unexpected {extra})"
+            )

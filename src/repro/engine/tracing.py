@@ -1,0 +1,131 @@
+"""Execution tracing: per-activity wall-clock and row metrics.
+
+Wraps an :class:`~repro.engine.executor.Executor` run with fine-grained
+measurements — rows in/out, per-activity duration, empirical selectivity
+— and renders an operator-level profile.  Useful for validating the cost
+model against real behaviour (which activity actually dominates?) and for
+the kind of night-window capacity planning the paper's introduction
+motivates.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.workflow import ETLWorkflow
+from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
+from repro.engine.rows import Row
+
+__all__ = ["ActivityTrace", "TraceReport", "TracingExecutor"]
+
+
+@dataclass(frozen=True)
+class ActivityTrace:
+    """Measurements for one activity in one run."""
+
+    activity_id: str
+    name: str
+    template: str
+    rows_in: int
+    rows_out: int
+    seconds: float
+
+    @property
+    def selectivity(self) -> float | None:
+        if self.rows_in == 0:
+            return None
+        return self.rows_out / self.rows_in
+
+
+@dataclass
+class TraceReport:
+    """All activity traces of one run, render-able as a profile."""
+
+    traces: list[ActivityTrace]
+    total_seconds: float
+
+    def by_cost(self) -> list[ActivityTrace]:
+        return sorted(self.traces, key=lambda t: t.seconds, reverse=True)
+
+    def render(self, top: int | None = None) -> str:
+        lines = [
+            f"{'activity':<10}{'template':<16}{'rows in':>9}{'rows out':>9}"
+            f"{'sel':>7}{'ms':>9}{'%time':>7}"
+        ]
+        rows = self.by_cost()
+        if top is not None:
+            rows = rows[:top]
+        for trace in rows:
+            selectivity = (
+                f"{trace.selectivity:.2f}" if trace.selectivity is not None else "—"
+            )
+            share = (
+                100.0 * trace.seconds / self.total_seconds
+                if self.total_seconds > 0
+                else 0.0
+            )
+            lines.append(
+                f"{trace.activity_id:<10}{trace.template:<16}"
+                f"{trace.rows_in:>9}{trace.rows_out:>9}{selectivity:>7}"
+                f"{1000 * trace.seconds:>9.2f}{share:>7.1f}"
+            )
+        return "\n".join(lines)
+
+
+class TracingExecutor(Executor):
+    """An executor that records a per-activity profile.
+
+    After :meth:`run`, the profile of the last run is available as
+    :attr:`last_trace`.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.last_trace: TraceReport | None = None
+        self._current: list[ActivityTrace] | None = None
+
+    def run(
+        self,
+        workflow: ETLWorkflow,
+        source_data: Mapping[str, list[Row]],
+        check_schemas: bool = True,
+    ) -> ExecutionResult:
+        self._current = []
+        started = time.perf_counter()
+        try:
+            result = super().run(workflow, source_data, check_schemas)
+        finally:
+            elapsed = time.perf_counter() - started
+            self.last_trace = TraceReport(
+                traces=self._current or [], total_seconds=elapsed
+            )
+            self._current = None
+        return result
+
+    def _run_activity(
+        self,
+        activity: Activity,
+        inputs: tuple[list[Row], ...],
+        stats: ExecutionStats,
+    ) -> list[Row]:
+        if isinstance(activity, CompositeActivity):
+            # Components are traced individually by the recursive calls.
+            return super()._run_activity(activity, inputs, stats)
+        started = time.perf_counter()
+        produced = super()._run_activity(activity, inputs, stats)
+        elapsed = time.perf_counter() - started
+        if self._current is not None:
+            self._current.append(
+                ActivityTrace(
+                    activity_id=activity.id,
+                    name=activity.name,
+                    template=activity.template.name,
+                    rows_in=sum(len(flow) for flow in inputs),
+                    rows_out=len(produced),
+                    seconds=elapsed,
+                )
+            )
+        return produced

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError`, so callers can catch one
+type.  More specific subclasses distinguish modeling mistakes (bad workflow
+construction) from optimizer-internal conditions (inapplicable transitions).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class NamingError(ReproError):
+    """A violation of the naming principle (section 3.1 of the paper).
+
+    Raised when two different real-world entities are mapped to the same
+    reference attribute name, or when a synonym is remapped inconsistently.
+    """
+
+
+class SchemaError(ReproError):
+    """An inconsistency between schemata.
+
+    Examples: an activity whose functionality schema is not a subset of its
+    input schema, a union whose branches disagree on their schemas, or a
+    target recordset receiving data under the wrong schema.
+    """
+
+
+class WorkflowError(ReproError):
+    """A structurally invalid workflow graph.
+
+    Examples: cycles, activities without providers or consumers, or an
+    activity wired with the wrong number of inputs for its arity.
+    """
+
+
+class TransitionError(ReproError):
+    """A transition was applied to a state where it is not applicable.
+
+    The optimizer normally checks applicability first; user code applying
+    transitions manually sees this exception when a precondition fails.
+    """
+
+
+class TemplateError(ReproError):
+    """An activity template was declared or instantiated incorrectly."""
+
+
+class ExecutionError(ReproError):
+    """The execution engine could not run a workflow on concrete data."""
+
+
+class SearchBudgetExceeded(ReproError):
+    """Internal signal that a search exhausted its state/time budget.
+
+    Search algorithms catch this and return their best-so-far result with
+    ``completed=False``; it never escapes the public API.
+    """

@@ -1,0 +1,31 @@
+"""Experiment harness reproducing the paper's tables and figures."""
+
+from repro.experiments.fig4 import Fig4Row, format_fig4, run_fig4
+from repro.experiments.harness import (
+    ExperimentConfig,
+    RunRecord,
+    best_known_costs,
+    run_category,
+    run_experiment,
+)
+from repro.experiments.reporting import (
+    format_table1,
+    format_table2,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "RunRecord",
+    "run_category",
+    "run_experiment",
+    "best_known_costs",
+    "table1_rows",
+    "table2_rows",
+    "format_table1",
+    "format_table2",
+    "Fig4Row",
+    "run_fig4",
+    "format_fig4",
+]

@@ -1,0 +1,62 @@
+"""Regenerate the paper's full evaluation in one run.
+
+Runs Tables 1 and 2 and the Fig. 4 example at the requested scale and
+prints (optionally writes) a single consolidated report with the paper's
+values alongside — the evaluation section of EXPERIMENTS.md, recomputed.
+
+Usage::
+
+    python -m repro.experiments.full_paper [workflows_per_category] [output.md]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.reporting import format_table1, format_table2
+
+__all__ = ["main"]
+
+
+def main(
+    workflows_per_category: int = 3, output_path: str | None = None
+) -> str:
+    started = time.perf_counter()
+    config = ExperimentConfig(workflows_per_category=workflows_per_category)
+    records = run_experiment(config)
+    sections = [
+        "# Reproduced evaluation — Optimizing ETL Processes in Data Warehouses",
+        "",
+        f"Scale: {workflows_per_category} workflows per category; "
+        f"ES budgets {config.es_max_states} states.",
+        "",
+        "```",
+        format_table1(records),
+        "```",
+        "",
+        "```",
+        format_table2(records),
+        "```",
+        "",
+        "```",
+        format_fig4(run_fig4()),
+        "```",
+        "",
+        f"_Total experiment time: {time.perf_counter() - started:.0f}s._",
+    ]
+    report = "\n".join(sections)
+    print(report)
+    if output_path:
+        with open(output_path, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"\nreport written to {output_path}")
+    return report
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    path = sys.argv[2] if len(sys.argv) > 2 else None
+    main(count, path)

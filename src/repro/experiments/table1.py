@@ -1,0 +1,30 @@
+"""Table 1 — quality of solution — as a runnable experiment.
+
+Run with::
+
+    python -m repro.experiments.table1 [workflows_per_category]
+
+Prints the reproduced table next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.harness import ExperimentConfig, run_experiment
+from repro.experiments.reporting import format_table1
+
+__all__ = ["main"]
+
+
+def main(workflows_per_category: int = 3) -> str:
+    config = ExperimentConfig(workflows_per_category=workflows_per_category)
+    records = run_experiment(config)
+    report = format_table1(records)
+    print(report)
+    return report
+
+
+if __name__ == "__main__":
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    main(count)

@@ -1,0 +1,24 @@
+"""Workflow serialization and rendering."""
+
+from repro.io.json_io import (
+    dumps,
+    load,
+    loads,
+    save,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.io.explain import explain
+from repro.io.render import to_dot, to_text
+
+__all__ = [
+    "workflow_to_dict",
+    "workflow_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "to_dot",
+    "explain",
+    "to_text",
+]

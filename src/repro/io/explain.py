@@ -1,0 +1,44 @@
+"""EXPLAIN-style rendering: the workflow with its estimated costs.
+
+``explain`` combines the topological outline with the cost model's
+per-node cardinalities and costs — the optimizer's view of the plan, the
+way database EXPLAIN shows the planner's.  Handy before/after comparisons
+live in the examples.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity
+from repro.core.cost.estimator import estimate
+from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.recordset import RecordSet
+from repro.core.workflow import ETLWorkflow
+
+__all__ = ["explain"]
+
+
+def explain(workflow: ETLWorkflow, model: CostModel | None = None) -> str:
+    """A cost-annotated, topologically ordered rendering of the workflow."""
+    model = model if model is not None else ProcessedRowsCostModel()
+    report = estimate(workflow, model)
+    lines = [
+        f"{'node':<10}{'what':<30}{'rows out':>12}{'cost':>12}{'%':>6}"
+    ]
+    total = report.total if report.total else 1.0
+    for node in workflow.topological_order():
+        cards = report.cardinalities[node]
+        if isinstance(node, RecordSet):
+            label = f"{node.name} ({node.kind.value})"
+            cost_text, share_text = "-", ""
+        else:
+            assert isinstance(node, Activity)
+            label = node.name
+            cost = report.cost_of(node)
+            cost_text = f"{cost:,.0f}"
+            share_text = f"{100 * cost / total:.0f}"
+        lines.append(
+            f"[{node.id}]".ljust(10)
+            + f"{label:<30}{cards:>12,.0f}{cost_text:>12}{share_text:>6}"
+        )
+    lines.append(f"{'total':<52}{report.total:>18,.0f}")
+    return "\n".join(lines)

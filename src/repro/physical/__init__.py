@@ -1,0 +1,21 @@
+"""Physical optimization layer (the paper's section 6 future work)."""
+
+from repro.physical.implementations import (
+    CATALOGUE,
+    PhysicalImplementation,
+    implementations_for,
+)
+from repro.physical.planner import (
+    PhysicalCostModel,
+    PhysicalPlan,
+    plan_physical,
+)
+
+__all__ = [
+    "PhysicalImplementation",
+    "implementations_for",
+    "CATALOGUE",
+    "PhysicalPlan",
+    "plan_physical",
+    "PhysicalCostModel",
+]

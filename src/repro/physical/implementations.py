@@ -1,0 +1,169 @@
+"""Physical operator implementations for the logical templates.
+
+The paper closes with "the physical optimization of ETL workflows (i.e.,
+taking physical operators and access methods into consideration)" as an
+open issue (section 6).  This subpackage builds that layer on top of the
+logical optimizer: every logical template has one or more *physical
+implementations*, each with its own cost formula and feasibility
+constraint (typically a memory bound for hash-based variants).
+
+The catalogue is deliberately textbook-shaped (Graefe [8] is the paper's
+reference for query evaluation techniques):
+
+========================  ==========================================
+logical template          physical implementations
+========================  ==========================================
+row-wise filters/functions  ``scan`` — n
+surrogate_key             ``hash_lookup`` — n (lookup fits memory);
+                          ``sorted_merge`` — n·log2 n
+aggregation / distinct    ``hash`` — n (groups fit memory);
+                          ``sort`` — n·log2 n
+union                     ``concat`` — n1 + n2
+join                      ``hash_join`` — n1+n2 (build side fits);
+                          ``sort_merge_join`` — n1·log2 n1 + n2·log2 n2
+difference/intersection   ``hash_anti`` — n1+n2 (right side fits);
+                          ``sort_merge`` — n1·log2 n1 + n2·log2 n2
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.activity import Activity
+from repro.core.cost.formulas import nlogn
+from repro.exceptions import ReproError
+
+__all__ = ["PhysicalImplementation", "implementations_for", "CATALOGUE"]
+
+CostFn = Callable[[tuple[float, ...]], float]
+FeasibleFn = Callable[[Activity, tuple[float, ...], float], bool]
+
+
+def _always(activity: Activity, cards: tuple[float, ...], memory: float) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class PhysicalImplementation:
+    """One way to execute a logical activity.
+
+    Attributes:
+        name: implementation identifier, e.g. ``"hash_join"``.
+        cost: invocation cost given input cardinalities.
+        feasible: whether the implementation can run for the given
+            activity/input sizes under a memory budget (in rows).
+    """
+
+    name: str
+    cost: CostFn
+    feasible: FeasibleFn = _always
+
+    def __repr__(self) -> str:
+        return f"PhysicalImplementation({self.name})"
+
+
+def _scan_cost(cards: tuple[float, ...]) -> float:
+    return float(cards[0])
+
+
+def _sort_cost(cards: tuple[float, ...]) -> float:
+    return nlogn(cards[0])
+
+
+def _concat_cost(cards: tuple[float, ...]) -> float:
+    return float(cards[0] + cards[1])
+
+
+def _sort_merge_cost(cards: tuple[float, ...]) -> float:
+    return nlogn(cards[0]) + nlogn(cards[1])
+
+
+def _hash_fits_groups(
+    activity: Activity, cards: tuple[float, ...], memory: float
+) -> bool:
+    """Hash aggregation/dedup holds one entry per output group."""
+    groups = activity.selectivity * cards[0]
+    return groups <= memory
+
+
+def _hash_lookup_fits(
+    activity: Activity, cards: tuple[float, ...], memory: float
+) -> bool:
+    """The surrogate-key lookup table must fit in memory.
+
+    The table size is a property of the key domain, not the flow; we use
+    the declared ``lookup_size`` parameter when present and otherwise
+    assume it fits (the common warehouse case).
+    """
+    size = activity.params.get("lookup_size")
+    return True if size is None else float(size) <= memory
+
+
+def _hash_build_fits(
+    activity: Activity, cards: tuple[float, ...], memory: float
+) -> bool:
+    """Hash join/anti-join builds on the smaller input."""
+    return min(cards) <= memory
+
+
+_SCAN = PhysicalImplementation("scan", _scan_cost)
+
+CATALOGUE: dict[str, tuple[PhysicalImplementation, ...]] = {
+    "selection": (_SCAN,),
+    "not_null": (_SCAN,),
+    "range_check": (_SCAN,),
+    "pk_check": (_SCAN,),
+    "projection": (_SCAN,),
+    "function_apply": (_SCAN,),
+    "surrogate_key": (
+        PhysicalImplementation("hash_lookup", _scan_cost, _hash_lookup_fits),
+        PhysicalImplementation("sorted_merge", _sort_cost),
+    ),
+    "aggregation": (
+        PhysicalImplementation("hash_aggregate", _scan_cost, _hash_fits_groups),
+        PhysicalImplementation("sort_aggregate", _sort_cost),
+    ),
+    "distinct": (
+        PhysicalImplementation("hash_dedup", _scan_cost, _hash_fits_groups),
+        PhysicalImplementation("sort_dedup", _sort_cost),
+    ),
+    "union": (PhysicalImplementation("concat", _concat_cost),),
+    "join": (
+        PhysicalImplementation("hash_join", _concat_cost, _hash_build_fits),
+        PhysicalImplementation("sort_merge_join", _sort_merge_cost),
+    ),
+    "difference": (
+        PhysicalImplementation("hash_anti_join", _concat_cost, _hash_build_fits),
+        PhysicalImplementation("sort_merge_diff", _sort_merge_cost),
+    ),
+    "intersection": (
+        PhysicalImplementation("hash_semi_join", _concat_cost, _hash_build_fits),
+        PhysicalImplementation("sort_merge_intersect", _sort_merge_cost),
+    ),
+}
+
+
+def implementations_for(activity: Activity) -> tuple[PhysicalImplementation, ...]:
+    """The physical alternatives of one activity's template.
+
+    Unknown (custom) templates fall back to a single scan implementation
+    matching their declared cost shape — a safe default users override by
+    extending :data:`CATALOGUE`.
+    """
+    found = CATALOGUE.get(activity.template.name)
+    if found:
+        return found
+    from repro.templates.base import CostShape
+
+    shape = activity.template.cost_shape
+    if shape is CostShape.LINEAR:
+        return (_SCAN,)
+    if shape is CostShape.SORT:
+        return (PhysicalImplementation("sort", _sort_cost),)
+    if shape is CostShape.MERGE:
+        return (PhysicalImplementation("concat", _concat_cost),)
+    if shape is CostShape.SORT_MERGE:
+        return (PhysicalImplementation("sort_merge", _sort_merge_cost),)
+    raise ReproError(f"no physical implementation for {activity.template.name!r}")

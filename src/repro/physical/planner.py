@@ -1,0 +1,153 @@
+"""Physical planning: choose an implementation for every activity.
+
+Given a logical workflow (typically the logical optimizer's output), the
+physical planner walks the graph once, propagating cardinalities, and
+picks the cheapest *feasible* implementation per activity under a memory
+budget.  :class:`PhysicalCostModel` exposes the same choice as a
+:class:`~repro.core.cost.model.CostModel`, so the *logical* search can
+run directly against physical costs — logical and physical optimization
+then interleave the way the paper's future-work section envisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.cost.model import ProcessedRowsCostModel
+from repro.core.recordset import RecordSet
+from repro.core.workflow import ETLWorkflow, Node
+from repro.exceptions import ReproError
+from repro.physical.implementations import (
+    PhysicalImplementation,
+    implementations_for,
+)
+
+__all__ = ["PhysicalPlan", "plan_physical", "PhysicalCostModel"]
+
+#: Effectively-unbounded memory, in rows.
+UNLIMITED_MEMORY = float("inf")
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A physical implementation choice per activity, with its cost."""
+
+    choices: dict[Activity, PhysicalImplementation]
+    activity_costs: dict[Activity, float]
+    memory_rows: float
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.activity_costs.values())
+
+    def implementation_of(self, activity: Activity) -> PhysicalImplementation:
+        try:
+            return self.choices[activity]
+        except KeyError:
+            raise ReproError(
+                f"activity {activity.id} is not part of this physical plan"
+            ) from None
+
+    def describe(self) -> str:
+        lines = [f"physical plan (memory budget: {self.memory_rows:g} rows)"]
+        for activity in sorted(self.choices, key=lambda a: a.id):
+            implementation = self.choices[activity]
+            cost = self.activity_costs[activity]
+            lines.append(
+                f"  [{activity.id}] {activity.name:<28} -> "
+                f"{implementation.name:<20} cost={cost:,.0f}"
+            )
+        lines.append(f"  total: {self.total_cost:,.0f}")
+        return "\n".join(lines)
+
+
+def _cheapest_feasible(
+    activity: Activity, cards: tuple[float, ...], memory: float
+) -> tuple[PhysicalImplementation, float]:
+    best: tuple[PhysicalImplementation, float] | None = None
+    for implementation in implementations_for(activity):
+        if not implementation.feasible(activity, cards, memory):
+            continue
+        cost = implementation.cost(cards)
+        if best is None or cost < best[1]:
+            best = (implementation, cost)
+    if best is None:
+        raise ReproError(
+            f"no feasible physical implementation for activity "
+            f"{activity.id} ({activity.name}) under a memory budget of "
+            f"{memory:g} rows"
+        )
+    return best
+
+
+def plan_physical(
+    workflow: ETLWorkflow,
+    memory_rows: float = UNLIMITED_MEMORY,
+    cardinality_model: ProcessedRowsCostModel | None = None,
+) -> PhysicalPlan:
+    """Pick the cheapest feasible implementation for every activity.
+
+    Composite (merged) activities are planned component-wise; their plan
+    entries are keyed by the components.
+    """
+    model = (
+        cardinality_model
+        if cardinality_model is not None
+        else ProcessedRowsCostModel()
+    )
+    choices: dict[Activity, PhysicalImplementation] = {}
+    costs: dict[Activity, float] = {}
+    cards: dict[Node, float] = {}
+    for node in workflow.topological_order():
+        if isinstance(node, RecordSet):
+            if node.is_source:
+                cards[node] = node.cardinality
+            else:
+                cards[node] = cards[workflow.providers(node)[0]]
+            continue
+        input_cards = tuple(cards[p] for p in workflow.providers(node))
+        if isinstance(node, CompositeActivity):
+            card = input_cards[0]
+            for component in node.components:
+                implementation, cost = _cheapest_feasible(
+                    component, (card,), memory_rows
+                )
+                choices[component] = implementation
+                costs[component] = cost
+                card = model.output_cardinality(component, (card,))
+            cards[node] = card
+        else:
+            implementation, cost = _cheapest_feasible(
+                node, input_cards, memory_rows
+            )
+            choices[node] = implementation
+            costs[node] = cost
+            cards[node] = model.output_cardinality(node, input_cards)
+    return PhysicalPlan(
+        choices=choices, activity_costs=costs, memory_rows=memory_rows
+    )
+
+
+class PhysicalCostModel(ProcessedRowsCostModel):
+    """A logical-search cost model that prices via physical planning.
+
+    Each activity costs whatever its cheapest feasible implementation
+    costs under the configured memory budget; cardinalities propagate as
+    in the processed-rows model.  Running the logical optimizer with this
+    model makes logical rewritings compete on *physical* cost — e.g. with
+    plenty of memory, hash implementations make aggregation linear, so
+    pushing filters below it buys less than the sort-based model claims.
+    """
+
+    def __init__(self, memory_rows: float = UNLIMITED_MEMORY):
+        self.memory_rows = float(memory_rows)
+
+    def activity_cost(
+        self, activity: Activity, input_cards: tuple[float, ...]
+    ) -> float:
+        if isinstance(activity, CompositeActivity):
+            return self._composite_cost(activity, input_cards)
+        self._check_arity(activity, input_cards)
+        _, cost = _cheapest_feasible(activity, input_cards, self.memory_rows)
+        return cost

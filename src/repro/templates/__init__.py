@@ -1,0 +1,48 @@
+"""Activity templates: the reusable ETL transformation vocabulary."""
+
+from repro.templates.base import (
+    ActivityKind,
+    ActivityTemplate,
+    CostShape,
+    SchemaPlan,
+)
+from repro.templates.builtin import (
+    AGGREGATION,
+    DISTINCT,
+    ALL_BUILTIN_TEMPLATES,
+    DIFFERENCE,
+    FUNCTION_APPLY,
+    INTERSECTION,
+    JOIN,
+    NOT_NULL,
+    PK_CHECK,
+    PROJECTION,
+    RANGE_CHECK,
+    SELECTION,
+    SURROGATE_KEY,
+    UNION,
+)
+from repro.templates.library import TemplateLibrary, default_library
+
+__all__ = [
+    "ActivityKind",
+    "ActivityTemplate",
+    "CostShape",
+    "SchemaPlan",
+    "TemplateLibrary",
+    "default_library",
+    "SELECTION",
+    "NOT_NULL",
+    "RANGE_CHECK",
+    "PK_CHECK",
+    "PROJECTION",
+    "FUNCTION_APPLY",
+    "SURROGATE_KEY",
+    "AGGREGATION",
+    "DISTINCT",
+    "UNION",
+    "JOIN",
+    "DIFFERENCE",
+    "INTERSECTION",
+    "ALL_BUILTIN_TEMPLATES",
+]

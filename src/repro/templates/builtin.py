@@ -1,0 +1,447 @@
+"""The shipped template library.
+
+These templates cover the activity vocabulary the paper's examples and
+experiments use (section 1 example, Fig. 4, and the "selection, checking for
+nulls, primary key violation, projection, function application" list of
+section 2.2), plus the binary activities (union, join, difference,
+intersection) that delimit local groups.
+
+Semantics notes (the conservative interpretations DESIGN.md documents):
+
+* ``pk_check`` models the common ETL *primary-key violation* check: each row
+  is tested against an external reference key set (the warehouse's existing
+  keys).  That makes it row-wise, hence freely swappable and distributable —
+  matching the paper, which lists primary-key violation among swappable
+  unary activities.  An intra-batch duplicate-elimination activity would not
+  be row-wise and is deliberately not shipped as a swappable template.
+* ``function_apply`` with ``output`` equal to its single input attribute is
+  a *semantics-neutral in-place transform* (e.g. the A2E date reformat): the
+  reference name is unchanged because, per the naming principle discussion
+  in section 3.1, downstream activities treat the values equivalently.  A
+  transform whose downstream consumers are format-sensitive must generate a
+  fresh reference name (e.g. ``$2E: DCOST -> ECOST``) — that is what blocks
+  illegal swaps via condition (3).
+* ``aggregation`` generates its aggregate attribute and restricts its output
+  to the group-by attributes plus generated aggregates; everything else is
+  implicitly dropped.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.core.schema import EMPTY_SCHEMA, Schema
+from repro.exceptions import SchemaError, TemplateError
+from repro.templates.base import (
+    ActivityKind,
+    ActivityTemplate,
+    CostShape,
+    SchemaPlan,
+)
+
+__all__ = [
+    "SELECTION",
+    "NOT_NULL",
+    "RANGE_CHECK",
+    "PK_CHECK",
+    "PROJECTION",
+    "DISTINCT",
+    "FUNCTION_APPLY",
+    "SURROGATE_KEY",
+    "AGGREGATION",
+    "UNION",
+    "JOIN",
+    "DIFFERENCE",
+    "INTERSECTION",
+    "ALL_BUILTIN_TEMPLATES",
+]
+
+# Binary template names, used in ``distributes_over`` sets.
+_UNION = "union"
+_JOIN = "join"
+_DIFFERENCE = "difference"
+_INTERSECTION = "intersection"
+
+_FILTER_DISTRIBUTES = frozenset({_UNION, _JOIN, _DIFFERENCE, _INTERSECTION})
+
+
+def _single_attr_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    """Plan for filters parameterized by one checked attribute."""
+    attr = params["attr"]
+    return SchemaPlan(
+        functionality_per_input=(Schema([attr]),),
+        generated=EMPTY_SCHEMA,
+        projected_out=EMPTY_SCHEMA,
+    )
+
+
+SELECTION = ActivityTemplate(
+    name="selection",
+    kind=ActivityKind.FILTER,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("attr", "op", "value"),
+    planner=_single_attr_plan,
+    distributes_over=_FILTER_DISTRIBUTES,
+    predicate_name="SEL",
+    doc="Row-wise comparison filter: keep rows where `attr <op> value`.",
+)
+
+NOT_NULL = ActivityTemplate(
+    name="not_null",
+    kind=ActivityKind.FILTER,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("attr",),
+    planner=_single_attr_plan,
+    distributes_over=_FILTER_DISTRIBUTES,
+    predicate_name="NN",
+    doc="Keep rows whose `attr` is not NULL (None).",
+)
+
+RANGE_CHECK = ActivityTemplate(
+    name="range_check",
+    kind=ActivityKind.FILTER,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("attr", "low", "high"),
+    planner=_single_attr_plan,
+    distributes_over=_FILTER_DISTRIBUTES,
+    predicate_name="RC",
+    doc="Keep rows with low <= attr <= high (domain/business-rule check).",
+)
+
+
+def _pk_check_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    keys = tuple(params["key_attrs"])
+    if not keys:
+        raise TemplateError("pk_check: key_attrs must be non-empty")
+    return SchemaPlan(
+        functionality_per_input=(Schema(keys),),
+        generated=EMPTY_SCHEMA,
+        projected_out=EMPTY_SCHEMA,
+    )
+
+
+PK_CHECK = ActivityTemplate(
+    name="pk_check",
+    kind=ActivityKind.FILTER,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("key_attrs", "reference"),
+    planner=_pk_check_plan,
+    distributes_over=_FILTER_DISTRIBUTES,
+    predicate_name="PK",
+    doc=(
+        "Primary-key violation check: keep rows whose key is absent from the "
+        "external reference key set named by `reference` (row-wise lookup "
+        "against the warehouse's existing keys)."
+    ),
+)
+
+
+def _projection_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    dropped = tuple(params["attrs"])
+    if not dropped:
+        raise TemplateError("projection: attrs (to drop) must be non-empty")
+    return SchemaPlan(
+        functionality_per_input=(EMPTY_SCHEMA,),
+        generated=EMPTY_SCHEMA,
+        projected_out=Schema(dropped),
+    )
+
+
+PROJECTION = ActivityTemplate(
+    name="projection",
+    kind=ActivityKind.FUNCTION,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("attrs",),
+    planner=_projection_plan,
+    distributes_over=frozenset({_UNION}),
+    predicate_name="PIout",
+    doc="Projected-out activity: drop the listed attributes from the flow.",
+)
+
+
+def _function_apply_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    inputs = tuple(params["inputs"])
+    output = params["output"]
+    drop_inputs = params.get("drop_inputs", True)
+    if not inputs:
+        raise TemplateError("function_apply: inputs must be non-empty")
+    if output in inputs:
+        if len(inputs) != 1:
+            raise TemplateError(
+                "function_apply: in-place output requires exactly one input"
+            )
+        # Semantics-neutral in-place transform: the reference name survives,
+        # so nothing is generated or projected out (see module docstring).
+        return SchemaPlan(
+            functionality_per_input=(Schema(inputs),),
+            generated=EMPTY_SCHEMA,
+            projected_out=EMPTY_SCHEMA,
+        )
+    return SchemaPlan(
+        functionality_per_input=(Schema(inputs),),
+        generated=Schema([output]),
+        projected_out=Schema(inputs) if drop_inputs else EMPTY_SCHEMA,
+    )
+
+
+def _function_distributes(params: Mapping[str, Any]) -> frozenset[str]:
+    if params.get("injective", False):
+        return frozenset({_UNION, _DIFFERENCE, _INTERSECTION})
+    return frozenset({_UNION})
+
+
+FUNCTION_APPLY = ActivityTemplate(
+    name="function_apply",
+    kind=ActivityKind.FUNCTION,
+    arity=1,
+    cost_shape=CostShape.LINEAR,
+    param_names=("function", "inputs", "output"),
+    optional_param_names=("drop_inputs", "injective"),
+    planner=_function_apply_plan,
+    distributes_over=frozenset({_UNION}),
+    predicate_name="FN",
+    doc=(
+        "Row-wise data-manipulation function, e.g. `$2E(DCOST) -> ECOST` or "
+        "the in-place date reformat `A2E(DATE) -> DATE`.  `function` names a "
+        "scalar function registered with the execution engine."
+    ),
+)
+
+
+def _surrogate_key_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    key = params["key_attr"]
+    skey = params["skey_attr"]
+    if key == skey:
+        raise TemplateError("surrogate_key: key_attr and skey_attr must differ")
+    return SchemaPlan(
+        functionality_per_input=(Schema([key]),),
+        generated=Schema([skey]),
+        projected_out=Schema([key]),
+    )
+
+
+SURROGATE_KEY = ActivityTemplate(
+    name="surrogate_key",
+    kind=ActivityKind.FUNCTION,
+    arity=1,
+    cost_shape=CostShape.SORT,
+    param_names=("key_attr", "skey_attr", "lookup"),
+    optional_param_names=("lookup_size",),
+    planner=_surrogate_key_plan,
+    distributes_over=frozenset({_UNION, _DIFFERENCE, _INTERSECTION}),
+    injective=True,
+    predicate_name="SK",
+    doc=(
+        "Surrogate-key assignment: replace the production key with a "
+        "warehouse surrogate via the lookup table named by `lookup` "
+        "(injective mapping; sort/lookup cost shape, cf. Fig. 4)."
+    ),
+)
+
+
+def _aggregation_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    group_by = tuple(params["group_by"])
+    measure = params["measure"]
+    output = params["output"]
+    if measure in group_by:
+        raise TemplateError("aggregation: measure cannot be a group-by attribute")
+    if output in group_by:
+        raise TemplateError("aggregation: output collides with a group-by attribute")
+    return SchemaPlan(
+        functionality_per_input=(Schema(group_by + (measure,)),),
+        generated=Schema([output]),
+        projected_out=Schema([measure]),
+    )
+
+
+def _aggregation_output(
+    params: Mapping[str, Any], input_schemas: tuple[Schema, ...]
+) -> Schema:
+    """Aggregation output: group-by attributes plus the aggregate."""
+    return Schema(tuple(params["group_by"]) + (params["output"],))
+
+
+AGGREGATION = ActivityTemplate(
+    name="aggregation",
+    kind=ActivityKind.AGGREGATION,
+    arity=1,
+    cost_shape=CostShape.SORT,
+    param_names=("group_by", "measure", "agg", "output"),
+    planner=_aggregation_plan,
+    distributes_over=frozenset(),
+    predicate_name="GAMMA",
+    doc=(
+        "Group rows by `group_by` and aggregate `measure` with `agg` "
+        "(sum/min/max/count/avg) into the generated attribute `output`; all "
+        "other attributes are dropped."
+    ),
+)
+
+
+def _distinct_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    keys = tuple(params["group_by"])
+    if not keys:
+        raise TemplateError("distinct: group_by (dedup keys) must be non-empty")
+    return SchemaPlan(
+        functionality_per_input=(Schema(keys),),
+        generated=EMPTY_SCHEMA,
+        projected_out=EMPTY_SCHEMA,
+    )
+
+
+DISTINCT = ActivityTemplate(
+    name="distinct",
+    kind=ActivityKind.AGGREGATION,
+    arity=1,
+    cost_shape=CostShape.SORT,
+    param_names=("group_by",),
+    planner=_distinct_plan,
+    distributes_over=frozenset(),
+    predicate_name="DST",
+    doc=(
+        "Duplicate elimination by key: keep one (deterministically chosen) "
+        "row per distinct `group_by` value.  Declared AGGREGATION because it "
+        "is *not* row-wise: only filters/injective in-place functions over "
+        "the dedup keys may cross it (the swap guard enforces this)."
+    ),
+)
+
+
+def _no_param_binary_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    return SchemaPlan(
+        functionality_per_input=(EMPTY_SCHEMA, EMPTY_SCHEMA),
+        generated=EMPTY_SCHEMA,
+        projected_out=EMPTY_SCHEMA,
+    )
+
+
+UNION = ActivityTemplate(
+    name="union",
+    kind=ActivityKind.BINARY,
+    arity=2,
+    cost_shape=CostShape.MERGE,
+    param_names=(),
+    planner=_no_param_binary_plan,
+    commutative=True,
+    predicate_name="U",
+    doc="Bag union of two flows with compatible schemas.",
+)
+
+
+def _join_plan(params: Mapping[str, Any]) -> SchemaPlan:
+    on = tuple(params["on"])
+    if not on:
+        raise TemplateError("join: the `on` attribute list must be non-empty")
+    return SchemaPlan(
+        functionality_per_input=(Schema(on), Schema(on)),
+        generated=EMPTY_SCHEMA,
+        projected_out=EMPTY_SCHEMA,
+    )
+
+
+JOIN = ActivityTemplate(
+    name="join",
+    kind=ActivityKind.BINARY,
+    arity=2,
+    cost_shape=CostShape.SORT_MERGE,
+    param_names=("on",),
+    planner=_join_plan,
+    commutative=True,
+    predicate_name="JOIN",
+    doc="Inner equi-join of two flows on the shared reference attributes `on`.",
+)
+
+DIFFERENCE = ActivityTemplate(
+    name="difference",
+    kind=ActivityKind.BINARY,
+    arity=2,
+    cost_shape=CostShape.SORT_MERGE,
+    param_names=(),
+    planner=_no_param_binary_plan,
+    commutative=False,
+    predicate_name="DIFF",
+    doc="Bag difference: rows of the first flow minus rows of the second.",
+)
+
+INTERSECTION = ActivityTemplate(
+    name="intersection",
+    kind=ActivityKind.BINARY,
+    arity=2,
+    cost_shape=CostShape.SORT_MERGE,
+    param_names=(),
+    planner=_no_param_binary_plan,
+    commutative=True,
+    predicate_name="INTR",
+    doc="Bag intersection of two flows with compatible schemas.",
+)
+
+
+ALL_BUILTIN_TEMPLATES = (
+    SELECTION,
+    NOT_NULL,
+    RANGE_CHECK,
+    PK_CHECK,
+    PROJECTION,
+    DISTINCT,
+    FUNCTION_APPLY,
+    SURROGATE_KEY,
+    AGGREGATION,
+    UNION,
+    JOIN,
+    DIFFERENCE,
+    INTERSECTION,
+)
+
+
+def distributes_over_for(template: ActivityTemplate, params: Mapping[str, Any]) -> frozenset[str]:
+    """Effective distributes-over set for one instantiation.
+
+    Most templates use their static set; ``function_apply`` widens it to
+    difference/intersection when the instantiation is flagged injective.
+    """
+    if template.name == "function_apply":
+        return _function_distributes(params)
+    return template.distributes_over
+
+
+def derive_unary_output(
+    template: ActivityTemplate,
+    params: Mapping[str, Any],
+    plan: SchemaPlan,
+    input_schema: Schema,
+) -> Schema:
+    """Output schema of a unary instantiation for a concrete input schema.
+
+    Generic rule: ``input - projected_out + generated``; aggregation
+    restricts the output to its group-by attributes plus the aggregate.
+    """
+    if template.name == "aggregation":
+        return _aggregation_output(params, (input_schema,))
+    kept = input_schema.minus(plan.projected_out)
+    collisions = plan.generated.as_set & kept.as_set
+    if collisions:
+        raise SchemaError(
+            f"template {template.name!r}: generated attributes "
+            f"{sorted(collisions)} already present in the incoming flow"
+        )
+    return kept.union(plan.generated)
+
+
+def derive_binary_output(
+    template: ActivityTemplate,
+    params: Mapping[str, Any],
+    left: Schema,
+    right: Schema,
+) -> Schema:
+    """Output schema of a binary instantiation for concrete input schemas."""
+    if template.name == "join":
+        return left.union(right)
+    # Union / difference / intersection require compatible branch schemas and
+    # present the first branch's attribute order.
+    return left

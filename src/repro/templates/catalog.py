@@ -1,0 +1,55 @@
+"""Template-catalogue rendering: documentation straight from the library.
+
+``render_catalog`` turns a :class:`TemplateLibrary` into a Markdown
+document listing every template's signature, semantic class, cost shape,
+auxiliary-schema behaviour and mobility (what it may be factorized /
+distributed across) — the information a designer needs when assembling a
+workflow, kept automatically in sync with the code.
+"""
+
+from __future__ import annotations
+
+from repro.templates.base import ActivityTemplate
+from repro.templates.library import TemplateLibrary, default_library
+
+__all__ = ["render_catalog", "template_summary"]
+
+
+def template_summary(template: ActivityTemplate) -> dict:
+    """Structured one-row summary of a template."""
+    return {
+        "name": template.name,
+        "kind": template.kind.value,
+        "arity": template.arity,
+        "cost_shape": template.cost_shape.value,
+        "params": ", ".join(template.param_names) or "—",
+        "optional_params": ", ".join(template.optional_param_names) or "—",
+        "moves_across": ", ".join(sorted(template.distributes_over)) or "—",
+        "predicate": template.predicate_name,
+        "doc": template.doc.strip().split("\n")[0] if template.doc else "",
+    }
+
+
+def render_catalog(library: TemplateLibrary | None = None) -> str:
+    """A Markdown catalogue of every registered template."""
+    library = library if library is not None else default_library()
+    lines = [
+        "# Activity template catalogue",
+        "",
+        "| template | kind | arity | cost | parameters | moves across | predicate |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for template in sorted(library, key=lambda t: (t.arity, t.name)):
+        row = template_summary(template)
+        lines.append(
+            f"| `{row['name']}` | {row['kind']} | {row['arity']} "
+            f"| {row['cost_shape']} | {row['params']} "
+            f"| {row['moves_across']} | `{row['predicate']}` |"
+        )
+    lines.append("")
+    for template in sorted(library, key=lambda t: (t.arity, t.name)):
+        if not template.doc:
+            continue
+        lines.append(f"**`{template.name}`** — {template.doc.strip()}")
+        lines.append("")
+    return "\n".join(lines)

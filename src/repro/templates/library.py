@@ -1,0 +1,64 @@
+"""Template library registry.
+
+A :class:`TemplateLibrary` is the extensible collection of activity
+templates a workflow draws from — the paper's reference [18] describes the
+idea: "for any other, new activity, that the designer wishes to introduce,
+explicit ... semantics can also be given".  Users extend the default library
+with their own templates (see ``examples/custom_templates.py``), registering
+executable semantics with the engine under the same name.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.exceptions import TemplateError
+from repro.templates.base import ActivityTemplate
+from repro.templates.builtin import ALL_BUILTIN_TEMPLATES
+
+__all__ = ["TemplateLibrary", "default_library"]
+
+
+class TemplateLibrary:
+    """A named collection of :class:`ActivityTemplate` objects."""
+
+    def __init__(self, templates: tuple[ActivityTemplate, ...] = ()):
+        self._templates: dict[str, ActivityTemplate] = {}
+        for template in templates:
+            self.register(template)
+
+    def register(self, template: ActivityTemplate, replace: bool = False) -> None:
+        """Add a template; refuses silent redefinition unless ``replace``."""
+        if template.name in self._templates and not replace:
+            raise TemplateError(
+                f"template {template.name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        self._templates[template.name] = template
+
+    def get(self, name: str) -> ActivityTemplate:
+        try:
+            return self._templates[name]
+        except KeyError:
+            raise TemplateError(f"unknown template {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._templates
+
+    def __iter__(self) -> Iterator[ActivityTemplate]:
+        return iter(self._templates.values())
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._templates)
+
+    def copy(self) -> "TemplateLibrary":
+        """An independent library with the same templates."""
+        return TemplateLibrary(tuple(self._templates.values()))
+
+
+def default_library() -> TemplateLibrary:
+    """A fresh library holding all builtin templates."""
+    return TemplateLibrary(ALL_BUILTIN_TEMPLATES)

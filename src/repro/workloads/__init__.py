@@ -1,0 +1,43 @@
+"""Workloads: paper scenarios, random workflow generator, synthetic data."""
+
+from repro.workloads.datagen import (
+    make_generic_rows,
+    make_parts1_rows,
+    make_parts2_rows,
+)
+from repro.workloads.generator import (
+    CATEGORY_SPECS,
+    CategorySpec,
+    GeneratedWorkload,
+    generate_suite,
+    generate_workload,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    fig1_naming,
+    fig1_workflow,
+    fig4_context,
+    fig4_states,
+    dual_target_scenario,
+    star_join_scenario,
+    two_branch_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "fig1_workflow",
+    "fig1_naming",
+    "fig4_states",
+    "fig4_context",
+    "star_join_scenario",
+    "dual_target_scenario",
+    "two_branch_scenario",
+    "CategorySpec",
+    "CATEGORY_SPECS",
+    "GeneratedWorkload",
+    "generate_workload",
+    "generate_suite",
+    "make_generic_rows",
+    "make_parts1_rows",
+    "make_parts2_rows",
+]

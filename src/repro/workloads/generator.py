@@ -1,0 +1,451 @@
+"""Random ETL workflow generator for the paper's experiments (section 4.2).
+
+The paper evaluates on "40 different ETL workflows categorized as small,
+medium, and large, involving a range of 15 to 70 activities".  The
+workloads themselves are not published, so this generator synthesizes
+workflows matching the described size bands, with the structure real ETL
+designs exhibit (and the paper's examples use):
+
+* several source branches, each with a data-manipulation *conversion*
+  (``V1 -> W1``), optionally a surrogate-key assignment, a not-null check,
+  an in-place date reformat, and assorted filters;
+* a union tree combining the branches;
+* a tail with an optional monthly-style aggregation, late selections and
+  an optional projection.
+
+Two deliberate biases give the optimizer the headroom the paper reports
+(45-78 % improvements): filters are placed *after* the expensive
+conversions inside each branch ("written in reading order"), and the most
+selective filters sit in the tail, after the union — exactly the
+situations SWA and DIS exploit.  Homologous conversions/surrogate keys
+across branches create the FAC opportunities.
+
+Every generated workload bundles the engine context (surrogate-key lookup
+tables, reference key sets) and a data factory, so any state derived from
+it can be executed and checked for empirical equivalence.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.workflow import ETLWorkflow, Node
+from repro.engine.operators import EngineContext, default_scalar_functions
+from repro.engine.rows import Row
+from repro.exceptions import ReproError
+from repro.templates import builtin as t
+from repro.workloads.datagen import make_generic_rows
+
+__all__ = ["CategorySpec", "CATEGORY_SPECS", "GeneratedWorkload", "generate_workload", "generate_suite"]
+
+_KEY_DOMAIN = 200
+_VALUE_HIGH = 100.0
+
+
+@dataclass(frozen=True)
+class CategorySpec:
+    """Size band of one workload category (Table 2's "volume of activities")."""
+
+    name: str
+    activities: tuple[int, int]
+    sources: tuple[int, int]
+
+
+CATEGORY_SPECS: dict[str, CategorySpec] = {
+    "tiny": CategorySpec("tiny", (7, 10), (2, 2)),
+    "small": CategorySpec("small", (15, 25), (2, 3)),
+    "medium": CategorySpec("medium", (35, 45), (3, 5)),
+    "large": CategorySpec("large", (65, 75), (5, 8)),
+}
+
+
+@dataclass
+class GeneratedWorkload:
+    """A generated initial state plus everything needed to execute it."""
+
+    workflow: ETLWorkflow
+    context: EngineContext
+    make_data: Callable[..., dict[str, list[Row]]]
+    category: str
+    seed: int
+    activity_count: int
+    source_names: tuple[str, ...]
+
+
+class _Builder:
+    """Assembles one workflow, assigning priority ids in creation order."""
+
+    def __init__(self) -> None:
+        self.workflow = ETLWorkflow()
+        self._next_id = 0
+
+    def fresh_id(self) -> str:
+        self._next_id += 1
+        return str(self._next_id)
+
+    def add(self, node: Node) -> Node:
+        return self.workflow.add_node(node)
+
+
+def _selection(builder: _Builder, rng: random.Random, attr: str) -> Activity:
+    selectivity = round(rng.uniform(0.30, 0.90), 2)
+    if rng.random() < 0.5:
+        op, value = ">=", round(_VALUE_HIGH * (1.0 - selectivity), 2)
+    else:
+        op, value = "<=", round(_VALUE_HIGH * selectivity, 2)
+    return Activity(
+        builder.fresh_id(),
+        t.SELECTION,
+        {"attr": attr, "op": op, "value": value},
+        selectivity=selectivity,
+        name=f"σ({attr}{op}{value:g})",
+    )
+
+
+def _range_check(builder: _Builder, rng: random.Random, attr: str) -> Activity:
+    selectivity = round(rng.uniform(0.40, 0.90), 2)
+    half_width = _VALUE_HIGH * selectivity / 2.0
+    low = round(_VALUE_HIGH / 2.0 - half_width, 2)
+    high = round(_VALUE_HIGH / 2.0 + half_width, 2)
+    return Activity(
+        builder.fresh_id(),
+        t.RANGE_CHECK,
+        {"attr": attr, "low": low, "high": high},
+        selectivity=selectivity,
+        name=f"RC({attr}∈[{low:g},{high:g}])",
+    )
+
+
+def _not_null(builder: _Builder, attr: str) -> Activity:
+    return Activity(
+        builder.fresh_id(),
+        t.NOT_NULL,
+        {"attr": attr},
+        selectivity=0.95,
+        name=f"NN({attr})",
+    )
+
+
+def _pk_check(builder: _Builder) -> Activity:
+    return Activity(
+        builder.fresh_id(),
+        t.PK_CHECK,
+        {"key_attrs": ("KEY",), "reference": "dw_keys"},
+        selectivity=0.90,
+        name="PK(KEY)",
+    )
+
+
+def _convert(builder: _Builder) -> Activity:
+    return Activity(
+        builder.fresh_id(),
+        t.FUNCTION_APPLY,
+        {
+            "function": "scale_double",
+            "inputs": ("V1",),
+            "output": "W1",
+            "injective": True,
+        },
+        selectivity=1.0,
+        name="f(V1->W1)",
+    )
+
+
+def _surrogate_key(builder: _Builder) -> Activity:
+    return Activity(
+        builder.fresh_id(),
+        t.SURROGATE_KEY,
+        {
+            "key_attr": "KEY",
+            "skey_attr": "SKEY",
+            "lookup": "sk_parts",
+            "lookup_size": _KEY_DOMAIN,
+        },
+        selectivity=1.0,
+        name="SK(KEY->SKEY)",
+    )
+
+
+def _date_reformat(builder: _Builder) -> Activity:
+    return Activity(
+        builder.fresh_id(),
+        t.FUNCTION_APPLY,
+        {
+            "function": "date_us_to_eu",
+            "inputs": ("DATE",),
+            "output": "DATE",
+            "injective": True,
+        },
+        selectivity=1.0,
+        name="A2E(DATE)",
+    )
+
+
+def generate_workload(
+    category: str = "small",
+    seed: int = 0,
+    rows_per_source: int = 120,
+) -> GeneratedWorkload:
+    """Generate one initial workflow of the given category.
+
+    The result is deterministic in ``(category, seed)``.
+    """
+    try:
+        spec = CATEGORY_SPECS[category]
+    except KeyError:
+        raise ReproError(
+            f"unknown category {category!r}; choose from "
+            f"{sorted(CATEGORY_SPECS)}"
+        ) from None
+    # zlib.crc32 keeps the stream deterministic across processes (str hash
+    # randomization would break reproducibility of the suites).
+    rng = random.Random(zlib.crc32(category.encode()) * 100_003 + seed)
+    builder = _Builder()
+
+    n_sources = rng.randint(*spec.sources)
+    target_activities = rng.randint(*spec.activities)
+    with_surrogate_key = rng.random() < 0.6
+    with_aggregation = rng.random() < 0.5
+
+    # Pre-draw each branch's cleansing flags so the remaining budget is
+    # known before any selection filters are allocated.
+    branch_flags = [
+        {
+            "not_null": rng.random() < 0.6,
+            "pk_check": rng.random() < 0.4,
+            "date_reformat": rng.random() < 0.3,
+        }
+        for _ in range(n_sources)
+    ]
+    per_branch_fixed = [
+        1  # the conversion
+        + (1 if with_surrogate_key else 0)
+        + sum(1 for enabled in flags.values() if enabled)
+        for flags in branch_flags
+    ]
+    n_unions = n_sources - 1
+    # With an aggregation the movable tail filters must sit *before* it
+    # (its output attribute blocks pushes); one late filter stays after.
+    n_tail_filters = rng.randint(1, 3)
+    n_post_agg_filters = 1 if with_aggregation else 0
+    with_projection = (not with_aggregation) and rng.random() < 0.4
+    tail_fixed = (
+        (1 if with_aggregation else 0)
+        + n_tail_filters
+        + n_post_agg_filters
+        + (1 if with_projection else 0)
+    )
+    optional_budget = max(
+        0,
+        target_activities - (sum(per_branch_fixed) + n_unions + tail_fixed),
+    )
+    # Spread the selection-filter budget across branches.
+    branch_budgets = [0] * n_sources
+    for _ in range(optional_budget):
+        branch_budgets[rng.randrange(n_sources)] += 1
+
+    source_schema = Schema(["KEY", "SRC", "DATE", "V1", "V2", "V3"])
+    source_names: list[str] = []
+    branch_heads: list[Node] = []
+
+    for index in range(n_sources):
+        name = f"SRC{index + 1}"
+        source_names.append(name)
+        source = builder.add(
+            RecordSet(
+                builder.fresh_id(),
+                name,
+                source_schema,
+                RecordSetKind.SOURCE,
+                cardinality=float(rows_per_source),
+            )
+        )
+        head = _build_branch(
+            builder,
+            rng,
+            source,
+            n_selections=branch_budgets[index],
+            with_surrogate_key=with_surrogate_key,
+            flags=branch_flags[index],
+        )
+        branch_heads.append(head)
+
+    # Union tree over the branches (random combination order).
+    while len(branch_heads) > 1:
+        first = branch_heads.pop(rng.randrange(len(branch_heads)))
+        second = branch_heads.pop(rng.randrange(len(branch_heads)))
+        union = builder.add(Activity(builder.fresh_id(), t.UNION, {}, name="U"))
+        builder.workflow.add_edge(first, union, port=0)
+        builder.workflow.add_edge(second, union, port=1)
+        branch_heads.append(union)
+    head = branch_heads[0]
+
+    # Tail: movable late filters, optional aggregation (with one filter on
+    # the aggregate after it), optional projection.  Placing the movable
+    # filters after the union is the "written in reading order" bad design
+    # DIS and SWA repair.
+    key_attr = "SKEY" if with_surrogate_key else "KEY"
+    movable_attrs = ["V2", "V3", "W1"]
+    for _ in range(n_tail_filters):
+        tail_filter = builder.add(
+            _selection(builder, rng, rng.choice(movable_attrs))
+        )
+        builder.workflow.add_edge(head, tail_filter)
+        head = tail_filter
+
+    if with_aggregation:
+        aggregate = builder.add(
+            Activity(
+                builder.fresh_id(),
+                t.AGGREGATION,
+                {
+                    "group_by": (key_attr, "SRC", "DATE"),
+                    "measure": "W1",
+                    "agg": "sum",
+                    "output": "W1M",
+                },
+                selectivity=round(rng.uniform(0.10, 0.40), 2),
+                name="γSUM(W1->W1M)",
+            )
+        )
+        builder.workflow.add_edge(head, aggregate)
+        head = aggregate
+        for _ in range(n_post_agg_filters):
+            late = builder.add(_selection(builder, rng, "W1M"))
+            builder.workflow.add_edge(head, late)
+            head = late
+
+    if with_projection:
+        projection = builder.add(
+            Activity(
+                builder.fresh_id(),
+                t.PROJECTION,
+                {"attrs": ("V3",)},
+                selectivity=1.0,
+                name="PIout(V3)",
+            )
+        )
+        builder.workflow.add_edge(head, projection)
+        head = projection
+
+    target_schema = _derive_target_schema(
+        with_surrogate_key, with_aggregation, with_projection, key_attr
+    )
+    warehouse = builder.add(
+        RecordSet(
+            builder.fresh_id(), "DW", target_schema, RecordSetKind.TARGET
+        )
+    )
+    builder.workflow.add_edge(head, warehouse)
+
+    builder.workflow.validate()
+    builder.workflow.propagate_schemas()
+
+    context = _make_context(rng)
+    activity_count = sum(1 for _ in builder.workflow.activities())
+
+    def make_data(data_seed: int = 0, n: int | None = None) -> dict[str, list[Row]]:
+        size = rows_per_source if n is None else n
+        return {
+            name: make_generic_rows(
+                size, data_seed + offset, name, key_domain=_KEY_DOMAIN
+            )
+            for offset, name in enumerate(source_names)
+        }
+
+    return GeneratedWorkload(
+        workflow=builder.workflow,
+        context=context,
+        make_data=make_data,
+        category=category,
+        seed=seed,
+        activity_count=activity_count,
+        source_names=tuple(source_names),
+    )
+
+
+def _build_branch(
+    builder: _Builder,
+    rng: random.Random,
+    source: Node,
+    n_selections: int,
+    with_surrogate_key: bool,
+    flags: dict[str, bool],
+) -> Node:
+    """One source branch; returns its last node.
+
+    Layout (deliberately filter-late): [NN(V1)?] -> convert(V1->W1) ->
+    [PK?] -> [SK?] -> [A2E?] -> the selection filters.  Selections on
+    V2/V3 can be swapped all the way down past the expensive conversion
+    and surrogate key — the optimization headroom; selections on W1 are
+    pinned behind the conversion that generates it (the paper's
+    ``σ(€) / $2€`` blocking case).
+    """
+    head = source
+
+    def attach(activity: Activity) -> None:
+        nonlocal head
+        builder.add(activity)
+        builder.workflow.add_edge(head, activity)
+        head = activity
+
+    if flags["not_null"]:
+        attach(_not_null(builder, "V1"))
+    attach(_convert(builder))
+    if flags["pk_check"]:
+        attach(_pk_check(builder))
+    if with_surrogate_key:
+        attach(_surrogate_key(builder))
+    if flags["date_reformat"]:
+        attach(_date_reformat(builder))
+    filter_attrs = ("V2", "V3", "V2", "V3", "W1")  # W1 filters are rarer
+    for _ in range(n_selections):
+        attr = rng.choice(filter_attrs)
+        if rng.random() < 0.7:
+            attach(_selection(builder, rng, attr))
+        else:
+            attach(_range_check(builder, rng, attr))
+    return head
+
+
+def _derive_target_schema(
+    with_surrogate_key: bool,
+    with_aggregation: bool,
+    with_projection: bool,
+    key_attr: str,
+) -> Schema:
+    if with_aggregation:
+        return Schema([key_attr, "SRC", "DATE", "W1M"])
+    attrs = [key_attr, "SRC", "DATE", "W1", "V2", "V3"]
+    if with_projection:
+        attrs.remove("V3")
+    return Schema(attrs)
+
+
+def _make_context(rng: random.Random) -> EngineContext:
+    context = EngineContext(scalar_functions=default_scalar_functions())
+    context.lookups["sk_parts"] = {
+        key: 10_000 + key for key in range(_KEY_DOMAIN)
+    }
+    existing = rng.sample(range(_KEY_DOMAIN), k=_KEY_DOMAIN // 10)
+    context.references["dw_keys"] = frozenset((key,) for key in existing)
+    return context
+
+
+def generate_suite(
+    category: str,
+    count: int,
+    base_seed: int = 0,
+    rows_per_source: int = 120,
+) -> list[GeneratedWorkload]:
+    """A batch of workloads, one per seed, as the experiments consume them."""
+    return [
+        generate_workload(category, seed=base_seed + index, rows_per_source=rows_per_source)
+        for index in range(count)
+    ]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cost import ProcessedRowsCostModel
+from repro.engine import Executor
+from repro.workloads import (
+    fig1_workflow,
+    fig4_context,
+    fig4_states,
+    two_branch_scenario,
+)
+
+
+@pytest.fixture
+def model():
+    return ProcessedRowsCostModel()
+
+
+@pytest.fixture
+def fig1():
+    """The Fig. 1 running-example scenario (fresh per test)."""
+    return fig1_workflow()
+
+
+@pytest.fixture
+def fig1_executor(fig1):
+    return Executor(context=fig1.context)
+
+
+@pytest.fixture
+def two_branch():
+    """A compact two-branch scenario sized for exhaustive search."""
+    return two_branch_scenario()
+
+
+@pytest.fixture
+def fig4():
+    """The three Fig. 4 states plus the engine context they need."""
+    return fig4_states(cardinality=8), fig4_context()

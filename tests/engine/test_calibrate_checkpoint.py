@@ -1,0 +1,143 @@
+"""Selectivity calibration and checkpoint/resume execution."""
+
+import pytest
+
+from repro import optimize
+from repro.core.signature import state_signature
+from repro.core.transitions import Merge
+from repro.engine import (
+    CheckpointingExecutor,
+    CheckpointStore,
+    Executor,
+    SimulatedFailure,
+    apply_selectivities,
+    as_multiset,
+    calibrate_workflow,
+    empirically_equivalent,
+    measure_selectivities,
+)
+
+
+class TestMeasureSelectivities:
+    def test_filters_measured_between_zero_and_one(self, fig1, fig1_executor):
+        measured = measure_selectivities(
+            fig1.workflow, fig1.make_data(seed=1), fig1_executor
+        )
+        for activity_id in ("3", "8"):
+            assert 0.0 <= measured[activity_id] <= 1.0
+
+    def test_functions_measure_one(self, fig1, fig1_executor):
+        measured = measure_selectivities(
+            fig1.workflow, fig1.make_data(seed=1), fig1_executor
+        )
+        assert measured["4"] == pytest.approx(1.0)
+        assert measured["5"] == pytest.approx(1.0)
+
+    def test_aggregation_measures_grouping_ratio(self, fig1, fig1_executor):
+        measured = measure_selectivities(
+            fig1.workflow, fig1.make_data(seed=1, n2=600), fig1_executor
+        )
+        assert 0.0 < measured["6"] < 1.0
+
+    def test_binary_activities_not_measured(self, fig1, fig1_executor):
+        measured = measure_selectivities(
+            fig1.workflow, fig1.make_data(seed=1), fig1_executor
+        )
+        assert "7" not in measured
+
+    def test_composite_components_measured(self, fig1, fig1_executor):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        measured = measure_selectivities(
+            merged, fig1.make_data(seed=1), fig1_executor
+        )
+        assert "4" in measured and "5" in measured
+
+
+class TestApplySelectivities:
+    def test_structure_preserved(self, fig1):
+        calibrated = apply_selectivities(fig1.workflow, {"3": 0.5})
+        assert state_signature(calibrated) == state_signature(fig1.workflow)
+
+    def test_selectivity_replaced(self, fig1):
+        calibrated = apply_selectivities(fig1.workflow, {"3": 0.42})
+        assert calibrated.node_by_id("3").selectivity == 0.42
+        # Untouched activities keep their declared values (same objects).
+        assert calibrated.node_by_id("8") is fig1.workflow.node_by_id("8")
+
+    def test_original_untouched(self, fig1):
+        before = fig1.workflow.node_by_id("3").selectivity
+        apply_selectivities(fig1.workflow, {"3": 0.01})
+        assert fig1.workflow.node_by_id("3").selectivity == before
+
+    def test_calibrated_workflow_still_equivalent(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=2)
+        calibrated = calibrate_workflow(fig1.workflow, data, fig1_executor)
+        report = empirically_equivalent(
+            fig1.workflow, calibrated, data, fig1_executor
+        )
+        assert report.equivalent
+
+    def test_optimizing_calibrated_workflow(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=2)
+        calibrated = calibrate_workflow(fig1.workflow, data, fig1_executor)
+        result = optimize(calibrated)
+        assert result.best_cost <= result.initial_cost
+        report = empirically_equivalent(
+            calibrated, result.best.workflow, data, fig1_executor
+        )
+        assert report.equivalent
+
+
+class TestCheckpointing:
+    def _executor(self, fig1):
+        return CheckpointingExecutor(context=fig1.context)
+
+    def test_clean_run_matches_plain_executor(self, fig1):
+        data = fig1.make_data(seed=3)
+        plain = Executor(context=fig1.context).run(fig1.workflow, data)
+        checkpointed = self._executor(fig1).run(fig1.workflow, data)
+        assert as_multiset(plain.targets["DW"]) == as_multiset(
+            checkpointed.targets["DW"]
+        )
+
+    def test_failure_raises_simulated(self, fig1):
+        data = fig1.make_data(seed=3)
+        executor = self._executor(fig1)
+        with pytest.raises(SimulatedFailure):
+            executor.run(fig1.workflow, data, fail_before="7")
+
+    @pytest.mark.parametrize("fail_at", ["3", "4", "6", "7", "8", "9"])
+    def test_resume_completes_identically(self, fig1, fail_at):
+        data = fig1.make_data(seed=3)
+        executor = self._executor(fig1)
+        reference = executor.run(fig1.workflow, data)
+
+        store = CheckpointStore()
+        with pytest.raises(SimulatedFailure):
+            executor.run(fig1.workflow, data, checkpoints=store, fail_before=fail_at)
+        resumed = executor.run(fig1.workflow, data, checkpoints=store)
+        assert as_multiset(resumed.targets["DW"]) == as_multiset(
+            reference.targets["DW"]
+        )
+
+    def test_resume_skips_completed_work(self, fig1):
+        data = fig1.make_data(seed=3)
+        executor = self._executor(fig1)
+        store = CheckpointStore()
+        with pytest.raises(SimulatedFailure):
+            executor.run(fig1.workflow, data, checkpoints=store, fail_before="7")
+        # Branch activities completed before the failure...
+        assert {"1", "2", "3", "4", "5", "6"} <= store.completed_nodes
+        resumed = executor.run(fig1.workflow, data, checkpoints=store)
+        # ...so the resumed run only executed the union and the selection.
+        assert set(resumed.stats.rows_processed) == {"7", "8"}
+
+    def test_store_clear(self, fig1):
+        data = fig1.make_data(seed=3)
+        executor = self._executor(fig1)
+        store = CheckpointStore()
+        executor.run(fig1.workflow, data, checkpoints=store)
+        assert store.completed_nodes
+        store.clear()
+        assert not store.completed_nodes

@@ -1,0 +1,31 @@
+"""Engine determinism: identical runs produce identical ordered outputs."""
+
+import pytest
+
+from repro.engine import Executor
+from repro.workloads import generate_workload
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_repeat_runs_identical(self, seed):
+        workload = generate_workload("tiny", seed=seed)
+        executor = Executor(context=workload.context)
+        data = workload.make_data(5, n=50)
+        first = executor.run(workload.workflow, data)
+        second = executor.run(workload.workflow, data)
+        # Ordered equality, not just multiset equality.
+        assert first.targets == second.targets
+        assert first.stats.rows_processed == second.stats.rows_processed
+
+    def test_fresh_executor_identical(self, fig1):
+        data = fig1.make_data(seed=9)
+        first = Executor(context=fig1.context).run(fig1.workflow, data)
+        second = Executor(context=fig1.context).run(fig1.workflow, data)
+        assert first.targets == second.targets
+
+    def test_input_data_not_mutated(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=9)
+        snapshot = {name: [dict(r) for r in rows] for name, rows in data.items()}
+        fig1_executor.run(fig1.workflow, data)
+        assert data == snapshot

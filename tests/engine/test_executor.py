@@ -1,0 +1,101 @@
+"""Executor: running workflows end-to-end on data, stats, error handling."""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Merge
+from repro.core.workflow import ETLWorkflow
+from repro.engine import Executor, as_multiset, freeze_row
+from repro.exceptions import ExecutionError
+from repro.templates import builtin as t
+
+
+class TestFig1Execution:
+    def test_targets_populated(self, fig1, fig1_executor):
+        result = fig1_executor.run(fig1.workflow, fig1.make_data(seed=1))
+        assert set(result.targets) == {"DW"}
+        assert len(result.targets["DW"]) > 0
+
+    def test_target_rows_match_schema(self, fig1, fig1_executor):
+        result = fig1_executor.run(fig1.workflow, fig1.make_data(seed=1))
+        for row in result.targets["DW"]:
+            assert set(row) == {"PKEY", "SOURCE", "DATE", "ECOST_M"}
+
+    def test_threshold_enforced(self, fig1, fig1_executor):
+        result = fig1_executor.run(fig1.workflow, fig1.make_data(seed=1))
+        assert all(row["ECOST_M"] >= 100.0 for row in result.targets["DW"])
+
+    def test_stats_counts_rows(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=1, n1=50, n2=100)
+        result = fig1_executor.run(fig1.workflow, data)
+        stats = result.stats
+        assert stats.rows_processed["3"] == 50   # NN sees all of PARTS1
+        assert stats.rows_processed["4"] == 100  # $2E sees all of PARTS2
+        assert stats.total_rows_processed > 0
+        assert stats.rows_output["3"] <= 50
+
+    def test_missing_source_data(self, fig1, fig1_executor):
+        with pytest.raises(ExecutionError, match="no data supplied"):
+            fig1_executor.run(fig1.workflow, {"PARTS1": []})
+
+    def test_schema_checked_at_boundary(self, fig1, fig1_executor):
+        bad = {"PARTS1": [{"WRONG": 1}], "PARTS2": []}
+        with pytest.raises(ExecutionError, match="does not match schema"):
+            fig1_executor.run(fig1.workflow, bad)
+
+    def test_schema_check_can_be_disabled_for_matching_rows(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=1, n1=5, n2=5)
+        result = fig1_executor.run(fig1.workflow, data, check_schemas=False)
+        assert "DW" in result.targets
+
+
+class TestCompositeExecution:
+    def test_merged_activities_execute_in_order(self, fig1, fig1_executor):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        data = fig1.make_data(seed=2)
+        plain = fig1_executor.run(wf, data)
+        packaged = fig1_executor.run(merged, data)
+        assert as_multiset(plain.targets["DW"]) == as_multiset(
+            packaged.targets["DW"]
+        )
+
+    def test_component_stats_recorded(self, fig1, fig1_executor):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        result = fig1_executor.run(merged, fig1.make_data(seed=2, n1=10, n2=20))
+        # Components are recorded under their own ids.
+        assert result.stats.rows_processed["4"] == 20
+        assert result.stats.rows_processed["5"] == 20
+
+
+class TestIntermediateRecordsets:
+    def test_staging_table_passes_data_through(self):
+        wf = ETLWorkflow()
+        schema = Schema(["A"])
+        src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 2))
+        nn = wf.add_node(Activity("2", t.NOT_NULL, {"attr": "A"}))
+        stage = wf.add_node(RecordSet("3", "STAGE", schema))
+        nn2 = wf.add_node(Activity("4", t.NOT_NULL, {"attr": "A"}))
+        dw = wf.add_node(RecordSet("5", "DW", schema, RecordSetKind.TARGET))
+        wf.add_edge(src, nn)
+        wf.add_edge(nn, stage)
+        wf.add_edge(stage, nn2)
+        wf.add_edge(nn2, dw)
+        result = Executor().run(wf, {"S": [{"A": 1}, {"A": None}]})
+        assert result.targets["DW"] == [{"A": 1}]
+
+
+class TestRowHelpers:
+    def test_freeze_row_is_order_insensitive(self):
+        assert freeze_row({"A": 1, "B": 2}) == freeze_row({"B": 2, "A": 1})
+
+    def test_freeze_row_unhashable(self):
+        with pytest.raises(ExecutionError, match="unhashable"):
+            freeze_row({"A": [1, 2]})
+
+    def test_as_multiset_counts_duplicates(self):
+        bag = as_multiset([{"A": 1}, {"A": 1}])
+        assert bag[freeze_row({"A": 1})] == 2

@@ -1,0 +1,48 @@
+"""Bag semantics of the join operator under duplicate keys."""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.engine.operators import EngineContext, default_registry
+from repro.templates import builtin as t
+
+
+@pytest.fixture
+def join_op():
+    registry = default_registry()
+    op = registry.get("join")
+    join = Activity("1", t.JOIN, {"on": ("K",)})
+    return lambda left, right: op(join, (left, right), EngineContext())
+
+
+class TestJoinMultiplicities:
+    def test_cross_multiplicity(self, join_op):
+        left = [{"K": 1, "A": "x"}, {"K": 1, "A": "y"}]
+        right = [{"K": 1, "B": "p"}, {"K": 1, "B": "q"}]
+        assert len(join_op(left, right)) == 4
+
+    def test_non_matching_rows_dropped(self, join_op):
+        left = [{"K": 1, "A": "x"}, {"K": 2, "A": "y"}]
+        right = [{"K": 3, "B": "p"}]
+        assert join_op(left, right) == []
+
+    def test_empty_sides(self, join_op):
+        assert join_op([], [{"K": 1, "B": "p"}]) == []
+        assert join_op([{"K": 1, "A": "x"}], []) == []
+
+    def test_null_keys_match_nothing_implicitly(self, join_op):
+        """None keys only match None keys — hash semantics; workflows that
+        care should not-null their join keys first."""
+        left = [{"K": None, "A": "x"}]
+        right = [{"K": None, "B": "p"}]
+        out = join_op(left, right)
+        assert len(out) == 1  # documented behaviour: None == None in the hash
+
+    def test_shared_non_key_attribute_takes_left_value(self):
+        registry = default_registry()
+        op = registry.get("join")
+        join = Activity("1", t.JOIN, {"on": ("K",)})
+        left = [{"K": 1, "X": "left"}]
+        right = [{"K": 1, "X": "right", "B": 2}]
+        out = op(join, (left, right), EngineContext())
+        assert out == [{"K": 1, "X": "left", "B": 2}]

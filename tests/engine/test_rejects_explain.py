@@ -1,0 +1,79 @@
+"""Reject-stream collection and EXPLAIN rendering."""
+
+import pytest
+
+from repro.core.transitions import Merge
+from repro.io import explain
+
+
+class TestRejects:
+    def test_rejects_collected_per_filter(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=1, n1=100, n2=100)
+        result = fig1_executor.run(
+            fig1.workflow, data, collect_rejects=True
+        )
+        # NN(3) drops the null-cost rows; σ(8) drops below-threshold rows.
+        assert set(result.rejects) == {"3", "8"}
+        for row in result.rejects["3"]:
+            assert row["ECOST_M"] is None
+        for row in result.rejects["8"]:
+            assert row["ECOST_M"] is None or row["ECOST_M"] < 100.0
+
+    def test_rejects_empty_when_disabled(self, fig1, fig1_executor):
+        result = fig1_executor.run(fig1.workflow, fig1.make_data(seed=1))
+        assert result.rejects == {}
+
+    def test_reject_counts_balance(self, fig1, fig1_executor):
+        data = fig1.make_data(seed=2, n1=80, n2=80)
+        result = fig1_executor.run(fig1.workflow, data, collect_rejects=True)
+        stats = result.stats
+        for activity_id, dropped in result.rejects.items():
+            processed = stats.rows_processed[activity_id]
+            produced = stats.rows_output[activity_id]
+            assert len(dropped) == processed - produced
+
+    def test_all_filter_composite_reports_rejects(self, fig1, fig1_executor):
+        """A package of two filters reports one combined reject stream."""
+        wf = fig1.workflow
+        # Merge σ(8) with nothing adjacent that's a filter; instead merge
+        # the branch-1 NN(3) after distributing σ.
+        from repro.core.transitions import Distribute
+
+        distributed = Distribute(wf.node_by_id("7"), wf.node_by_id("8")).apply(wf)
+        merged = Merge(
+            distributed.node_by_id("3"), distributed.node_by_id("8_1")
+        ).apply(distributed)
+        data = fig1.make_data(seed=3, n1=60, n2=60)
+        result = fig1_executor.run(merged, data, collect_rejects=True)
+        assert "3+8_1" in result.rejects
+
+    def test_mixed_composite_not_reported(self, fig1, fig1_executor):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        data = fig1.make_data(seed=3, n1=40, n2=40)
+        result = fig1_executor.run(merged, data, collect_rejects=True)
+        assert "4+5" not in result.rejects
+
+
+class TestExplain:
+    def test_lists_all_nodes(self, fig1):
+        text = explain(fig1.workflow)
+        for node in fig1.workflow.nodes():
+            assert f"[{node.id}]" in text
+
+    def test_shows_total(self, fig1, model):
+        from repro.core.cost import estimate
+
+        text = explain(fig1.workflow, model)
+        expected = estimate(fig1.workflow, model).total
+        assert f"{expected:,.0f}" in text
+
+    def test_percentages_identify_dominant_activity(self, fig1):
+        text = explain(fig1.workflow)
+        gamma_line = next(
+            line for line in text.splitlines() if "γSUM" in line
+        )
+        assert gamma_line.rstrip().endswith("76")
+
+    def test_default_model(self, fig1):
+        assert explain(fig1.workflow)  # runs without an explicit model

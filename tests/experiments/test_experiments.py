@@ -1,0 +1,175 @@
+"""The experiment harness: records, aggregation, table formatting."""
+
+import pytest
+
+from repro.core.search import HSConfig
+from repro.experiments import (
+    ExperimentConfig,
+    best_known_costs,
+    format_fig4,
+    format_table1,
+    format_table2,
+    run_category,
+    run_experiment,
+    run_fig4,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.harness import RunRecord, run_algorithm
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_records():
+    config = ExperimentConfig(
+        categories=("tiny",),
+        workflows_per_category=2,
+        es_max_states={"tiny": 3000},
+        es_max_seconds=20.0,
+        hs_config=HSConfig(),
+    )
+    return run_experiment(config)
+
+
+class TestHarness:
+    def test_records_per_workflow_and_algorithm(self, tiny_records):
+        assert len(tiny_records) == 2 * 3  # 2 workflows x 3 algorithms
+        assert {r.algorithm for r in tiny_records} == {"ES", "HS", "HS-Greedy"}
+
+    def test_record_fields(self, tiny_records):
+        record = tiny_records[0]
+        assert record.category == "tiny"
+        assert record.activity_count > 0
+        assert record.best_cost <= record.initial_cost
+        assert record.visited_states >= 1
+        assert record.elapsed_seconds >= 0
+
+    def test_run_algorithm_unknown(self):
+        workload = generate_workload("tiny", seed=1)
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="unknown algorithm"):
+            run_algorithm(workload, "QUANTUM", ExperimentConfig())
+
+    def test_run_category_subset_of_algorithms(self):
+        config = ExperimentConfig(
+            categories=("tiny",), workflows_per_category=1
+        )
+        records = run_category("tiny", config, algorithms=("HS",))
+        assert [r.algorithm for r in records] == ["HS"]
+
+    def test_best_known_costs(self, tiny_records):
+        reference = best_known_costs(tiny_records)
+        assert set(reference) == {("tiny", 1), ("tiny", 2)}
+        for (category, seed), cost in reference.items():
+            runs = [
+                r
+                for r in tiny_records
+                if r.category == category and r.seed == seed
+            ]
+            assert cost == min(r.best_cost for r in runs)
+
+
+class TestTables:
+    def test_table1_rows(self, tiny_records):
+        rows = table1_rows(tiny_records)
+        assert len(rows) == 1
+        row = rows[0]
+        for algorithm in ("ES", "HS", "HS-Greedy"):
+            assert 0 < row[algorithm] <= 100.0
+
+    def test_table1_quality_reference_is_best_known(self, tiny_records):
+        row = table1_rows(tiny_records)[0]
+        # At least one algorithm per workflow achieved the best-known cost,
+        # so the maximum quality must be 100.
+        assert max(row[a] for a in ("ES", "HS", "HS-Greedy")) == pytest.approx(
+            100.0
+        )
+
+    def test_table2_rows(self, tiny_records):
+        row = table2_rows(tiny_records)[0]
+        assert row["category"] == "tiny"
+        assert row["activities_avg"] > 0
+        for algorithm in ("ES", "HS", "HS-Greedy"):
+            cell = row[algorithm]
+            assert cell["visited_states"] >= 1
+            assert cell["improvement_percent"] >= 0
+
+    def test_format_table1_includes_paper_values(self, tiny_records):
+        text = format_table1(tiny_records)
+        assert "Quality of solution" in text
+        assert "paper(ES/HS/Greedy)" in text
+
+    def test_format_table2_marks_budget_exhaustion(self, tiny_records):
+        text = format_table2(tiny_records)
+        assert "did not terminate" in text
+
+    def test_formatting_is_pure(self, tiny_records):
+        assert format_table1(tiny_records) == format_table1(tiny_records)
+
+
+class TestFig4Experiment:
+    def test_rows(self):
+        rows = run_fig4()
+        assert [r.case for r in rows] == ["initial", "distributed", "factorized"]
+        by_case = {r.case: r for r in rows}
+        assert by_case["distributed"].cost_without_union == pytest.approx(32.0)
+        assert by_case["distributed"].paper_cost == 32.0
+
+    def test_format(self):
+        text = format_fig4(run_fig4())
+        assert "distributed reduces the initial cost" in text
+        assert "factorized reduces the initial cost" in text
+
+    def test_scales_with_cardinality(self):
+        small = {r.case: r.cost_total for r in run_fig4(cardinality=8)}
+        large = {r.case: r.cost_total for r in run_fig4(cardinality=800)}
+        for case in small:
+            assert large[case] > small[case]
+
+
+class TestFullPaperRunner:
+    def test_full_paper_report(self, monkeypatch, tmp_path, capsys):
+        import repro.experiments.full_paper as full_paper
+
+        tiny = ExperimentConfig(
+            categories=("tiny",),
+            workflows_per_category=1,
+            es_max_states={"tiny": 300},
+            es_max_seconds=10.0,
+        )
+        monkeypatch.setattr(
+            "repro.experiments.full_paper.ExperimentConfig",
+            lambda workflows_per_category: tiny,
+        )
+        out_file = str(tmp_path / "report.md")
+        report = full_paper.main(1, out_file)
+        assert "Quality of solution" in report
+        assert "Fig. 4" in report
+        with open(out_file) as handle:
+            assert handle.read().strip().endswith("_")  # the timing line
+
+
+class TestMainEntrypoints:
+    def test_table_mains_run_at_tiny_scale(self, monkeypatch, capsys):
+        import repro.experiments.table1 as table1
+        import repro.experiments.table2 as table2
+
+        tiny = ExperimentConfig(
+            categories=("tiny",),
+            workflows_per_category=1,
+            es_max_states={"tiny": 500},
+            es_max_seconds=10.0,
+        )
+        monkeypatch.setattr(
+            "repro.experiments.table1.ExperimentConfig",
+            lambda workflows_per_category: tiny,
+        )
+        monkeypatch.setattr(
+            "repro.experiments.table2.ExperimentConfig",
+            lambda workflows_per_category: tiny,
+        )
+        report1 = table1.main(1)
+        report2 = table2.main(1)
+        assert "Quality of solution" in report1
+        assert "visited" in report2

@@ -1,0 +1,113 @@
+"""Intermediate recordsets (staging tables) as optimization boundaries.
+
+The paper's graph model "uniformly models situations where activities
+interact with recordsets, either as data providers or data consumers".
+A staging table in the middle of a flow is a hard boundary: local groups
+end there, and no transition moves an activity across it — the persisted
+contents are part of the design's contract.
+"""
+
+import pytest
+
+from repro import optimize
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Swap, candidate_transitions
+from repro.core.workflow import ETLWorkflow
+from repro.engine import Executor, empirically_equivalent
+from repro.templates import builtin as t
+
+
+@pytest.fixture
+def staged():
+    """source -> f(V1->W1) -> STAGE -> σ(W1) -> NN(V2) -> target."""
+    wf = ETLWorkflow()
+    schema = Schema(["K", "V1", "V2"])
+    staged_schema = Schema(["K", "W1", "V2"])
+    src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 100))
+    convert = wf.add_node(
+        Activity(
+            "2",
+            t.FUNCTION_APPLY,
+            {"function": "scale_double", "inputs": ("V1",), "output": "W1"},
+        )
+    )
+    stage = wf.add_node(RecordSet("3", "STAGE", staged_schema))
+    sigma = wf.add_node(
+        Activity(
+            "4", t.SELECTION, {"attr": "W1", "op": ">=", "value": 10.0},
+            selectivity=0.5,
+        )
+    )
+    nn = wf.add_node(Activity("5", t.NOT_NULL, {"attr": "V2"}, selectivity=0.9))
+    dw = wf.add_node(RecordSet("9", "DW", staged_schema, RecordSetKind.TARGET))
+    wf.add_edge(src, convert)
+    wf.add_edge(convert, stage)
+    wf.add_edge(stage, sigma)
+    wf.add_edge(sigma, nn)
+    wf.add_edge(nn, dw)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+class TestBoundaries:
+    def test_local_groups_split_at_staging_table(self, staged):
+        groups = [[a.id for a in g] for g in staged.local_groups()]
+        assert groups == [["2"], ["4", "5"]]
+
+    def test_no_transition_crosses_the_stage(self, staged):
+        descriptions = [
+            transition.describe()
+            for transition in candidate_transitions(staged)
+        ]
+        assert descriptions == ["SWA(4,5)"]
+
+    def test_swap_within_downstream_group_allowed(self, staged):
+        sigma = staged.node_by_id("4")
+        nn = staged.node_by_id("5")
+        assert Swap(sigma, nn).is_applicable(staged)
+
+    def test_optimizer_respects_stage(self, staged):
+        result = optimize(staged, algorithm="es")
+        assert result.completed
+        # σ(W1) stays downstream of the stage in every reachable state;
+        # within the group, σ (0.5) moves before NN (0.9)... they start in
+        # that order already, so the initial state is optimal.
+        assert result.best.signature == "1.2.3.4.5.9"
+
+    def test_stage_contents_preserved_by_optimization(self, staged):
+        result = optimize(staged, algorithm="es")
+        data = {
+            "S": [
+                {"K": i, "V1": float(i), "V2": None if i % 5 == 0 else i}
+                for i in range(40)
+            ]
+        }
+        report = empirically_equivalent(
+            staged, result.best.workflow, data, Executor()
+        )
+        assert report.equivalent
+
+
+class TestExecution:
+    def test_stage_passes_rows_through(self, staged):
+        data = {
+            "S": [{"K": 1, "V1": 10.0, "V2": 1}, {"K": 2, "V1": 1.0, "V2": 2}]
+        }
+        result = Executor().run(staged, data)
+        assert result.targets["DW"] == [{"K": 1, "W1": 20.0, "V2": 1}]
+
+    def test_stage_schema_mismatch_rejected(self):
+        wf = ETLWorkflow()
+        schema = Schema(["K", "V1"])
+        src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 10))
+        stage = wf.add_node(RecordSet("2", "STAGE", Schema(["K", "OTHER"])))
+        dw = wf.add_node(RecordSet("9", "DW", schema, RecordSetKind.TARGET))
+        wf.add_edge(src, stage)
+        wf.add_edge(stage, dw)
+        from repro.exceptions import SchemaError
+
+        with pytest.raises(SchemaError, match="declared"):
+            wf.propagate_schemas()

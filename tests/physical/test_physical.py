@@ -1,0 +1,197 @@
+"""Physical layer: implementation catalogue, planning, cost model."""
+
+import pytest
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.cost import ProcessedRowsCostModel, estimate
+from repro.core.search import heuristic_search
+from repro.core.transitions import Merge
+from repro.exceptions import ReproError
+from repro.physical import (
+    PhysicalCostModel,
+    PhysicalPlan,
+    implementations_for,
+    plan_physical,
+)
+from repro.templates import builtin as t
+from repro.workloads import fig4_states, generate_workload
+
+
+def _sk(activity_id="1", lookup_size=None):
+    params = {"key_attr": "K", "skey_attr": "S", "lookup": "l"}
+    if lookup_size is not None:
+        params["lookup_size"] = lookup_size
+    return Activity(activity_id, t.SURROGATE_KEY, params)
+
+
+class TestSurrogateKeyFeasibility:
+    def test_declared_lookup_size_gates_hash(self):
+        sk = _sk(lookup_size=500)
+        hash_impl = next(
+            i for i in implementations_for(sk) if i.name == "hash_lookup"
+        )
+        assert hash_impl.feasible(sk, (10.0,), memory=1000)
+        assert not hash_impl.feasible(sk, (10.0,), memory=100)
+
+    def test_undeclared_lookup_size_assumed_to_fit(self):
+        sk = _sk()
+        hash_impl = next(
+            i for i in implementations_for(sk) if i.name == "hash_lookup"
+        )
+        assert hash_impl.feasible(sk, (10.0,), memory=0)
+
+
+class TestCatalogue:
+    def test_every_builtin_template_has_implementations(self):
+        from repro.templates import ALL_BUILTIN_TEMPLATES
+        from repro.physical.implementations import CATALOGUE
+
+        for template in ALL_BUILTIN_TEMPLATES:
+            assert template.name in CATALOGUE
+
+    def test_filters_have_single_scan(self):
+        sigma = Activity(
+            "1", t.SELECTION, {"attr": "V", "op": ">=", "value": 1}
+        )
+        (implementation,) = implementations_for(sigma)
+        assert implementation.name == "scan"
+        assert implementation.cost((100.0,)) == 100.0
+
+    def test_aggregation_hash_vs_sort(self):
+        gamma = Activity(
+            "1",
+            t.AGGREGATION,
+            {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "VM"},
+            selectivity=0.5,
+        )
+        names = {i.name for i in implementations_for(gamma)}
+        assert names == {"hash_aggregate", "sort_aggregate"}
+
+    def test_hash_aggregate_feasibility_uses_group_count(self):
+        gamma = Activity(
+            "1",
+            t.AGGREGATION,
+            {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "VM"},
+            selectivity=0.5,
+        )
+        hash_impl = next(
+            i for i in implementations_for(gamma) if i.name == "hash_aggregate"
+        )
+        # 1000 rows, selectivity 0.5 -> 500 groups.
+        assert hash_impl.feasible(gamma, (1000.0,), memory=600)
+        assert not hash_impl.feasible(gamma, (1000.0,), memory=400)
+
+    def test_custom_template_falls_back_to_cost_shape(self):
+        from repro.core.schema import EMPTY_SCHEMA, Schema
+        from repro.templates.base import (
+            ActivityKind,
+            ActivityTemplate,
+            CostShape,
+            SchemaPlan,
+        )
+
+        custom = ActivityTemplate(
+            name="custom_sorter",
+            kind=ActivityKind.FUNCTION,
+            arity=1,
+            cost_shape=CostShape.SORT,
+            param_names=(),
+            planner=lambda p: SchemaPlan(
+                (EMPTY_SCHEMA,), EMPTY_SCHEMA, EMPTY_SCHEMA
+            ),
+        )
+        activity = Activity("1", custom, {})
+        (implementation,) = implementations_for(activity)
+        assert implementation.name == "sort"
+
+
+class TestPlanning:
+    def test_unlimited_memory_prefers_hash(self, fig1):
+        plan = plan_physical(fig1.workflow)
+        gamma = fig1.workflow.node_by_id("6")
+        assert plan.implementation_of(gamma).name == "hash_aggregate"
+
+    def test_tight_memory_forces_sort(self, fig1):
+        plan = plan_physical(fig1.workflow, memory_rows=10)
+        gamma = fig1.workflow.node_by_id("6")
+        assert plan.implementation_of(gamma).name == "sort_aggregate"
+
+    def test_plan_cost_monotone_in_memory(self, fig1):
+        generous = plan_physical(fig1.workflow, memory_rows=1e9)
+        tight = plan_physical(fig1.workflow, memory_rows=10)
+        assert generous.total_cost <= tight.total_cost
+
+    def test_physical_plan_never_exceeds_logical_cost(self, fig1, model):
+        """Every sort-shaped logical price is an available implementation,
+        so the physical optimum can only improve on the logical estimate."""
+        plan = plan_physical(fig1.workflow, memory_rows=1e9)
+        logical = estimate(fig1.workflow, model).total
+        assert plan.total_cost <= logical + 1e-9
+
+    def test_composite_planned_component_wise(self, fig1):
+        wf = fig1.workflow
+        merged_wf = Merge(wf.node_by_id("5"), wf.node_by_id("6")).apply(wf)
+        package = merged_wf.node_by_id("5+6")
+        plan = plan_physical(merged_wf)
+        assert isinstance(package, CompositeActivity)
+        for component in package.components:
+            assert plan.implementation_of(component) is not None
+
+    def test_unknown_activity_raises(self, fig1, two_branch):
+        plan = plan_physical(fig1.workflow)
+        foreign = two_branch.workflow.node_by_id("5")
+        with pytest.raises(ReproError, match="not part of this"):
+            plan.implementation_of(foreign)
+
+    def test_describe_lists_choices(self, fig1):
+        text = plan_physical(fig1.workflow).describe()
+        assert "hash_aggregate" in text
+        assert "total:" in text
+
+    def test_generated_workload_plans(self):
+        workload = generate_workload("small", seed=5)
+        plan = plan_physical(workload.workflow, memory_rows=1000)
+        assert plan.total_cost > 0
+
+
+class TestPhysicalCostModel:
+    def test_prices_cheapest_feasible(self):
+        model = PhysicalCostModel(memory_rows=1e9)
+        gamma = Activity(
+            "1",
+            t.AGGREGATION,
+            {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "VM"},
+            selectivity=0.5,
+        )
+        assert model.activity_cost(gamma, (1000.0,)) == 1000.0  # hash
+        tight = PhysicalCostModel(memory_rows=10)
+        assert tight.activity_cost(gamma, (1000.0,)) > 1000.0  # sort
+
+    def test_logical_search_under_physical_costs(self, fig1):
+        result = heuristic_search(fig1.workflow, model=PhysicalCostModel())
+        assert result.best_cost <= result.initial_cost
+
+    def test_memory_changes_fig4_preference(self):
+        """With abundant memory the SK is a linear hash lookup, so
+        factorizing vs distributing it is cost-neutral and only the
+        selection placement matters; with no memory the sort-based SK
+        reappears and distribution wins again."""
+        states = fig4_states(cardinality=8)
+        plentiful = PhysicalCostModel(memory_rows=1e9)
+        starved = PhysicalCostModel(memory_rows=0)
+        costs_mem = {
+            name: estimate(wf, plentiful).total for name, wf in states.items()
+        }
+        costs_no_mem = {
+            name: estimate(wf, starved).total for name, wf in states.items()
+        }
+        # Sort-based (memory-starved) costs match the logical model.
+        logical = ProcessedRowsCostModel()
+        for name, wf in states.items():
+            assert costs_no_mem[name] == pytest.approx(
+                estimate(wf, logical).total
+            )
+        # Hash-based SKs flatten the initial-vs-factorized gap.
+        gap_mem = costs_mem["initial"] - costs_mem["factorized"]
+        gap_no_mem = costs_no_mem["initial"] - costs_no_mem["factorized"]
+        assert gap_mem < gap_no_mem

@@ -1,0 +1,84 @@
+"""Property-based tests for costing: incremental == full, monotonicity."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import (
+    LinearCostModel,
+    ProcessedRowsCostModel,
+    estimate,
+    estimate_incremental,
+)
+from repro.core.transitions import successor_states
+from repro.workloads import generate_workload
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def workload_case(draw):
+    seed = draw(st.integers(0, 120))
+    category = draw(st.sampled_from(["tiny", "small"]))
+    choice = draw(st.integers(0, 10_000))
+    model = draw(st.sampled_from([ProcessedRowsCostModel(), LinearCostModel()]))
+    return generate_workload(category, seed=seed), choice, model
+
+
+@given(workload_case())
+@_SETTINGS
+def test_incremental_equals_full(case):
+    workload, choice, model = case
+    parent_report = estimate(workload.workflow, model)
+    successors = list(successor_states(workload.workflow))
+    if not successors:
+        return
+    transition, successor = successors[choice % len(successors)]
+    incremental = estimate_incremental(
+        successor, model, parent_report, transition.affected_nodes()
+    )
+    full = estimate(successor, model)
+    assert abs(incremental.total - full.total) < 1e-6 * max(1.0, full.total)
+    assert set(incremental.node_costs) == set(full.node_costs)
+
+
+@given(workload_case())
+@_SETTINGS
+def test_costs_are_non_negative(case):
+    workload, _, model = case
+    report = estimate(workload.workflow, model)
+    assert report.total >= 0
+    assert all(cost >= 0 for cost in report.node_costs.values())
+    assert all(card >= 0 for card in report.cardinalities.values())
+
+
+@given(workload_case())
+@_SETTINGS
+def test_total_is_sum_of_activities(case):
+    workload, _, model = case
+    report = estimate(workload.workflow, model)
+    assert abs(report.total - sum(report.node_costs.values())) < 1e-9
+
+
+@given(st.integers(0, 120))
+@_SETTINGS
+def test_estimated_cost_tracks_empirical_rows(seed):
+    """The processed-rows estimate and the engine's actual processed-row
+    count must agree on *direction* between two equivalent states: if the
+    model says a state is much cheaper, the engine must not process more
+    rows in it.  (Loose check: rank agreement within 20% slack.)"""
+    from repro import optimize
+    from repro.engine import Executor
+
+    workload = generate_workload("tiny", seed=seed)
+    result = optimize(workload.workflow, algorithm="greedy")
+    if result.best_cost >= result.initial_cost * 0.9:
+        return  # no meaningful gap to compare
+    executor = Executor(context=workload.context)
+    data = workload.make_data(1, n=60)
+    before = executor.run(workload.workflow, data).stats.total_rows_processed
+    after = executor.run(result.best.workflow, data).stats.total_rows_processed
+    assert after <= before * 1.2

@@ -1,0 +1,108 @@
+"""Property tests for MER/SPL interleaved with the other transitions."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.equivalence import symbolically_equivalent
+from repro.core.signature import state_signature
+from repro.core.transitions import Merge, split_fully, successor_states
+from repro.engine import Executor, empirically_equivalent
+from repro.workloads import generate_workload
+
+_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _mergeable_pairs(workflow):
+    pairs = []
+    for first in sorted(workflow.activities(), key=lambda a: a.id):
+        if not first.is_unary:
+            continue
+        consumers = workflow.consumers(first)
+        if len(consumers) != 1:
+            continue
+        second = consumers[0]
+        if (
+            isinstance(second, Activity)
+            and second.is_unary
+            and len(workflow.consumers(second)) == 1
+        ):
+            pairs.append((first, second))
+    return pairs
+
+
+@st.composite
+def merge_walk_case(draw):
+    seed = draw(st.integers(0, 120))
+    merge_choice = draw(st.integers(0, 10_000))
+    walk_choices = draw(st.lists(st.integers(0, 10_000), min_size=0, max_size=3))
+    return generate_workload("tiny", seed=seed), merge_choice, walk_choices
+
+
+@given(merge_walk_case())
+@_SETTINGS
+def test_merge_walk_split_preserves_semantics(case):
+    workload, merge_choice, walk_choices = case
+    workflow = workload.workflow
+    pairs = _mergeable_pairs(workflow)
+    if not pairs:
+        return
+    first, second = pairs[merge_choice % len(pairs)]
+    merged = Merge(first, second).apply(workflow)
+
+    current = merged
+    for choice in walk_choices:
+        successors = list(successor_states(current))
+        if not successors:
+            break
+        _, current = successors[choice % len(successors)]
+
+    final = split_fully(current)
+    assert symbolically_equivalent(workflow, final).equivalent
+    report = empirically_equivalent(
+        workflow,
+        final,
+        workload.make_data(0, n=25),
+        Executor(context=workload.context),
+    )
+    assert report.equivalent, report.differences
+
+
+@given(merge_walk_case())
+@_SETTINGS
+def test_merge_then_split_is_identity(case):
+    workload, merge_choice, _ = case
+    workflow = workload.workflow
+    pairs = _mergeable_pairs(workflow)
+    if not pairs:
+        return
+    first, second = pairs[merge_choice % len(pairs)]
+    merged = Merge(first, second).apply(workflow)
+    restored = split_fully(merged)
+    assert state_signature(restored) == state_signature(workflow)
+
+
+@given(merge_walk_case())
+@_SETTINGS
+def test_merged_state_has_no_internal_transitions(case):
+    """No transition may reorder or separate a package's components."""
+    workload, merge_choice, _ = case
+    workflow = workload.workflow
+    pairs = _mergeable_pairs(workflow)
+    if not pairs:
+        return
+    first, second = pairs[merge_choice % len(pairs)]
+    merged_state = Merge(first, second).apply(workflow)
+    package = next(
+        a for a in merged_state.activities() if isinstance(a, CompositeActivity)
+    )
+    component_ids = {c.id for c in package.components}
+    for transition, successor in successor_states(merged_state):
+        for activity in successor.activities():
+            # The components never reappear as standalone activities.
+            if not isinstance(activity, CompositeActivity):
+                assert activity.id not in component_ids

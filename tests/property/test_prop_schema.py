@@ -1,0 +1,60 @@
+"""Property-based tests for the schema algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.schema import Schema
+
+attr_names = st.text(
+    alphabet="ABCDEFGHKV_", min_size=1, max_size=6
+)
+attr_lists = st.lists(attr_names, unique=True, max_size=8)
+
+
+@given(attr_lists)
+def test_construction_roundtrip(attrs):
+    assert list(Schema(attrs)) == attrs
+
+
+@given(attr_lists, attr_lists)
+def test_union_contains_both(a, b):
+    combined = Schema(a).union(Schema(b))
+    assert set(a) | set(b) == combined.as_set
+
+
+@given(attr_lists, attr_lists)
+def test_union_is_idempotent_on_sets(a, b):
+    first = Schema(a).union(Schema(b))
+    again = first.union(Schema(b))
+    assert first == again
+
+
+@given(attr_lists, attr_lists)
+def test_minus_then_union_restores_set(a, b):
+    schema_a = Schema(a)
+    removed = schema_a.minus(b)
+    assert removed.as_set == set(a) - set(b)
+    assert removed.issubset(schema_a)
+
+
+@given(attr_lists, attr_lists)
+def test_intersect_commutes_on_sets(a, b):
+    left = Schema(a).intersect(Schema(b)).as_set
+    right = Schema(b).intersect(Schema(a)).as_set
+    assert left == right
+
+
+@given(attr_lists)
+def test_normalized_is_compatible(attrs):
+    schema = Schema(attrs)
+    assert schema.compatible(schema.normalized())
+
+
+@given(attr_lists, attr_lists)
+def test_compatible_iff_same_sets(a, b):
+    assert Schema(a).compatible(Schema(b)) == (set(a) == set(b))
+
+
+@given(attr_lists)
+def test_hash_respects_equality(attrs):
+    assert hash(Schema(attrs)) == hash(Schema(list(attrs)))

@@ -1,0 +1,101 @@
+"""Property-based correctness of transitions (the paper's Theorem 2).
+
+For random generated workflows and random chains of applicable
+transitions, every derived state must be (a) structurally and schema-wise
+valid, (b) symbolically equivalent to the initial state (same target
+schemas, same post-condition set), and (c) empirically equivalent — the
+execution engine produces identical target multisets on the same input.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.equivalence import symbolically_equivalent
+from repro.core.signature import state_signature
+from repro.core.transitions import successor_states
+from repro.engine import Executor, empirically_equivalent
+from repro.workloads import generate_workload
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_walk(workflow, rng_draws, max_steps):
+    """Follow a chain of applicable transitions chosen by hypothesis."""
+    current = workflow
+    path = []
+    for choice in rng_draws[:max_steps]:
+        successors = list(successor_states(current))
+        if not successors:
+            break
+        transition, nxt = successors[choice % len(successors)]
+        path.append((transition, nxt))
+        current = nxt
+    return current, path
+
+
+@st.composite
+def workload_and_walk(draw):
+    seed = draw(st.integers(0, 150))
+    category = draw(st.sampled_from(["tiny", "small"]))
+    choices = draw(st.lists(st.integers(0, 10_000), min_size=1, max_size=4))
+    return generate_workload(category, seed=seed), choices
+
+
+@given(workload_and_walk())
+@_SETTINGS
+def test_transition_chain_preserves_validity(case):
+    workload, choices = case
+    final, path = _random_walk(workload.workflow, choices, max_steps=4)
+    final.validate()
+    final.propagate_schemas()
+
+
+@given(workload_and_walk())
+@_SETTINGS
+def test_transition_chain_preserves_post_condition(case):
+    workload, choices = case
+    final, path = _random_walk(workload.workflow, choices, max_steps=4)
+    if path:
+        report = symbolically_equivalent(workload.workflow, final)
+        assert report.equivalent, report
+
+
+@given(workload_and_walk())
+@_SETTINGS
+def test_transition_chain_preserves_output(case):
+    workload, choices = case
+    final, path = _random_walk(workload.workflow, choices, max_steps=3)
+    if not path:
+        return
+    data = workload.make_data(0, n=30)
+    report = empirically_equivalent(
+        workload.workflow, final, data, Executor(context=workload.context)
+    )
+    assert report.equivalent, report.differences
+
+
+@given(workload_and_walk())
+@_SETTINGS
+def test_each_transition_changes_signature(case):
+    workload, choices = case
+    current = workload.workflow
+    for choice in choices[:3]:
+        successors = list(successor_states(current))
+        if not successors:
+            break
+        _, nxt = successors[choice % len(successors)]
+        assert state_signature(nxt) != state_signature(current)
+        current = nxt
+
+
+@given(workload_and_walk())
+@_SETTINGS
+def test_transitions_do_not_mutate_source_state(case):
+    workload, choices = case
+    before = state_signature(workload.workflow)
+    _random_walk(workload.workflow, choices, max_steps=3)
+    assert state_signature(workload.workflow) == before

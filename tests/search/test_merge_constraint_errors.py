@@ -1,0 +1,39 @@
+"""Merge-constraint validation in HS."""
+
+import pytest
+
+from repro.core.search import heuristic_search
+from repro.exceptions import ReproError, TransitionError, WorkflowError
+
+
+class TestMergeConstraintErrors:
+    def test_non_adjacent_pair_rejected(self, fig1):
+        with pytest.raises(TransitionError, match="not adjacent"):
+            heuristic_search(fig1.workflow, merge_constraints=(("4", "6"),))
+
+    def test_unknown_activity_rejected(self, fig1):
+        with pytest.raises(WorkflowError, match="no node"):
+            heuristic_search(fig1.workflow, merge_constraints=(("4", "404"),))
+
+    def test_recordset_in_constraint_rejected(self, fig1):
+        with pytest.raises(ReproError):
+            heuristic_search(fig1.workflow, merge_constraints=(("1", "3"),))
+
+    def test_chained_constraints_build_triple_package(self, fig1):
+        result = heuristic_search(
+            fig1.workflow, merge_constraints=(("4", "5"), ("4+5", "6"))
+        )
+        # The whole branch is one opaque package, so nothing can reorder
+        # inside it; the only remaining improvement is distributing σ.
+        assert result.best_cost <= result.initial_cost
+        # And the final state is fully split back.
+        from repro.core.activity import CompositeActivity
+
+        assert not any(
+            isinstance(a, CompositeActivity)
+            for a in result.best.workflow.activities()
+        )
+
+    def test_binary_activity_in_constraint_rejected(self, fig1):
+        with pytest.raises(TransitionError, match="not unary"):
+            heuristic_search(fig1.workflow, merge_constraints=(("7", "8"),))

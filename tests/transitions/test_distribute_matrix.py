@@ -1,0 +1,238 @@
+"""The FAC/DIS applicability matrix, validated against the engine.
+
+DESIGN.md declares which unary templates move across which binary ones
+(filters across everything, injective functions across union/difference/
+intersection, plain functions across union only, aggregations never).
+This suite builds a micro-state per combination and checks two things:
+
+* applicability matches the declared matrix;
+* every *allowed* move is semantics-preserving on concrete data —
+  including data engineered to contain cross-branch duplicates, the case
+  where unsound moves across difference/intersection would show up.
+"""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Distribute, Factorize
+from repro.core.workflow import ETLWorkflow
+from repro.engine import (
+    EngineContext,
+    Executor,
+    default_scalar_functions,
+    empirically_equivalent,
+)
+from repro.templates import builtin as t
+
+SCHEMA = Schema(["K", "V", "W"])
+
+
+def _movable(kind: str, activity_id: str) -> Activity:
+    """One unary activity of the requested family."""
+    if kind == "selection":
+        return Activity(
+            activity_id,
+            t.SELECTION,
+            {"attr": "V", "op": ">=", "value": 5.0},
+            selectivity=0.5,
+        )
+    if kind == "not_null":
+        return Activity(activity_id, t.NOT_NULL, {"attr": "V"}, selectivity=0.9)
+    if kind == "pk_check":
+        return Activity(
+            activity_id,
+            t.PK_CHECK,
+            {"key_attrs": ("K",), "reference": "blocked"},
+            selectivity=0.9,
+        )
+    if kind == "injective_function":
+        return Activity(
+            activity_id,
+            t.FUNCTION_APPLY,
+            {
+                "function": "shift_up",
+                "inputs": ("V",),
+                "output": "V2",
+                "injective": True,
+            },
+        )
+    if kind == "plain_function":
+        return Activity(
+            activity_id,
+            t.FUNCTION_APPLY,
+            {"function": "collapse_sign", "inputs": ("V",), "output": "V2"},
+        )
+    if kind == "surrogate_key":
+        return Activity(
+            activity_id,
+            t.SURROGATE_KEY,
+            {"key_attr": "K", "skey_attr": "SK", "lookup": "keys"},
+        )
+    if kind == "aggregation":
+        return Activity(
+            activity_id,
+            t.AGGREGATION,
+            {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "VS"},
+            selectivity=0.5,
+        )
+    raise AssertionError(kind)
+
+
+def _binary(kind: str) -> Activity:
+    if kind == "union":
+        return Activity("5", t.UNION, {})
+    if kind == "difference":
+        return Activity("5", t.DIFFERENCE, {})
+    if kind == "intersection":
+        return Activity("5", t.INTERSECTION, {})
+    if kind == "join":
+        return Activity("5", t.JOIN, {"on": ("K",)}, selectivity=0.05)
+    raise AssertionError(kind)
+
+
+def _target_schema(binary_kind: str, movable: Activity) -> Schema:
+    base = SCHEMA
+    if binary_kind == "join":
+        base = Schema(["K", "V", "W", "V_R", "W_R"])
+    return movable.derive_output((base,))
+
+
+def _join_right_schema() -> Schema:
+    return Schema(["K", "V_R", "W_R"])
+
+
+def _state_with_movable_after_binary(binary_kind: str, movable_kind: str):
+    """sources -> binary -> movable -> target (the DIS starting shape)."""
+    wf = ETLWorkflow()
+    left_schema = SCHEMA
+    right_schema = _join_right_schema() if binary_kind == "join" else SCHEMA
+    s1 = wf.add_node(RecordSet("1", "L", left_schema, RecordSetKind.SOURCE, 20))
+    s2 = wf.add_node(RecordSet("2", "R", right_schema, RecordSetKind.SOURCE, 20))
+    binary = wf.add_node(_binary(binary_kind))
+    movable = _movable(movable_kind, "6")
+    wf.add_node(movable)
+    wf.add_edge(s1, binary, port=0)
+    wf.add_edge(s2, binary, port=1)
+    wf.add_edge(binary, movable)
+    target = wf.add_node(
+        RecordSet("9", "DW", _target_schema(binary_kind, movable), RecordSetKind.TARGET)
+    )
+    wf.add_edge(movable, target)
+    return wf, binary, movable
+
+
+#: The declared matrix: does <movable> distribute over <binary>?
+EXPECTED = {
+    ("selection", "union"): True,
+    ("selection", "difference"): True,
+    ("selection", "intersection"): True,
+    ("not_null", "union"): True,
+    ("not_null", "difference"): True,
+    ("not_null", "intersection"): True,
+    ("not_null", "join"): False,  # reads V, absent on the right side
+    ("injective_function", "join"): False,
+    ("pk_check", "union"): True,
+    ("pk_check", "difference"): True,
+    ("pk_check", "intersection"): True,
+    ("injective_function", "union"): True,
+    ("injective_function", "difference"): True,
+    ("injective_function", "intersection"): True,
+    ("plain_function", "union"): True,
+    ("plain_function", "difference"): False,
+    ("plain_function", "intersection"): False,
+    ("surrogate_key", "union"): True,
+    ("surrogate_key", "difference"): True,
+    ("surrogate_key", "intersection"): True,
+    ("aggregation", "union"): False,
+    ("aggregation", "difference"): False,
+    ("aggregation", "intersection"): False,
+    ("aggregation", "join"): False,
+    # Functionality on one side only never survives a join clone; key-based
+    # filters do.
+    ("selection", "join"): False,  # reads V, absent on the right side
+    ("pk_check", "join"): True,   # reads K, present on both sides
+    ("plain_function", "join"): False,
+    ("surrogate_key", "join"): False,  # generates SK on both sides
+}
+
+
+def _context() -> EngineContext:
+    functions = default_scalar_functions()
+    functions["collapse_sign"] = lambda v: abs(v) if v is not None else None
+    context = EngineContext(scalar_functions=functions)
+    context.references["blocked"] = frozenset({(1,), (7,)})
+    context.lookups["keys"] = lambda key: 1000 + key
+    return context
+
+
+def _data(binary_kind: str) -> dict:
+    """Rows with deliberate cross-branch duplicates and sign collisions."""
+    left = [
+        {"K": k, "V": float(v), "W": float(w)}
+        for k, v, w in [
+            (1, 10, 0), (2, -10, 1), (2, 10, 1), (3, 4, 2),
+            (4, 8, 3), (4, 8, 3), (5, -8, 4), (7, 6, 5),
+        ]
+    ]
+    if binary_kind == "join":
+        right = [
+            {"K": k, "V_R": float(v), "W_R": float(w)}
+            for k, v, w in [(1, 1, 1), (2, 2, 2), (2, 3, 3), (5, 5, 5)]
+        ]
+    else:
+        right = [
+            {"K": k, "V": float(v), "W": float(w)}
+            for k, v, w in [
+                (2, 10, 1), (4, 8, 3), (5, -8, 4), (6, 2, 6), (7, 6, 5),
+            ]
+        ]
+    return {"L": left, "R": right}
+
+
+@pytest.mark.parametrize(
+    "movable_kind,binary_kind",
+    sorted(EXPECTED),
+)
+def test_distribute_matrix(movable_kind, binary_kind):
+    wf, binary, movable = _state_with_movable_after_binary(
+        binary_kind, movable_kind
+    )
+    transition = Distribute(binary, movable)
+    successor = transition.try_apply(wf)
+    expected = EXPECTED[(movable_kind, binary_kind)]
+    assert (successor is not None) == expected, (movable_kind, binary_kind)
+    if successor is None:
+        return
+    report = empirically_equivalent(
+        wf, successor, _data(binary_kind), Executor(context=_context())
+    )
+    assert report.equivalent, (movable_kind, binary_kind, report.differences)
+
+
+@pytest.mark.parametrize(
+    "movable_kind,binary_kind",
+    sorted(key for key, allowed in EXPECTED.items() if allowed),
+)
+def test_factorize_matrix_round_trip(movable_kind, binary_kind):
+    """For every allowed DIS, FAC restores the original state exactly."""
+    wf, binary, movable = _state_with_movable_after_binary(
+        binary_kind, movable_kind
+    )
+    distributed = Distribute(binary, movable).apply(wf)
+    clones = sorted(
+        (a for a in distributed.activities() if a.id.startswith("6_")),
+        key=lambda a: a.id,
+    )
+    assert len(clones) == 2
+    refactorized = Factorize(
+        distributed.node_by_id("5"), clones[0], clones[1]
+    ).apply(distributed)
+    from repro.core.signature import state_signature
+
+    assert state_signature(refactorized) == state_signature(wf)
+    report = empirically_equivalent(
+        wf, refactorized, _data(binary_kind), Executor(context=_context())
+    )
+    assert report.equivalent

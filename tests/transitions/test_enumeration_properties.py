@@ -1,0 +1,59 @@
+"""Enumeration well-formedness on generated workloads."""
+
+import pytest
+
+from repro.core.transitions import (
+    Distribute,
+    Factorize,
+    Swap,
+    candidate_transitions,
+    homologous,
+)
+from repro.workloads import generate_workload
+
+
+@pytest.mark.parametrize("seed", range(5))
+class TestCandidateWellFormedness:
+    def test_candidates_reference_state_nodes(self, seed):
+        workload = generate_workload("small", seed=seed)
+        wf = workload.workflow
+        for transition in candidate_transitions(wf):
+            for node in _referenced(transition):
+                assert node in wf
+
+    def test_swap_candidates_are_adjacent(self, seed):
+        workload = generate_workload("small", seed=seed)
+        wf = workload.workflow
+        for transition in candidate_transitions(wf):
+            if isinstance(transition, Swap):
+                assert wf.consumers(transition.first) == [transition.second]
+
+    def test_factorize_candidates_are_homologous(self, seed):
+        workload = generate_workload("small", seed=seed)
+        wf = workload.workflow
+        for transition in candidate_transitions(wf):
+            if isinstance(transition, Factorize):
+                assert homologous(wf, transition.first, transition.second)
+
+    def test_distribute_candidates_follow_their_binary(self, seed):
+        workload = generate_workload("small", seed=seed)
+        wf = workload.workflow
+        for transition in candidate_transitions(wf):
+            if isinstance(transition, Distribute):
+                assert wf.consumers(transition.binary) == [transition.activity]
+
+    def test_enumeration_is_deterministic(self, seed):
+        workload = generate_workload("small", seed=seed)
+        first = [t.describe() for t in candidate_transitions(workload.workflow)]
+        second = [t.describe() for t in candidate_transitions(workload.workflow)]
+        assert first == second
+
+
+def _referenced(transition):
+    if isinstance(transition, Swap):
+        return (transition.first, transition.second)
+    if isinstance(transition, Factorize):
+        return (transition.binary, transition.first, transition.second)
+    if isinstance(transition, Distribute):
+        return (transition.binary, transition.activity)
+    return ()

@@ -1,0 +1,155 @@
+"""FAC and DIS: homologous detection, surgery, round-trips, applicability."""
+
+import pytest
+
+from repro.core.signature import state_signature
+from repro.core.transitions import Distribute, Factorize, homologous
+from repro.engine import Executor, empirically_equivalent
+from repro.exceptions import TransitionError
+
+
+class TestHomologous:
+    def test_fig4_surrogate_keys_are_homologous(self, fig4):
+        states, _ = fig4
+        wf = states["initial"]
+        assert homologous(wf, wf.node_by_id("3"), wf.node_by_id("4"))
+
+    def test_activity_not_homologous_with_itself(self, fig4):
+        states, _ = fig4
+        wf = states["initial"]
+        sk = wf.node_by_id("3")
+        assert not homologous(wf, sk, sk)
+
+    def test_different_semantics_not_homologous(self, two_branch):
+        wf = two_branch.workflow
+        # σ(V2>=40) vs NN(V1): different templates.
+        assert not homologous(wf, wf.node_by_id("5"), wf.node_by_id("6"))
+
+    def test_converts_across_branches_homologous(self, two_branch):
+        wf = two_branch.workflow
+        assert homologous(wf, wf.node_by_id("3"), wf.node_by_id("4"))
+
+
+class TestDistribute:
+    def test_distribute_selection_over_union(self, fig1):
+        wf = fig1.workflow
+        union, sigma = wf.node_by_id("7"), wf.node_by_id("8")
+        distributed = Distribute(union, sigma).apply(wf)
+        clone_ids = {a.id for a in distributed.activities()}
+        assert "8_1" in clone_ids and "8_2" in clone_ids
+        assert "8" not in clone_ids
+        assert state_signature(distributed) == "((1.3.8_1)//(2.4.5.6.8_2)).7.9"
+
+    def test_distribute_preserves_output(self, fig1):
+        wf = fig1.workflow
+        distributed = Distribute(wf.node_by_id("7"), wf.node_by_id("8")).apply(wf)
+        report = empirically_equivalent(
+            wf, distributed, fig1.make_data(seed=3), Executor(context=fig1.context)
+        )
+        assert report.equivalent
+
+    def test_aggregation_never_distributes(self, fig4, fig1):
+        wf = fig1.workflow
+        union = wf.node_by_id("7")
+        gamma = wf.node_by_id("6")
+        with pytest.raises(TransitionError):
+            Distribute(union, gamma).check(wf)
+
+    def test_distribute_requires_adjacency(self, fig1):
+        wf = fig1.workflow
+        union = wf.node_by_id("7")
+        # γ (6) is a provider, not the consumer, of the union.
+        with pytest.raises(TransitionError):
+            Distribute(union, wf.node_by_id("6")).check(wf)
+
+    def test_distribute_requires_binary(self, fig1):
+        wf = fig1.workflow
+        with pytest.raises(TransitionError, match="not binary"):
+            Distribute(wf.node_by_id("6"), wf.node_by_id("8")).check(wf)
+
+    def test_affected_nodes_after_apply(self, fig1):
+        wf = fig1.workflow
+        transition = Distribute(wf.node_by_id("7"), wf.node_by_id("8"))
+        transition.apply(wf)
+        affected_ids = {n.id for n in transition.affected_nodes()}
+        assert affected_ids == {"7", "8_1", "8_2"}
+
+
+class TestFactorize:
+    def test_factorize_fig4_surrogate_keys(self, fig4):
+        states, _ = fig4
+        wf = states["initial"]
+        factorized = Factorize(
+            wf.node_by_id("5"), wf.node_by_id("3"), wf.node_by_id("4")
+        ).apply(wf)
+        ids = {a.id for a in factorized.activities()}
+        assert "3" in ids and "4" not in ids
+        # One SK remains, placed after the union.
+        union = factorized.node_by_id("5")
+        (follower,) = factorized.consumers(union)
+        assert follower.name == "SK"
+
+    def test_factorize_requires_homologous(self, two_branch):
+        wf = two_branch.workflow
+        union = wf.node_by_id("7")
+        # σ(V2) and convert2 are the direct providers but not homologous.
+        with pytest.raises(TransitionError, match="not homologous"):
+            Factorize(union, wf.node_by_id("5"), wf.node_by_id("4")).check(wf)
+
+    def test_factorize_requires_adjacency(self, two_branch):
+        wf = two_branch.workflow
+        union = wf.node_by_id("7")
+        with pytest.raises(TransitionError, match="not adjacent"):
+            Factorize(union, wf.node_by_id("3"), wf.node_by_id("4")).check(wf)
+
+    def test_factorize_preserves_output(self, fig4):
+        states, context = fig4
+        from repro.workloads.datagen import make_generic_rows
+
+        wf = states["initial"]
+        factorized = Factorize(
+            wf.node_by_id("5"), wf.node_by_id("3"), wf.node_by_id("4")
+        ).apply(wf)
+        data = {
+            "R1": [
+                {"KEY": i, "SRC": "R1", "VAL": float(10 * i)} for i in range(8)
+            ],
+            "R2": [
+                {"KEY": 100 + i, "SRC": "R2", "VAL": float(7 * i)} for i in range(8)
+            ],
+        }
+        report = empirically_equivalent(
+            wf, factorized, data, Executor(context=context)
+        )
+        assert report.equivalent
+
+
+class TestRoundTrip:
+    def test_fac_of_dis_restores_signature(self, fig1):
+        """FAC(DIS(S)) carries the same signature as S (clone-id recovery)."""
+        wf = fig1.workflow
+        union = wf.node_by_id("7")
+        distributed = Distribute(union, wf.node_by_id("8")).apply(wf)
+        union_in_new = distributed.node_by_id("7")
+        factorized = Factorize(
+            union_in_new,
+            distributed.node_by_id("8_1"),
+            distributed.node_by_id("8_2"),
+        ).apply(distributed)
+        assert state_signature(factorized) == state_signature(wf)
+
+    def test_dis_of_fac_restores_signature(self, fig4):
+        states, _ = fig4
+        wf = states["distributed"]
+        union = wf.node_by_id("5")
+        factorized = Factorize(
+            union, wf.node_by_id("3"), wf.node_by_id("4")
+        ).apply(wf)
+        # Distribute the merged SK back into the branches.
+        merged_sk = factorized.consumers(factorized.node_by_id("5"))[0]
+        redistributed = Distribute(
+            factorized.node_by_id("5"), merged_sk
+        ).apply(factorized)
+        # The clone ids differ from the original 3/4, but the shape matches.
+        assert state_signature(redistributed).count("SK") == 0  # ids, not names
+        assert len(list(redistributed.activities())) == len(list(wf.activities()))

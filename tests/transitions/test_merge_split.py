@@ -1,0 +1,98 @@
+"""MER and SPL: packaging, unpackaging, constraints."""
+
+import pytest
+
+from repro.core.activity import CompositeActivity
+from repro.core.signature import state_signature
+from repro.core.transitions import Merge, Split, Swap, split_fully
+from repro.engine import Executor, empirically_equivalent
+from repro.exceptions import TransitionError
+
+
+class TestMerge:
+    def test_merge_produces_composite(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        package = merged.node_by_id("4+5")
+        assert isinstance(package, CompositeActivity)
+        assert [c.id for c in package.components] == ["4", "5"]
+
+    def test_merge_requires_adjacency(self, fig1):
+        wf = fig1.workflow
+        with pytest.raises(TransitionError, match="not adjacent"):
+            Merge(wf.node_by_id("4"), wf.node_by_id("6")).check(wf)
+
+    def test_merge_rejects_binary(self, fig1):
+        wf = fig1.workflow
+        with pytest.raises(TransitionError, match="not unary"):
+            Merge(wf.node_by_id("7"), wf.node_by_id("8")).check(wf)
+
+    def test_merge_preserves_execution(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        report = empirically_equivalent(
+            wf, merged, fig1.make_data(seed=5), Executor(context=fig1.context)
+        )
+        assert report.equivalent
+
+    def test_merged_package_is_opaque_to_swaps(self, fig1):
+        """A third activity cannot come between merged activities: the only
+        swaps involving the package move it as a whole."""
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        package = merged.node_by_id("4+5")
+        gamma = merged.node_by_id("6")
+        swap = Swap(package, gamma)
+        # The package may or may not be swappable with γ as a unit — but
+        # nothing can be inserted inside it.  Here the A2E component is an
+        # injective in-place function on a grouper and $2E generates the
+        # measure, so the package cannot cross γ (the measure would vanish).
+        assert not swap.is_applicable(merged)
+
+    def test_merge_then_merge_flattens(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        merged2 = Merge(
+            merged.node_by_id("4+5"), merged.node_by_id("6")
+        ).apply(merged)
+        package = merged2.node_by_id("4+5+6")
+        assert [c.id for c in package.components] == ["4", "5", "6"]
+
+
+class TestSplit:
+    def test_split_restores_pair(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        restored = Split(merged.node_by_id("4+5")).apply(merged)
+        assert state_signature(restored) == state_signature(wf)
+
+    def test_split_three_way_package(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        merged = Merge(
+            merged.node_by_id("4+5"), merged.node_by_id("6")
+        ).apply(merged)
+        split_once = Split(merged.node_by_id("4+5+6")).apply(merged)
+        ids = {a.id for a in split_once.activities()}
+        assert "4" in ids and "5+6" in ids
+
+    def test_split_requires_composite(self, fig1):
+        wf = fig1.workflow
+        with pytest.raises(TransitionError):
+            Split(wf.node_by_id("4")).check(wf)
+
+    def test_split_fully(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        merged = Merge(
+            merged.node_by_id("4+5"), merged.node_by_id("6")
+        ).apply(merged)
+        restored = split_fully(merged)
+        assert state_signature(restored) == state_signature(wf)
+        assert not any(
+            isinstance(a, CompositeActivity) for a in restored.activities()
+        )
+
+    def test_split_fully_noop_without_composites(self, fig1):
+        wf = fig1.workflow
+        assert split_fully(wf) is wf

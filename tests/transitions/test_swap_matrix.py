@@ -1,0 +1,180 @@
+"""The SWA applicability matrix, engine-verified.
+
+For ordered pairs of unary activities (a1 feeding a2), checks that the
+swap's applicability matches the documented rules and that every allowed
+swap preserves the target multiset on data containing NULLs, duplicate
+keys, and boundary values.
+"""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Swap
+from repro.core.workflow import ETLWorkflow
+from repro.engine import (
+    EngineContext,
+    Executor,
+    default_scalar_functions,
+    empirically_equivalent,
+)
+from repro.templates import builtin as t
+
+SCHEMA = Schema(["K", "D", "V", "W"])
+
+
+def _make(kind: str, activity_id: str) -> Activity:
+    factories = {
+        "sel_v": lambda: Activity(
+            activity_id, t.SELECTION, {"attr": "V", "op": ">=", "value": 5.0},
+            selectivity=0.5,
+        ),
+        "sel_w": lambda: Activity(
+            activity_id, t.SELECTION, {"attr": "W", "op": "<=", "value": 8.0},
+            selectivity=0.5,
+        ),
+        "nn_v": lambda: Activity(
+            activity_id, t.NOT_NULL, {"attr": "V"}, selectivity=0.9
+        ),
+        "range_v": lambda: Activity(
+            activity_id, t.RANGE_CHECK, {"attr": "V", "low": 0.0, "high": 9.0},
+            selectivity=0.7,
+        ),
+        "pk": lambda: Activity(
+            activity_id, t.PK_CHECK, {"key_attrs": ("K",), "reference": "ref"},
+            selectivity=0.9,
+        ),
+        "gen_from_v": lambda: Activity(
+            activity_id,
+            t.FUNCTION_APPLY,
+            {"function": "shift_up", "inputs": ("V",), "output": "V2"},
+        ),
+        "sel_v2": lambda: Activity(
+            activity_id,
+            t.SELECTION,
+            {"attr": "V2", "op": ">=", "value": 1002.0},
+            selectivity=0.5,
+        ),
+        "proj_w": lambda: Activity(
+            activity_id, t.PROJECTION, {"attrs": ("W",)}
+        ),
+        "sk": lambda: Activity(
+            activity_id,
+            t.SURROGATE_KEY,
+            {"key_attr": "K", "skey_attr": "SK", "lookup": "keys"},
+        ),
+        "gamma": lambda: Activity(
+            activity_id,
+            t.AGGREGATION,
+            {"group_by": ("K", "D"), "measure": "V", "agg": "sum", "output": "VS"},
+            selectivity=0.5,
+        ),
+        "inplace_d": lambda: Activity(
+            activity_id,
+            t.FUNCTION_APPLY,
+            {
+                "function": "negate",
+                "inputs": ("D",),
+                "output": "D",
+                "injective": True,
+            },
+        ),
+        "distinct_kd": lambda: Activity(
+            activity_id, t.DISTINCT, {"group_by": ("K", "D")}, selectivity=0.8
+        ),
+    }
+    return factories[kind]()
+
+
+#: (first, second) -> swap allowed?
+EXPECTED = {
+    # filters commute freely
+    ("sel_v", "sel_w"): True,
+    ("sel_v", "nn_v"): True,
+    ("nn_v", "range_v"): True,
+    ("pk", "sel_v"): True,
+    # a filter never jumps ahead of the function generating its attribute
+    ("gen_from_v", "sel_v2"): False,
+    # ...but an independent filter passes the generator fine
+    ("gen_from_v", "sel_w"): True,
+    # projection: blocked when the dropped attribute is read downstream
+    ("sel_w", "proj_w"): False,
+    ("sel_v", "proj_w"): True,
+    # surrogate keys commute with independent filters
+    ("sk", "sel_v"): True,
+    ("sel_v", "sk"): True,
+    # aggregation crossings: filters on groupers only
+    ("pk", "gamma"): True,          # K is a group-by attribute
+    ("sel_v", "gamma"): False,      # V is the measure
+    ("inplace_d", "gamma"): True,   # injective in-place on a grouper
+    ("gamma", "distinct_kd"): False,  # two grouping activities never swap
+    # in-place transform vs filter on the same attribute: blocked
+    ("inplace_d", "sel_v"): True,   # disjoint attrs: fine
+    ("sel_v", "inplace_d"): True,
+}
+
+
+def _state(first_kind: str, second_kind: str):
+    wf = ETLWorkflow()
+    src = wf.add_node(RecordSet("1", "S", SCHEMA, RecordSetKind.SOURCE, 50))
+    first = wf.add_node(_make(first_kind, "2"))
+    second = wf.add_node(_make(second_kind, "3"))
+    wf.add_edge(src, first)
+    wf.add_edge(first, second)
+    out_schema = second.derive_output(
+        (first.derive_output((SCHEMA,)),)
+    )
+    dw = wf.add_node(RecordSet("9", "DW", out_schema, RecordSetKind.TARGET))
+    wf.add_edge(second, dw)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf, first, second
+
+
+def _context() -> EngineContext:
+    context = EngineContext(scalar_functions=default_scalar_functions())
+    context.references["ref"] = frozenset({(1,), (4,)})
+    context.lookups["keys"] = lambda key: 1000 + key
+    return context
+
+
+def _data() -> dict:
+    rows = []
+    values = [
+        (1, 2.0, None, 1.0), (2, 2.0, 5.0, 8.0), (2, 3.0, 7.0, 9.0),
+        (3, 2.0, 5.0, 8.0), (3, 2.0, 5.0, 8.0), (4, 1.0, 0.0, 0.0),
+        (5, 4.0, 9.0, 3.0), (6, 4.0, 2.0, 12.0),
+    ]
+    for k, d, v, w in values:
+        rows.append({"K": k, "D": d, "V": v, "W": w})
+    return {"S": rows}
+
+
+@pytest.mark.parametrize("first_kind,second_kind", sorted(EXPECTED))
+def test_swap_matrix(first_kind, second_kind):
+    wf, first, second = _state(first_kind, second_kind)
+    swap = Swap(first, second)
+    successor = swap.try_apply(wf)
+    expected = EXPECTED[(first_kind, second_kind)]
+    assert (successor is not None) == expected, (first_kind, second_kind)
+    if successor is None:
+        return
+    report = empirically_equivalent(
+        wf, successor, _data(), Executor(context=_context())
+    )
+    assert report.equivalent, (first_kind, second_kind, report.differences)
+
+
+@pytest.mark.parametrize(
+    "first_kind,second_kind",
+    sorted(key for key, allowed in EXPECTED.items() if allowed),
+)
+def test_swap_matrix_round_trip(first_kind, second_kind):
+    """Swapping back restores the original signature."""
+    from repro.core.signature import state_signature
+
+    wf, first, second = _state(first_kind, second_kind)
+    swapped = Swap(first, second).apply(wf)
+    restored = Swap(second, first).apply(swapped)
+    assert state_signature(restored) == state_signature(wf)

@@ -1,0 +1,258 @@
+"""Fig. 5 / Fig. 6 micro-states: the paper's two swap-rejection cases.
+
+Both conditions surface as schema-propagation failures in this library
+(states are validated by regenerating all schemata from the sources), so
+the tests assert that ``is_applicable`` is False and that ``apply`` raises
+with a diagnostic.
+"""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Swap
+from repro.core.workflow import ETLWorkflow
+from repro.exceptions import TransitionError
+from repro.templates import builtin as t
+
+
+def _chain(*nodes):
+    wf = ETLWorkflow()
+    for node in nodes:
+        wf.add_node(node)
+    for provider, consumer in zip(nodes, nodes[1:]):
+        wf.add_edge(provider, consumer)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+def fig5_state():
+    """src(DCOST) -> $2E(DCOST->ECOST) -> σ(ECOST) -> dw."""
+    src = RecordSet("1", "S", Schema(["PKEY", "DCOST"]), RecordSetKind.SOURCE, 10)
+    dollars = Activity(
+        "2",
+        t.FUNCTION_APPLY,
+        {"function": "dollar_to_euro", "inputs": ("DCOST",), "output": "ECOST"},
+        name="$2E",
+    )
+    sigma = Activity(
+        "3",
+        t.SELECTION,
+        {"attr": "ECOST", "op": ">=", "value": 100.0},
+        selectivity=0.5,
+        name="σ(ECOST)",
+    )
+    dw = RecordSet("4", "DW", Schema(["PKEY", "ECOST"]), RecordSetKind.TARGET)
+    return _chain(src, dollars, sigma, dw), dollars, sigma
+
+
+def fig6_state():
+    """src(A,D) -> σ(D) -> πout(D) -> dw(A)."""
+    src = RecordSet("1", "S", Schema(["A", "D"]), RecordSetKind.SOURCE, 10)
+    sigma = Activity(
+        "2",
+        t.SELECTION,
+        {"attr": "D", "op": ">=", "value": 1.0},
+        selectivity=0.5,
+        name="σ(D)",
+    )
+    projection = Activity("3", t.PROJECTION, {"attrs": ("D",)}, name="PIout(D)")
+    dw = RecordSet("4", "DW", Schema(["A"]), RecordSetKind.TARGET)
+    return _chain(src, sigma, projection, dw), sigma, projection
+
+
+class TestFig5Condition3:
+    """σ(€) may not be pushed before the $2E transformation."""
+
+    def test_rejected(self):
+        wf, dollars, sigma = fig5_state()
+        assert not Swap(dollars, sigma).is_applicable(wf)
+
+    def test_apply_raises_with_diagnostic(self):
+        wf, dollars, sigma = fig5_state()
+        with pytest.raises(TransitionError, match="invalid state"):
+            Swap(dollars, sigma).apply(wf)
+
+    def test_guard_depends_on_naming(self):
+        """With distinct reference names the guard fires; an (incorrectly)
+        shared name would not trip condition (3) — which is exactly why the
+        naming principle of section 3.1 exists.  Here we verify the sound
+        behaviour: distinct names block the swap."""
+        wf, dollars, sigma = fig5_state()
+        assert sigma.functionality.as_set == {"ECOST"}
+        assert dollars.generated.as_set == {"ECOST"}
+
+
+class TestFig6Condition4:
+    """A projected-out attribute may not be demanded downstream."""
+
+    def test_rejected(self):
+        wf, sigma, projection = fig6_state()
+        assert not Swap(sigma, projection).is_applicable(wf)
+
+    def test_apply_raises(self):
+        wf, sigma, projection = fig6_state()
+        with pytest.raises(TransitionError):
+            Swap(sigma, projection).apply(wf)
+
+    def test_projection_swaps_with_independent_activity(self):
+        """πout(D) freely swaps past a filter that does not touch D."""
+        src = RecordSet("1", "S", Schema(["A", "D"]), RecordSetKind.SOURCE, 10)
+        nn = Activity("2", t.NOT_NULL, {"attr": "A"}, selectivity=0.9)
+        projection = Activity("3", t.PROJECTION, {"attrs": ("D",)})
+        dw = RecordSet("4", "DW", Schema(["A"]), RecordSetKind.TARGET)
+        wf = _chain(src, nn, projection, dw)
+        assert Swap(nn, projection).is_applicable(wf)
+
+
+class TestSemanticGuard:
+    """The conservative strengthening documented in DESIGN.md."""
+
+    def _state_with(self, first, second, attrs=("K", "D", "V")):
+        src = RecordSet("1", "S", Schema(attrs), RecordSetKind.SOURCE, 10)
+        dw_attrs = self._final_schema(attrs, [first, second])
+        dw = RecordSet("4", "DW", Schema(dw_attrs), RecordSetKind.TARGET)
+        return _chain(src, first, second, dw)
+
+    @staticmethod
+    def _final_schema(attrs, activities):
+        schema = Schema(attrs)
+        for activity in activities:
+            schema = activity.derive_output((schema,))
+        return schema.attrs
+
+    def _gamma(self, activity_id="3"):
+        return Activity(
+            activity_id,
+            t.AGGREGATION,
+            {"group_by": ("K", "D"), "measure": "V", "agg": "sum", "output": "VM"},
+            selectivity=0.3,
+        )
+
+    def _in_place(self, activity_id, attr="D", injective=True):
+        return Activity(
+            activity_id,
+            t.FUNCTION_APPLY,
+            {
+                "function": "shift_up",
+                "inputs": (attr,),
+                "output": attr,
+                "injective": injective,
+            },
+        )
+
+    def test_filter_on_grouper_crosses_aggregation(self):
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "D", "op": ">=", "value": 1.0}, selectivity=0.5
+        )
+        wf = self._state_with(sigma, self._gamma("3"))
+        assert Swap(sigma, self._find(wf, "3")).is_applicable(wf)
+
+    def test_filter_on_measure_cannot_cross_aggregation(self):
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "V", "op": ">=", "value": 1.0}, selectivity=0.5
+        )
+        wf = self._state_with(sigma, self._gamma("3"))
+        assert not Swap(sigma, self._find(wf, "3")).is_applicable(wf)
+
+    def test_injective_in_place_function_crosses_aggregation(self):
+        func = self._in_place("2", "D", injective=True)
+        wf = self._state_with(func, self._gamma("3"))
+        assert Swap(func, self._find(wf, "3")).is_applicable(wf)
+
+    def test_non_injective_in_place_function_blocked(self):
+        func = self._in_place("2", "D", injective=False)
+        wf = self._state_with(func, self._gamma("3"))
+        assert not Swap(func, self._find(wf, "3")).is_applicable(wf)
+
+    def test_two_aggregations_never_swap(self):
+        first = Activity(
+            "2",
+            t.AGGREGATION,
+            {"group_by": ("K", "D"), "measure": "V", "agg": "sum", "output": "VM"},
+            selectivity=0.5,
+        )
+        second = Activity(
+            "3",
+            t.AGGREGATION,
+            {"group_by": ("K", "D"), "measure": "VM", "agg": "max", "output": "VMM"},
+            selectivity=0.5,
+        )
+        wf = self._state_with(first, second)
+        with pytest.raises(TransitionError, match="never swap"):
+            Swap(first, second).check(wf)
+
+    def test_in_place_pair_on_same_attr_blocked(self):
+        first = self._in_place("2", "D")
+        second = self._in_place("3", "D")
+        wf = self._state_with(first, second)
+        assert not Swap(first, second).is_applicable(wf)
+
+    def test_in_place_pair_on_different_attrs_allowed(self):
+        first = self._in_place("2", "D")
+        second = self._in_place("3", "V")
+        wf = self._state_with(first, second)
+        assert Swap(first, second).is_applicable(wf)
+
+    def test_filter_and_in_place_on_same_attr_blocked(self):
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "D", "op": ">=", "value": 1.0}, selectivity=0.5
+        )
+        func = self._in_place("3", "D")
+        wf = self._state_with(sigma, func)
+        assert not Swap(sigma, func).is_applicable(wf)
+
+    @staticmethod
+    def _find(workflow, node_id):
+        return workflow.node_by_id(node_id)
+
+
+class TestCustomTemplateGuard:
+    """The semantic guard must recognize *custom* in-place templates too
+    (regression: it used to key off the builtin template name)."""
+
+    @staticmethod
+    def _custom_in_place_template():
+        from repro.core.schema import EMPTY_SCHEMA
+        from repro.templates.base import (
+            ActivityKind,
+            ActivityTemplate,
+            CostShape,
+            SchemaPlan,
+        )
+
+        def plan(params):
+            return SchemaPlan(
+                functionality_per_input=(Schema([params["attr"]]),),
+                generated=EMPTY_SCHEMA,
+                projected_out=EMPTY_SCHEMA,
+            )
+
+        return ActivityTemplate(
+            name="custom_scrubber",
+            kind=ActivityKind.FUNCTION,
+            arity=1,
+            cost_shape=CostShape.LINEAR,
+            param_names=("attr",),
+            planner=plan,
+        )
+
+    def test_filter_blocked_against_custom_in_place(self):
+        template = self._custom_in_place_template()
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = Activity("2", template, {"attr": "A"})
+        nn = Activity("3", t.NOT_NULL, {"attr": "A"}, selectivity=0.9)
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        wf = _chain(src, scrub, nn, dw)
+        assert not Swap(scrub, nn).is_applicable(wf)
+
+    def test_filter_allowed_on_disjoint_attr(self):
+        template = self._custom_in_place_template()
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = Activity("2", template, {"attr": "A"})
+        nn = Activity("3", t.NOT_NULL, {"attr": "B"}, selectivity=0.9)
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        wf = _chain(src, scrub, nn, dw)
+        assert Swap(scrub, nn).is_applicable(wf)

@@ -1,0 +1,152 @@
+"""Edge cases and error paths across the public API."""
+
+import pytest
+
+from repro import ReproError, optimize
+from repro.core.cost import estimate
+from repro.core.search.result import OptimizationResult
+from repro.core.search.state import SearchState
+from repro.exceptions import (
+    ExecutionError,
+    NamingError,
+    ReproError as BaseError,
+    SchemaError,
+    SearchBudgetExceeded,
+    TemplateError,
+    TransitionError,
+    WorkflowError,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            NamingError,
+            SchemaError,
+            WorkflowError,
+            TransitionError,
+            TemplateError,
+            ExecutionError,
+            SearchBudgetExceeded,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, BaseError)
+
+    def test_catching_base_covers_all(self, fig1):
+        with pytest.raises(ReproError):
+            optimize(fig1.workflow, algorithm="nope")
+
+
+class TestSearchStateEdges:
+    def test_initial_rejects_invalid_workflow(self, model):
+        from repro.core.workflow import ETLWorkflow
+
+        with pytest.raises(WorkflowError):
+            SearchState.initial(ETLWorkflow(), model)
+
+    def test_state_cost_matches_report(self, fig1, model):
+        state = SearchState.initial(fig1.workflow, model)
+        assert state.cost == estimate(fig1.workflow, model).total
+        assert state.depth == 0
+        assert state.produced_by is None
+
+
+class TestOptimizationResultEdges:
+    def _result(self, fig1, model, best_cost_factor=0.5):
+        initial = SearchState.initial(fig1.workflow, model)
+        return OptimizationResult(
+            algorithm="X",
+            initial=initial,
+            best=initial,
+            visited_states=1,
+            elapsed_seconds=0.0,
+        )
+
+    def test_zero_improvement_when_unchanged(self, fig1, model):
+        result = self._result(fig1, model)
+        assert result.improvement_percent == 0.0
+
+    def test_quality_capped_at_100(self, fig1, model):
+        result = self._result(fig1, model)
+        assert result.quality_percent(result.best_cost * 2) == 100.0
+
+    def test_quality_ratio(self, fig1, model):
+        result = self._result(fig1, model)
+        assert result.quality_percent(result.best_cost / 2) == pytest.approx(50.0)
+
+    def test_summary_marks_budget_exhaustion(self, fig1, model):
+        initial = SearchState.initial(fig1.workflow, model)
+        result = OptimizationResult(
+            algorithm="ES",
+            initial=initial,
+            best=initial,
+            visited_states=1,
+            elapsed_seconds=0.0,
+            completed=False,
+        )
+        assert "budget exhausted" in result.summary()
+
+
+class TestCostModelEdges:
+    def test_zero_cardinality_source(self, model):
+        from repro.core.builder import WorkflowBuilder
+
+        b = WorkflowBuilder()
+        src = b.source("S", ["K"], cardinality=0)
+        nn = b.activity("not_null", {"attr": "K"})
+        b.chain(src, nn)
+        b.target("DW", ["K"], provider=nn)
+        report = estimate(b.build(), model)
+        assert report.total == 0.0
+
+    def test_unknown_cost_shape_rejected(self):
+        from repro.core.cost.formulas import cost_for_shape
+
+        with pytest.raises(BaseError):
+            cost_for_shape("not-a-shape", (1.0,))
+
+
+class TestRenderEdges:
+    def test_dot_labels_ports_of_noncommutative_binary(self):
+        from repro.core.builder import WorkflowBuilder
+        from repro.io import to_dot
+
+        b = WorkflowBuilder()
+        left = b.source("L", ["K"], cardinality=1)
+        right = b.source("R", ["K"], cardinality=1)
+        diff = b.combine("difference", left, right)
+        b.target("DW", ["K"], provider=diff)
+        dot = to_dot(b.build())
+        assert '[label="0"]' in dot
+        assert '[label="1"]' in dot
+
+    def test_dot_dashes_composites(self, fig1):
+        from repro.core.transitions import Merge
+        from repro.io import to_dot
+
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        assert "style=dashed" in to_dot(merged)
+
+
+class TestEngineEdges:
+    def test_binary_flow_with_duplicate_rows_union(self):
+        """Union is a bag even for fully identical branches."""
+        from repro.core.builder import WorkflowBuilder
+        from repro.engine import Executor
+
+        b = WorkflowBuilder()
+        left = b.source("L", ["K"], cardinality=1)
+        right = b.source("R", ["K"], cardinality=1)
+        union = b.combine("union", left, right)
+        b.target("DW", ["K"], provider=union)
+        wf = b.build()
+        out = Executor().run(wf, {"L": [{"K": 1}], "R": [{"K": 1}]})
+        assert len(out.targets["DW"]) == 2
+
+    def test_empty_sources_flow_through(self, fig1, fig1_executor):
+        data = {"PARTS1": [], "PARTS2": []}
+        result = fig1_executor.run(fig1.workflow, data)
+        assert result.targets["DW"] == []

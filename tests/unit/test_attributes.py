@@ -1,0 +1,74 @@
+"""Unit tests for the naming registry (paper section 3.1)."""
+
+import pytest
+
+from repro.core.attributes import NamingRegistry
+from repro.exceptions import NamingError
+
+
+class TestRegister:
+    def test_returns_reference_name(self):
+        registry = NamingRegistry()
+        assert registry.register("PARTS2.COST", "dollar cost", "DCOST") == "DCOST"
+
+    def test_synonyms_converge(self):
+        registry = NamingRegistry()
+        registry.register("PARTS1.PKEY", "part key", "PKEY")
+        registry.register("PARTS2.PKEY", "part key", "PKEY")
+        assert registry.reference_for("part key") == "PKEY"
+
+    def test_one_reference_one_entity(self):
+        registry = NamingRegistry()
+        registry.register("PARTS1.COST", "euro cost", "COST")
+        with pytest.raises(NamingError, match="already denotes"):
+            registry.register("PARTS2.COST", "dollar cost", "COST")
+
+    def test_one_entity_one_reference(self):
+        registry = NamingRegistry()
+        registry.register("A.X", "the measurement", "X")
+        with pytest.raises(NamingError, match="already mapped"):
+            registry.register("B.Y", "the measurement", "Y")
+
+    def test_reregistering_same_pair_is_noop(self):
+        registry = NamingRegistry()
+        registry.register("A.X", "the measurement", "X")
+        registry.register("A.X", "the measurement", "X")
+        assert registry.reference_names == frozenset({"X"})
+
+
+class TestLookups:
+    def test_entity_for(self):
+        registry = NamingRegistry()
+        registry.register("A.X", "the measurement", "X")
+        assert registry.entity_for("X") == "the measurement"
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(NamingError, match="not registered"):
+            NamingRegistry().reference_for("ghost")
+
+    def test_unknown_reference_raises(self):
+        with pytest.raises(NamingError, match="not registered"):
+            NamingRegistry().entity_for("GHOST")
+
+    def test_mappings_in_order(self):
+        registry = NamingRegistry()
+        registry.register("A.X", "x", "X")
+        registry.register("B.Y", "y", "Y")
+        assert [m.original for m in registry.mappings] == ["A.X", "B.Y"]
+
+
+class TestFresh:
+    def test_fresh_uses_base_when_free(self):
+        registry = NamingRegistry()
+        assert registry.fresh("ECOST", "euro cost") == "ECOST"
+
+    def test_fresh_suffixes_on_collision(self):
+        registry = NamingRegistry()
+        registry.register("A.X", "x", "ECOST")
+        assert registry.fresh("ECOST", "another entity") == "ECOST_2"
+
+    def test_fresh_is_idempotent_per_entity(self):
+        registry = NamingRegistry()
+        first = registry.fresh("W", "weight")
+        second = registry.fresh("W", "weight")
+        assert first == second

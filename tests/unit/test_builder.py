@@ -1,0 +1,94 @@
+"""The fluent workflow builder."""
+
+import pytest
+
+from repro import optimize
+from repro.core.builder import WorkflowBuilder
+from repro.core.signature import state_signature
+from repro.exceptions import TemplateError, WorkflowError
+
+
+def build_simple():
+    b = WorkflowBuilder()
+    src = b.source("S", ["K", "V"], cardinality=100)
+    tail = b.chain(
+        src,
+        b.activity("not_null", {"attr": "V"}, selectivity=0.9),
+        b.activity(
+            "selection", {"attr": "V", "op": ">=", "value": 5.0}, selectivity=0.5
+        ),
+    )
+    b.target("DW", ["K", "V"], provider=tail)
+    return b.build()
+
+
+class TestBuilder:
+    def test_simple_chain(self):
+        wf = build_simple()
+        assert state_signature(wf) == "1.2.3.4"
+
+    def test_auto_ids_in_creation_order(self):
+        wf = build_simple()
+        nn = wf.node_by_id("2")
+        assert nn.template.name == "not_null"
+
+    def test_explicit_ids_respected(self):
+        b = WorkflowBuilder()
+        src = b.source("S", ["K"], cardinality=10, id="42")
+        nn = b.activity("not_null", {"attr": "K"}, id="7")
+        b.chain(src, nn)
+        b.target("DW", ["K"], provider=nn)
+        wf = b.build()
+        assert wf.node_by_id("42").name == "S"
+        assert wf.node_by_id("7") is nn
+
+    def test_auto_id_skips_taken_ids(self):
+        b = WorkflowBuilder()
+        b.source("A", ["K"], cardinality=1, id="1")
+        second = b.source("B", ["K"], cardinality=1)
+        assert second.id == "2"
+
+    def test_combine_wires_ports(self):
+        b = WorkflowBuilder()
+        left = b.source("L", ["K", "V"], cardinality=10)
+        right = b.source("R", ["K", "V"], cardinality=10)
+        diff = b.combine("difference", left, right)
+        b.target("DW", ["K", "V"], provider=diff)
+        wf = b.build()
+        assert wf.providers(diff) == [left, right]
+
+    def test_staging_table(self):
+        b = WorkflowBuilder()
+        src = b.source("S", ["K"], cardinality=10)
+        stage = b.staging("STAGE", ["K"], provider=src)
+        nn = b.activity("not_null", {"attr": "K"})
+        b.chain(stage, nn)
+        b.target("DW", ["K"], provider=nn)
+        wf = b.build()
+        assert [[a.id for a in g] for g in wf.local_groups()] == [[nn.id]]
+
+    def test_unknown_template_rejected(self):
+        b = WorkflowBuilder()
+        with pytest.raises(TemplateError, match="unknown template"):
+            b.activity("teleport", {})
+
+    def test_build_validates(self):
+        b = WorkflowBuilder()
+        b.source("S", ["K"], cardinality=10)
+        b.activity("not_null", {"attr": "K"})  # never wired
+        with pytest.raises(WorkflowError):
+            b.build()
+
+    def test_custom_library(self):
+        from repro.templates import default_library
+
+        library = default_library()
+        b = WorkflowBuilder(library=library)
+        assert b.library is library
+
+    def test_built_workflow_optimizes(self):
+        wf = build_simple()
+        result = optimize(wf, algorithm="es")
+        assert result.completed
+        # σ (0.5) should end up before NN (0.9).
+        assert result.best.signature == "1.3.2.4"

@@ -1,0 +1,86 @@
+"""Template catalogue rendering and the tracing executor."""
+
+import pytest
+
+from repro.engine.tracing import TracingExecutor
+from repro.templates import SELECTION, default_library
+from repro.templates.catalog import render_catalog, template_summary
+
+
+class TestCatalog:
+    def test_summary_fields(self):
+        row = template_summary(SELECTION)
+        assert row["name"] == "selection"
+        assert row["kind"] == "filter"
+        assert row["cost_shape"] == "linear"
+        assert "union" in row["moves_across"]
+
+    def test_render_lists_every_template(self):
+        catalog = render_catalog()
+        for template in default_library():
+            assert f"`{template.name}`" in catalog
+
+    def test_render_is_markdown_table(self):
+        catalog = render_catalog()
+        assert catalog.startswith("# Activity template catalogue")
+        assert "| template | kind |" in catalog
+
+    def test_render_with_custom_library(self):
+        library = default_library()
+        catalog = render_catalog(library)
+        assert "`distinct`" in catalog
+
+
+class TestTracingExecutor:
+    def test_trace_collected(self, fig1):
+        executor = TracingExecutor(context=fig1.context)
+        executor.run(fig1.workflow, fig1.make_data(seed=1, n1=50, n2=80))
+        trace = executor.last_trace
+        assert trace is not None
+        assert {t.activity_id for t in trace.traces} == {
+            "3", "4", "5", "6", "7", "8",
+        }
+
+    def test_trace_rows_and_selectivity(self, fig1):
+        executor = TracingExecutor(context=fig1.context)
+        executor.run(fig1.workflow, fig1.make_data(seed=1, n1=50, n2=80))
+        by_id = {t.activity_id: t for t in executor.last_trace.traces}
+        assert by_id["3"].rows_in == 50
+        assert by_id["4"].selectivity == pytest.approx(1.0)
+        assert 0.0 < by_id["6"].selectivity <= 1.0
+
+    def test_render_profile(self, fig1):
+        executor = TracingExecutor(context=fig1.context)
+        executor.run(fig1.workflow, fig1.make_data(seed=1))
+        report = executor.last_trace.render(top=3)
+        assert "template" in report
+        assert len(report.splitlines()) == 4  # header + top 3
+
+    def test_composite_components_traced(self, fig1):
+        from repro.core.transitions import Merge
+
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        executor = TracingExecutor(context=fig1.context)
+        executor.run(merged, fig1.make_data(seed=1))
+        ids = {t.activity_id for t in executor.last_trace.traces}
+        assert {"4", "5"} <= ids
+        assert "4+5" not in ids
+
+    def test_trace_reset_between_runs(self, fig1):
+        executor = TracingExecutor(context=fig1.context)
+        executor.run(fig1.workflow, fig1.make_data(seed=1))
+        first = executor.last_trace
+        executor.run(fig1.workflow, fig1.make_data(seed=2))
+        assert executor.last_trace is not first
+        assert len(executor.last_trace.traces) == len(first.traces)
+
+    def test_results_match_plain_executor(self, fig1, fig1_executor):
+        from repro.engine import as_multiset
+
+        data = fig1.make_data(seed=3)
+        plain = fig1_executor.run(fig1.workflow, data)
+        traced = TracingExecutor(context=fig1.context).run(fig1.workflow, data)
+        assert as_multiset(plain.targets["DW"]) == as_multiset(
+            traced.targets["DW"]
+        )

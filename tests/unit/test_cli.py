@@ -1,0 +1,74 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import load, save
+from repro.workloads import fig1_workflow
+
+
+@pytest.fixture
+def fig1_json(tmp_path):
+    path = str(tmp_path / "fig1.json")
+    save(fig1_workflow().workflow, path)
+    return path
+
+
+class TestOptimizeCommand:
+    def test_optimize_prints_summary(self, fig1_json, capsys):
+        assert main(["optimize", fig1_json]) == 0
+        out = capsys.readouterr().out
+        assert "HS:" in out
+        assert "((1.3)//(2.4.5.6)).7.8.9" in out
+
+    def test_optimize_writes_output(self, fig1_json, tmp_path, capsys):
+        out_path = str(tmp_path / "optimized.json")
+        assert main(["optimize", fig1_json, "-o", out_path]) == 0
+        optimized = load(out_path)
+        ids = {a.id for a in optimized.activities()}
+        assert "8_1" in ids  # the distributed selection
+
+    def test_optimize_with_es_budget(self, fig1_json, capsys):
+        assert main(
+            ["optimize", fig1_json, "--algorithm", "es", "--max-states", "50"]
+        ) == 0
+        assert "ES:" in capsys.readouterr().out
+
+    def test_greedy_algorithm(self, fig1_json, capsys):
+        assert main(["optimize", fig1_json, "--algorithm", "greedy"]) == 0
+        assert "HS-Greedy" in capsys.readouterr().out
+
+
+class TestRenderCommand:
+    def test_render_text(self, fig1_json, capsys):
+        assert main(["render", fig1_json]) == 0
+        assert "PARTS1 (source)" in capsys.readouterr().out
+
+    def test_render_dot(self, fig1_json, capsys):
+        assert main(["render", fig1_json, "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph etl {")
+
+
+class TestLintCommand:
+    def test_clean_workflow(self, fig1_json, capsys):
+        assert main(["lint", fig1_json]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestImpactCommand:
+    def test_breaking_removal_exits_nonzero(self, fig1_json, capsys):
+        assert main(
+            ["impact", fig1_json, "--source", "PARTS2", "--attribute", "DCOST"]
+        ) == 1
+        assert "loses functionality" in capsys.readouterr().out
+
+    def test_harmless_removal_exits_zero(self, fig1_json, capsys):
+        assert main(
+            ["impact", fig1_json, "--source", "PARTS2", "--attribute", "DEPT"]
+        ) == 0
+        assert "breaks nothing" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected(fig1_json):
+    with pytest.raises(SystemExit):
+        main(["teleport", fig1_json])

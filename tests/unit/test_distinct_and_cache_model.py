@@ -1,0 +1,189 @@
+"""Unit tests for the DISTINCT template and the cache-aware cost model."""
+
+import pytest
+
+from repro.core.activity import Activity
+from repro.core.cost import CacheAwareCostModel, ProcessedRowsCostModel, estimate
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Swap
+from repro.core.workflow import ETLWorkflow
+from repro.engine import EngineContext, Executor, default_scalar_functions
+from repro.exceptions import TemplateError
+from repro.templates import DISTINCT
+from repro.templates import builtin as t
+
+
+def _chain(*nodes):
+    wf = ETLWorkflow()
+    for node in nodes:
+        wf.add_node(node)
+    for provider, consumer in zip(nodes, nodes[1:]):
+        wf.add_edge(provider, consumer)
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+def _distinct(activity_id="2", keys=("K",), selectivity=0.5):
+    return Activity(
+        activity_id, DISTINCT, {"group_by": keys}, selectivity=selectivity
+    )
+
+
+class TestDistinctTemplate:
+    def test_schemata(self):
+        activity = _distinct(keys=("K", "D"))
+        assert set(activity.functionality) == {"K", "D"}
+        assert len(activity.generated) == 0
+        assert len(activity.projected_out) == 0
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(TemplateError, match="non-empty"):
+            _distinct(keys=())
+
+    def test_output_schema_unchanged(self):
+        out = _distinct().derive_output((Schema(["K", "V"]),))
+        assert out == Schema(["K", "V"])
+
+    def test_never_distributes(self):
+        assert _distinct().distributes_over == frozenset()
+
+
+class TestDistinctSwaps:
+    def _state(self, first, second):
+        src = RecordSet("1", "S", Schema(["K", "V"]), RecordSetKind.SOURCE, 10)
+        dw = RecordSet("4", "DW", Schema(["K", "V"]), RecordSetKind.TARGET)
+        return _chain(src, first, second, dw)
+
+    def test_filter_on_key_crosses_distinct(self):
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "K", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        distinct = _distinct("3")
+        wf = self._state(sigma, distinct)
+        assert Swap(sigma, distinct).is_applicable(wf)
+
+    def test_filter_on_non_key_blocked(self):
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "V", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        distinct = _distinct("3")
+        wf = self._state(sigma, distinct)
+        assert not Swap(sigma, distinct).is_applicable(wf)
+
+    def test_two_distincts_never_swap(self):
+        first = _distinct("2", keys=("K",))
+        second = _distinct("3", keys=("K", "V"))
+        wf = self._state(first, second)
+        assert not Swap(first, second).is_applicable(wf)
+
+
+class TestDistinctExecution:
+    def _executor(self):
+        return Executor(
+            context=EngineContext(scalar_functions=default_scalar_functions())
+        )
+
+    def _run(self, rows, keys=("K",)):
+        src = RecordSet("1", "S", Schema(["K", "V"]), RecordSetKind.SOURCE, 10)
+        distinct = _distinct("2", keys=keys)
+        dw = RecordSet("4", "DW", Schema(["K", "V"]), RecordSetKind.TARGET)
+        wf = _chain(src, distinct, dw)
+        return self._executor().run(wf, {"S": rows}).targets["DW"]
+
+    def test_keeps_one_row_per_key(self):
+        rows = [{"K": 1, "V": 2}, {"K": 1, "V": 1}, {"K": 2, "V": 9}]
+        out = self._run(rows)
+        assert len(out) == 2
+        assert {"K": 2, "V": 9} in out
+
+    def test_survivor_is_order_independent(self):
+        rows = [{"K": 1, "V": 2}, {"K": 1, "V": 1}]
+        assert self._run(rows) == self._run(list(reversed(rows)))
+
+    def test_survivor_is_minimum_row(self):
+        rows = [{"K": 1, "V": 2}, {"K": 1, "V": 1}]
+        assert self._run(rows) == [{"K": 1, "V": 1}]
+
+    def test_swapped_filter_equivalence_on_data(self):
+        """Engine-level check of the key-filter/distinct commutation."""
+        src = RecordSet("1", "S", Schema(["K", "V"]), RecordSetKind.SOURCE, 10)
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "K", "op": ">=", "value": 2}, selectivity=0.5
+        )
+        distinct = _distinct("3")
+        dw = RecordSet("4", "DW", Schema(["K", "V"]), RecordSetKind.TARGET)
+        wf = _chain(src, sigma, distinct, dw)
+        swapped = Swap(sigma, distinct).apply(wf)
+        rows = [
+            {"K": k, "V": v}
+            for k, v in [(1, 5), (2, 3), (2, 8), (3, 1), (3, 1), (4, 0)]
+        ]
+        from repro.engine import empirically_equivalent
+
+        report = empirically_equivalent(wf, swapped, {"S": rows}, self._executor())
+        assert report.equivalent
+
+
+class TestCacheAwareModel:
+    def test_sk_priced_with_setup(self):
+        model = CacheAwareCostModel(setup_cost=50.0)
+        sk = Activity(
+            "1", t.SURROGATE_KEY, {"key_attr": "K", "skey_attr": "S", "lookup": "l"}
+        )
+        assert model.activity_cost(sk, (8.0,)) == 58.0
+
+    def test_other_templates_unchanged(self):
+        cache = CacheAwareCostModel(setup_cost=50.0)
+        plain = ProcessedRowsCostModel()
+        sigma = Activity(
+            "1", t.SELECTION, {"attr": "V", "op": ">=", "value": 1}, selectivity=0.5
+        )
+        assert cache.activity_cost(sigma, (100.0,)) == plain.activity_cost(
+            sigma, (100.0,)
+        )
+
+    def test_negative_setup_rejected(self):
+        with pytest.raises(ValueError):
+            CacheAwareCostModel(setup_cost=-1.0)
+
+    def test_custom_cached_templates(self):
+        model = CacheAwareCostModel(
+            setup_cost=10.0, cached_templates=frozenset({"aggregation"})
+        )
+        gamma = Activity(
+            "1",
+            t.AGGREGATION,
+            {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "VM"},
+        )
+        assert model.activity_cost(gamma, (8.0,)) == 18.0
+
+    def test_fig4_flip(self, fig4):
+        """Under caching the factorized design gets cheaper than the
+        distributed one — the paper's section 2.2 argument."""
+        states, _ = fig4
+        plain = ProcessedRowsCostModel()
+        cached = CacheAwareCostModel(setup_cost=100.0)
+        plain_costs = {
+            name: estimate(wf, plain).total for name, wf in states.items()
+        }
+        cached_costs = {
+            name: estimate(wf, cached).total for name, wf in states.items()
+        }
+        assert plain_costs["distributed"] < plain_costs["factorized"]
+        assert cached_costs["factorized"] < cached_costs["distributed"]
+
+    def test_composite_pricing(self):
+        from repro.core.activity import CompositeActivity
+
+        model = CacheAwareCostModel(setup_cost=50.0)
+        sk = Activity(
+            "1", t.SURROGATE_KEY, {"key_attr": "K", "skey_attr": "S", "lookup": "l"}
+        )
+        sigma = Activity(
+            "2", t.SELECTION, {"attr": "V", "op": ">=", "value": 1}, selectivity=0.5
+        )
+        package = CompositeActivity((sigma, sk))
+        # σ on 100 rows (100) + SK on 50 rows (50 + 50 setup).
+        assert model.activity_cost(package, (100.0,)) == 200.0

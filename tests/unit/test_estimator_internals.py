@@ -1,0 +1,70 @@
+"""White-box tests for the semi-incremental estimator's early cutoff."""
+
+import pytest
+
+import repro.core.cost.estimator as estimator_module
+from repro.core.cost import ProcessedRowsCostModel, estimate, estimate_incremental
+from repro.core.transitions import Swap
+
+
+@pytest.fixture
+def counting_node_outputs(monkeypatch):
+    """Count how many nodes the estimator actually re-derives."""
+    calls = []
+    original = estimator_module._node_outputs
+
+    def counted(workflow, model, node, cards):
+        calls.append(node)
+        return original(workflow, model, node, cards)
+
+    monkeypatch.setattr(estimator_module, "_node_outputs", counted)
+    return calls
+
+
+class TestEarlyCutoff:
+    def test_swap_recomputes_only_local_neighbourhood(
+        self, fig1, model, counting_node_outputs
+    ):
+        """Swapping A2E and γ changes neither activity's output
+        cardinality product, so the re-costing stops right after the
+        swapped pair's consumer."""
+        wf = fig1.workflow
+        parent = estimate(wf, model)
+        counting_node_outputs.clear()
+
+        swap = Swap(wf.node_by_id("5"), wf.node_by_id("6"))
+        successor = swap.apply(wf)
+        estimate_incremental(successor, model, parent, swap.affected_nodes())
+        recomputed_ids = {node.id for node in counting_node_outputs}
+        # The two swapped activities are re-derived; γ's output cardinality
+        # is unchanged at the junction, so the union/selection/target are
+        # not revisited.
+        assert "5" in recomputed_ids and "6" in recomputed_ids
+        assert "8" not in recomputed_ids
+        assert "9" not in recomputed_ids
+
+    def test_full_estimate_touches_every_node(
+        self, fig1, model, counting_node_outputs
+    ):
+        counting_node_outputs.clear()
+        estimate(fig1.workflow, model)
+        assert len(counting_node_outputs) == len(fig1.workflow)
+
+    def test_cardinality_change_propagates(self, fig1, model, counting_node_outputs):
+        """Distributing σ changes the union's input cardinalities, so the
+        downstream chain is re-derived."""
+        from repro.core.transitions import Distribute
+
+        wf = fig1.workflow
+        parent = estimate(wf, model)
+        transition = Distribute(wf.node_by_id("7"), wf.node_by_id("8"))
+        successor = transition.apply(wf)
+        counting_node_outputs.clear()
+        incremental = estimate_incremental(
+            successor, model, parent, transition.affected_nodes()
+        )
+        recomputed_ids = {node.id for node in counting_node_outputs}
+        assert {"8_1", "8_2", "7", "9"} <= recomputed_ids
+        assert incremental.total == pytest.approx(
+            estimate(successor, model).total
+        )

@@ -1,0 +1,91 @@
+"""Unit tests for impact analysis and attribute lineage."""
+
+import pytest
+
+from repro.core.impact import (
+    attribute_lineage,
+    impact_of_attribute_removal,
+    impact_of_node_failure,
+)
+from repro.exceptions import ReproError
+
+
+class TestLineage:
+    def test_pass_through_attribute(self, fig1):
+        lineage = attribute_lineage(fig1.workflow, "DW", "PKEY")
+        assert lineage == {("PARTS1", "PKEY"), ("PARTS2", "PKEY")}
+
+    def test_value_lineage_of_generated_attribute(self, fig1):
+        # ECOST_M comes directly from PARTS1 on one branch and, on the
+        # other, via the aggregation of ECOST, which $2E derives from DCOST.
+        lineage = attribute_lineage(
+            fig1.workflow, "DW", "ECOST_M", include_influence=False
+        )
+        assert lineage == {("PARTS1", "ECOST_M"), ("PARTS2", "DCOST")}
+
+    def test_influence_lineage_includes_groupers(self, fig1):
+        lineage = attribute_lineage(fig1.workflow, "DW", "ECOST_M")
+        assert lineage == {
+            ("PARTS1", "ECOST_M"),
+            ("PARTS2", "DCOST"),
+            ("PARTS2", "PKEY"),
+            ("PARTS2", "SOURCE"),
+            ("PARTS2", "DATE"),
+        }
+
+    def test_date_lineage(self, fig1):
+        lineage = attribute_lineage(fig1.workflow, "DW", "DATE")
+        assert lineage == {("PARTS1", "DATE"), ("PARTS2", "DATE")}
+
+    def test_unknown_target(self, fig1):
+        with pytest.raises(ReproError, match="no target"):
+            attribute_lineage(fig1.workflow, "NOPE", "PKEY")
+
+    def test_unknown_attribute(self, fig1):
+        with pytest.raises(ReproError, match="does not receive"):
+            attribute_lineage(fig1.workflow, "DW", "GHOST")
+
+
+class TestAttributeRemoval:
+    def test_removing_used_attribute_breaks_chain(self, fig1):
+        report = impact_of_attribute_removal(fig1.workflow, "PARTS2", "DCOST")
+        broken_ids = [a.id for a in report.broken_activities]
+        # $2E loses DCOST; the aggregation then loses ECOST.
+        assert broken_ids == ["4", "6"]
+        assert not report.clean
+
+    def test_target_flagged_when_schema_shrinks(self, fig1):
+        report = impact_of_attribute_removal(fig1.workflow, "PARTS1", "ECOST_M")
+        assert [a.id for a in report.broken_activities] == ["3"]
+        # Branch 2 still provides ECOST_M via the aggregation, but the
+        # union's left branch no longer carries it.
+        assert report.diagnostics
+
+    def test_removing_unused_attribute_is_clean(self, fig1):
+        report = impact_of_attribute_removal(fig1.workflow, "PARTS2", "DEPT")
+        assert report.clean
+
+    def test_unknown_source(self, fig1):
+        with pytest.raises(ReproError, match="no source"):
+            impact_of_attribute_removal(fig1.workflow, "NOPE", "X")
+
+    def test_unknown_attribute(self, fig1):
+        with pytest.raises(ReproError, match="does not provide"):
+            impact_of_attribute_removal(fig1.workflow, "PARTS1", "GHOST")
+
+
+class TestNodeFailure:
+    def test_activity_failure_hits_target(self, fig1):
+        report = impact_of_node_failure(fig1.workflow, "6")
+        assert [t.name for t in report.affected_targets] == ["DW"]
+        assert {a.id for a in report.broken_activities} == {"7", "8"}
+
+    def test_source_failure(self, fig1):
+        report = impact_of_node_failure(fig1.workflow, "1")
+        assert [t.name for t in report.affected_targets] == ["DW"]
+
+    def test_unknown_node(self, fig1):
+        from repro.exceptions import WorkflowError
+
+        with pytest.raises(WorkflowError):
+            impact_of_node_failure(fig1.workflow, "404")

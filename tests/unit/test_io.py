@@ -1,0 +1,146 @@
+"""Unit tests for workflow serialization and rendering."""
+
+import json
+
+import pytest
+
+from repro.core.signature import state_signature
+from repro.core.transitions import Merge
+from repro.exceptions import ReproError
+from repro.io import (
+    dumps,
+    load,
+    loads,
+    save,
+    to_dot,
+    to_text,
+    workflow_from_dict,
+    workflow_to_dict,
+)
+from repro.workloads import generate_workload
+
+
+class TestJsonRoundTrip:
+    def test_fig1_round_trip(self, fig1):
+        restored = loads(dumps(fig1.workflow))
+        assert state_signature(restored) == state_signature(fig1.workflow)
+
+    def test_round_trip_preserves_costs(self, fig1, model):
+        from repro.core.cost import estimate
+
+        restored = loads(dumps(fig1.workflow))
+        assert estimate(restored, model).total == pytest.approx(
+            estimate(fig1.workflow, model).total
+        )
+
+    def test_generated_workload_round_trip(self):
+        workload = generate_workload("small", seed=3)
+        restored = loads(dumps(workload.workflow))
+        assert state_signature(restored) == state_signature(workload.workflow)
+
+    def test_composite_round_trip(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        restored = loads(dumps(merged))
+        assert state_signature(restored) == state_signature(merged)
+        package = restored.node_by_id("4+5")
+        assert [c.id for c in package.components] == ["4", "5"]
+
+    def test_file_round_trip(self, fig1, tmp_path):
+        path = str(tmp_path / "flow.json")
+        save(fig1.workflow, path)
+        restored = load(path)
+        assert state_signature(restored) == state_signature(fig1.workflow)
+
+    def test_tuple_params_restored(self, fig1):
+        restored = loads(dumps(fig1.workflow))
+        gamma = restored.node_by_id("6")
+        assert gamma.params["group_by"] == ("PKEY", "SOURCE", "DATE")
+        assert isinstance(gamma.params["group_by"], tuple)
+
+    def test_format_version_checked(self, fig1):
+        data = workflow_to_dict(fig1.workflow)
+        data["format_version"] = 99
+        with pytest.raises(ReproError, match="format version"):
+            workflow_from_dict(data)
+
+    def test_output_is_valid_json(self, fig1):
+        parsed = json.loads(dumps(fig1.workflow))
+        assert parsed["format_version"] == 1
+        assert len(parsed["nodes"]) == 9
+        assert len(parsed["edges"]) == 8
+
+    def test_deserialization_validates(self, fig1):
+        data = workflow_to_dict(fig1.workflow)
+        data["edges"] = data["edges"][:-1]  # orphan the target
+        with pytest.raises(Exception):
+            workflow_from_dict(data)
+
+    def test_unknown_template_on_load(self, fig1):
+        from repro.exceptions import TemplateError
+
+        data = workflow_to_dict(fig1.workflow)
+        for node in data["nodes"]:
+            if node.get("template") == "selection":
+                node["template"] = "teleport"
+        with pytest.raises(TemplateError, match="unknown template"):
+            workflow_from_dict(data)
+
+    def test_custom_template_round_trips_with_library(self):
+        """A workflow using a custom template reloads when the reader
+        registers the same template."""
+        from repro.core.builder import WorkflowBuilder
+        from repro.core.schema import EMPTY_SCHEMA, Schema
+        from repro.templates import default_library
+        from repro.templates.base import (
+            ActivityKind,
+            ActivityTemplate,
+            CostShape,
+            SchemaPlan,
+        )
+
+        custom = ActivityTemplate(
+            name="custom_noop",
+            kind=ActivityKind.FILTER,
+            arity=1,
+            cost_shape=CostShape.LINEAR,
+            param_names=("attr",),
+            planner=lambda p: SchemaPlan(
+                (Schema([p["attr"]]),), EMPTY_SCHEMA, EMPTY_SCHEMA
+            ),
+        )
+        library = default_library()
+        library.register(custom)
+        builder = WorkflowBuilder(library=library)
+        src = builder.source("S", ["K"], cardinality=5)
+        noop = builder.activity("custom_noop", {"attr": "K"})
+        builder.chain(src, noop)
+        builder.target("DW", ["K"], provider=noop)
+        wf = builder.build()
+
+        text = dumps(wf)
+        restored = loads(text, library=library)
+        assert state_signature(restored) == state_signature(wf)
+        from repro.exceptions import TemplateError
+
+        with pytest.raises(TemplateError):
+            loads(text)  # default library lacks the custom template
+
+
+class TestRendering:
+    def test_dot_contains_all_nodes(self, fig1):
+        dot = to_dot(fig1.workflow)
+        assert dot.startswith("digraph etl {")
+        for node in fig1.workflow.nodes():
+            assert f'"{node.id}"' in dot
+
+    def test_dot_escapes_quotes(self, fig1):
+        dot = to_dot(fig1.workflow, title='my "special" flow')
+        assert '\\"special\\"' in dot
+
+    def test_text_outline_lines(self, fig1):
+        text = to_text(fig1.workflow)
+        lines = text.splitlines()
+        assert len(lines) == 9
+        assert lines[0].startswith("[1] PARTS1 (source)")
+        assert "U <- [3,6]" in text

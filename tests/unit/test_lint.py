@@ -1,0 +1,172 @@
+"""Unit tests for the naming-discipline linter."""
+
+from repro.core.activity import Activity
+from repro.core.lint import LintLevel, lint_workflow
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.transitions import Merge
+from repro.core.workflow import ETLWorkflow
+from repro.templates import builtin as t
+
+
+def _chain(*nodes):
+    wf = ETLWorkflow()
+    for node in nodes:
+        wf.add_node(node)
+    for provider, consumer in zip(nodes, nodes[1:]):
+        wf.add_edge(provider, consumer)
+    return wf
+
+
+def _in_place(activity_id, attr):
+    return Activity(
+        activity_id,
+        t.FUNCTION_APPLY,
+        {"function": "shift_up", "inputs": (attr,), "output": attr},
+    )
+
+
+class TestFormatSensitiveComparison:
+    def test_in_place_plus_constant_filter_is_error(self):
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = _in_place("2", "A")
+        sigma = Activity(
+            "3", t.SELECTION, {"attr": "A", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        findings = lint_workflow(_chain(src, scrub, sigma, dw))
+        assert len(findings) == 1
+        assert findings[0].level is LintLevel.ERROR
+        assert findings[0].rule == "format-sensitive-comparison"
+        assert findings[0].attribute == "A"
+
+    def test_not_null_does_not_trigger(self):
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = _in_place("2", "A")
+        nn = Activity("3", t.NOT_NULL, {"attr": "A"}, selectivity=0.9)
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        assert lint_workflow(_chain(src, scrub, nn, dw)) == []
+
+    def test_disjoint_attributes_clean(self):
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = _in_place("2", "A")
+        sigma = Activity(
+            "3", t.SELECTION, {"attr": "B", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        assert lint_workflow(_chain(src, scrub, sigma, dw)) == []
+
+    def test_finding_inside_composite_detected(self):
+        src = RecordSet("1", "S", Schema(["A", "B"]), RecordSetKind.SOURCE, 10)
+        scrub = _in_place("2", "A")
+        sigma = Activity(
+            "3", t.SELECTION, {"attr": "A", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        dw = RecordSet("4", "DW", Schema(["A", "B"]), RecordSetKind.TARGET)
+        wf = _chain(src, scrub, sigma, dw)
+        merged = Merge(scrub, sigma).apply(wf)
+        findings = lint_workflow(merged)
+        assert [f.rule for f in findings] == ["format-sensitive-comparison"]
+
+
+class TestMixedFormatBranches:
+    def _union_state(self, transform_both: bool, gamma_downstream: bool):
+        wf = ETLWorkflow()
+        schema = Schema(["K", "DATE", "V"])
+        s1 = wf.add_node(RecordSet("1", "S1", schema, RecordSetKind.SOURCE, 10))
+        s2 = wf.add_node(RecordSet("2", "S2", schema, RecordSetKind.SOURCE, 10))
+        a2e_1 = wf.add_node(
+            Activity(
+                "3",
+                t.FUNCTION_APPLY,
+                {
+                    "function": "date_us_to_eu",
+                    "inputs": ("DATE",),
+                    "output": "DATE",
+                    "injective": True,
+                },
+            )
+        )
+        wf.add_edge(s1, a2e_1)
+        head2 = s2
+        if transform_both:
+            a2e_2 = wf.add_node(
+                Activity(
+                    "4",
+                    t.FUNCTION_APPLY,
+                    {
+                        "function": "date_us_to_eu",
+                        "inputs": ("DATE",),
+                        "output": "DATE",
+                        "injective": True,
+                    },
+                )
+            )
+            wf.add_edge(s2, a2e_2)
+            head2 = a2e_2
+        union = wf.add_node(Activity("5", t.UNION, {}))
+        wf.add_edge(a2e_1, union, port=0)
+        wf.add_edge(head2, union, port=1)
+        head = union
+        if gamma_downstream:
+            gamma = wf.add_node(
+                Activity(
+                    "6",
+                    t.AGGREGATION,
+                    {
+                        "group_by": ("K", "DATE"),
+                        "measure": "V",
+                        "agg": "sum",
+                        "output": "VM",
+                    },
+                    selectivity=0.4,
+                )
+            )
+            wf.add_edge(union, gamma)
+            head = gamma
+            dw = wf.add_node(
+                RecordSet("9", "DW", Schema(["K", "DATE", "VM"]), RecordSetKind.TARGET)
+            )
+        else:
+            dw = wf.add_node(
+                RecordSet("9", "DW", schema, RecordSetKind.TARGET)
+            )
+        wf.add_edge(head, dw)
+        return wf
+
+    def test_partial_transform_with_downstream_grouper_warns(self):
+        findings = lint_workflow(
+            self._union_state(transform_both=False, gamma_downstream=True)
+        )
+        assert [f.rule for f in findings] == ["mixed-format-branches"]
+        assert findings[0].level is LintLevel.WARNING
+
+    def test_transform_on_both_branches_clean(self):
+        findings = lint_workflow(
+            self._union_state(transform_both=True, gamma_downstream=True)
+        )
+        assert findings == []
+
+    def test_no_downstream_grouper_clean(self):
+        findings = lint_workflow(
+            self._union_state(transform_both=False, gamma_downstream=False)
+        )
+        assert findings == []
+
+
+class TestRealScenarios:
+    def test_fig1_is_clean(self, fig1):
+        assert lint_workflow(fig1.workflow) == []
+
+    def test_two_branch_is_clean(self, two_branch):
+        assert lint_workflow(two_branch.workflow) == []
+
+    def test_finding_str_rendering(self):
+        src = RecordSet("1", "S", Schema(["A"]), RecordSetKind.SOURCE, 10)
+        scrub = _in_place("2", "A")
+        sigma = Activity(
+            "3", t.SELECTION, {"attr": "A", "op": ">=", "value": 5}, selectivity=0.5
+        )
+        dw = RecordSet("4", "DW", Schema(["A"]), RecordSetKind.TARGET)
+        findings = lint_workflow(_chain(src, scrub, sigma, dw))
+        assert "format-sensitive-comparison(A)" in str(findings[0])

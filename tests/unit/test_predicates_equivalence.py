@@ -1,0 +1,78 @@
+"""Unit tests for post-conditions and symbolic equivalence (section 3.4)."""
+
+from repro.core.equivalence import symbolically_equivalent, target_schemas
+from repro.core.predicates import (
+    Predicate,
+    node_predicates,
+    workflow_post_condition,
+)
+from repro.core.schema import Schema
+from repro.core.transitions import Distribute, Merge, Swap
+
+
+class TestPredicates:
+    def test_activity_predicate_uses_functionality(self, fig1):
+        nn = fig1.workflow.node_by_id("3")
+        (predicate,) = node_predicates(nn)
+        assert predicate.name == "NN"
+        assert predicate.variables == ("ECOST_M",)
+
+    def test_recordset_predicate_uses_schema(self, fig1):
+        parts1 = fig1.workflow.node_by_id("1")
+        (predicate,) = node_predicates(parts1)
+        assert predicate.name == "PARTS1"
+        assert set(predicate.variables) == {"PKEY", "SOURCE", "DATE", "ECOST_M"}
+
+    def test_merged_activity_contributes_component_predicates(self, fig1):
+        wf = fig1.workflow
+        merged_wf = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        merged = merged_wf.node_by_id("4+5")
+        names = {p.name for p in node_predicates(merged)}
+        assert names == {"FN"}
+        assert len(node_predicates(merged)) == 2  # $2E and A2E differ in params
+
+    def test_post_condition_counts_fig1(self, fig1):
+        cond = workflow_post_condition(fig1.workflow)
+        # 6 activities + 3 recordsets, all distinct predicates.
+        assert len(cond) == 9
+
+    def test_predicate_str(self):
+        assert str(Predicate("NN", ("COST",))) == "NN(COST)"
+
+
+class TestSymbolicEquivalence:
+    def test_workflow_equivalent_to_itself(self, fig1):
+        report = symbolically_equivalent(fig1.workflow, fig1.workflow)
+        assert report.equivalent
+        assert bool(report)
+
+    def test_swap_preserves_post_condition(self, fig1):
+        wf = fig1.workflow
+        swapped = Swap(wf.node_by_id("5"), wf.node_by_id("6")).apply(wf)
+        assert symbolically_equivalent(wf, swapped).equivalent
+
+    def test_distribute_preserves_post_condition(self, fig1):
+        wf = fig1.workflow
+        distributed = Distribute(wf.node_by_id("7"), wf.node_by_id("8")).apply(wf)
+        assert symbolically_equivalent(wf, distributed).equivalent
+
+    def test_merge_preserves_post_condition(self, fig1):
+        wf = fig1.workflow
+        merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+        assert symbolically_equivalent(wf, merged).equivalent
+
+    def test_different_workflows_not_equivalent(self, fig1, two_branch):
+        report = symbolically_equivalent(fig1.workflow, two_branch.workflow)
+        assert not report.equivalent
+        assert report.schema_mismatches or report.only_in_first
+
+    def test_report_diagnoses_missing_predicates(self, fig1, two_branch):
+        report = symbolically_equivalent(fig1.workflow, two_branch.workflow)
+        assert report.only_in_first  # fig1's predicates are absent
+
+    def test_target_schemas(self, fig1):
+        schemas = target_schemas(fig1.workflow)
+        assert set(schemas) == {"DW"}
+        assert schemas["DW"].compatible(
+            Schema(["PKEY", "SOURCE", "DATE", "ECOST_M"])
+        )

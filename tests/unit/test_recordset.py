@@ -1,0 +1,42 @@
+"""Unit tests for recordsets."""
+
+import pytest
+
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.exceptions import WorkflowError
+
+
+class TestRecordSet:
+    def test_source_properties(self):
+        rs = RecordSet("1", "PARTS1", Schema(["A"]), RecordSetKind.SOURCE, 100)
+        assert rs.is_source
+        assert not rs.is_target
+        assert rs.cardinality == 100.0
+
+    def test_target_properties(self):
+        rs = RecordSet("9", "DW", Schema(["A"]), RecordSetKind.TARGET)
+        assert rs.is_target
+        assert not rs.is_source
+
+    def test_default_kind_is_intermediate(self):
+        rs = RecordSet("5", "STAGE", Schema(["A"]))
+        assert rs.kind is RecordSetKind.INTERMEDIATE
+        assert not rs.is_source
+        assert not rs.is_target
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(WorkflowError, match="non-empty"):
+            RecordSet("1", "X", Schema([]))
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(WorkflowError):
+            RecordSet(1, "X", Schema(["A"]))
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(WorkflowError, match="cardinality"):
+            RecordSet("1", "X", Schema(["A"]), RecordSetKind.SOURCE, -1)
+
+    def test_repr_mentions_kind(self):
+        rs = RecordSet("1", "PARTS1", Schema(["A"]), RecordSetKind.SOURCE, 10)
+        assert "source" in repr(rs)

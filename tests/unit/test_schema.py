@@ -1,0 +1,105 @@
+"""Unit tests for the schema algebra."""
+
+import pytest
+
+from repro.core.schema import EMPTY_SCHEMA, Schema
+from repro.exceptions import SchemaError
+
+
+class TestConstruction:
+    def test_preserves_order(self):
+        schema = Schema(["B", "A", "C"])
+        assert schema.attrs == ("B", "A", "C")
+
+    def test_from_generator(self):
+        schema = Schema(attr for attr in ["X", "Y"])
+        assert list(schema) == ["X", "Y"]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["A", "B", "A"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError, match="invalid attribute"):
+            Schema([""])
+
+    def test_rejects_non_string(self):
+        with pytest.raises(SchemaError, match="invalid attribute"):
+            Schema([42])
+
+    def test_empty_schema_constant(self):
+        assert len(EMPTY_SCHEMA) == 0
+        assert list(EMPTY_SCHEMA) == []
+
+
+class TestContainerProtocol:
+    def test_len(self):
+        assert len(Schema(["A", "B"])) == 2
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_getitem(self):
+        assert Schema(["A", "B"])[1] == "B"
+
+    def test_equality_is_order_sensitive(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+
+    def test_hashable(self):
+        assert hash(Schema(["A"])) == hash(Schema(["A"]))
+        assert {Schema(["A", "B"]), Schema(["A", "B"])} == {Schema(["A", "B"])}
+
+    def test_equality_with_non_schema(self):
+        assert Schema(["A"]) != ["A"]
+
+    def test_str(self):
+        assert str(Schema(["A", "B"])) == "[A, B]"
+
+
+class TestAlgebra:
+    def test_issubset(self):
+        assert Schema(["A"]).issubset(Schema(["A", "B"]))
+        assert not Schema(["A", "C"]).issubset(Schema(["A", "B"]))
+
+    def test_issubset_of_iterable(self):
+        assert Schema(["A"]).issubset(["A", "B"])
+
+    def test_empty_is_subset_of_anything(self):
+        assert EMPTY_SCHEMA.issubset(Schema(["A"]))
+        assert EMPTY_SCHEMA.issubset(EMPTY_SCHEMA)
+
+    def test_compatible_ignores_order(self):
+        assert Schema(["A", "B"]).compatible(Schema(["B", "A"]))
+        assert not Schema(["A"]).compatible(Schema(["A", "B"]))
+
+    def test_union_keeps_left_order(self):
+        combined = Schema(["A", "B"]).union(Schema(["B", "C"]))
+        assert combined.attrs == ("A", "B", "C")
+
+    def test_union_with_iterable(self):
+        assert Schema(["A"]).union(["B"]).attrs == ("A", "B")
+
+    def test_minus(self):
+        assert Schema(["A", "B", "C"]).minus(Schema(["B"])).attrs == ("A", "C")
+
+    def test_minus_of_absent_attr_is_noop(self):
+        assert Schema(["A"]).minus(["Z"]).attrs == ("A",)
+
+    def test_intersect(self):
+        assert Schema(["A", "B", "C"]).intersect(["C", "A"]).attrs == ("A", "C")
+
+    def test_project_reorders(self):
+        assert Schema(["A", "B", "C"]).project(["C", "A"]).attrs == ("C", "A")
+
+    def test_project_missing_raises(self):
+        with pytest.raises(SchemaError, match="missing"):
+            Schema(["A"]).project(["B"])
+
+    def test_normalized_sorts(self):
+        assert Schema(["B", "A"]).normalized().attrs == ("A", "B")
+
+    def test_as_set(self):
+        assert Schema(["A", "B"]).as_set == frozenset({"A", "B"})

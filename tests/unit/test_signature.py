@@ -1,0 +1,92 @@
+"""Unit tests for state signatures (paper section 4.1)."""
+
+from repro.core.activity import Activity
+from repro.core.recordset import RecordSet, RecordSetKind
+from repro.core.schema import Schema
+from repro.core.signature import state_signature
+from repro.core.transitions import Swap
+from repro.core.workflow import ETLWorkflow
+from repro.templates import builtin as t
+
+
+def test_fig1_signature_matches_paper(fig1):
+    """The paper gives ((1.3)//(2.4.5.6)).7.8.9 for Fig. 1."""
+    assert state_signature(fig1.workflow) == "((1.3)//(2.4.5.6)).7.8.9"
+
+
+def test_signature_changes_after_swap(fig1):
+    wf = fig1.workflow
+    swap = Swap(wf.node_by_id("5"), wf.node_by_id("6"))
+    swapped = swap.apply(wf)
+    assert state_signature(swapped) == "((1.3)//(2.4.6.5)).7.8.9"
+    assert state_signature(swapped) != state_signature(wf)
+
+
+def test_commutative_branches_are_canonicalized():
+    """Mirror-image unions produce one signature."""
+
+    def build(flip: bool) -> ETLWorkflow:
+        wf = ETLWorkflow()
+        schema = Schema(["A"])
+        s1 = wf.add_node(RecordSet("1", "S1", schema, RecordSetKind.SOURCE, 1))
+        s2 = wf.add_node(RecordSet("2", "S2", schema, RecordSetKind.SOURCE, 1))
+        union = wf.add_node(Activity("3", t.UNION, {}))
+        dw = wf.add_node(RecordSet("9", "DW", schema, RecordSetKind.TARGET))
+        wf.add_edge(s1, union, port=1 if flip else 0)
+        wf.add_edge(s2, union, port=0 if flip else 1)
+        wf.add_edge(union, dw)
+        return wf
+
+    assert state_signature(build(False)) == state_signature(build(True))
+
+
+def test_difference_branches_keep_port_order():
+    """A-B and B-A must have different signatures."""
+
+    def build(flip: bool) -> ETLWorkflow:
+        wf = ETLWorkflow()
+        schema = Schema(["A"])
+        s1 = wf.add_node(RecordSet("1", "S1", schema, RecordSetKind.SOURCE, 1))
+        s2 = wf.add_node(RecordSet("2", "S2", schema, RecordSetKind.SOURCE, 1))
+        diff = wf.add_node(Activity("3", t.DIFFERENCE, {}))
+        dw = wf.add_node(RecordSet("9", "DW", schema, RecordSetKind.TARGET))
+        wf.add_edge(s1, diff, port=1 if flip else 0)
+        wf.add_edge(s2, diff, port=0 if flip else 1)
+        wf.add_edge(diff, dw)
+        return wf
+
+    assert state_signature(build(False)) != state_signature(build(True))
+
+
+def test_single_chain_signature():
+    wf = ETLWorkflow()
+    schema = Schema(["A"])
+    src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 1))
+    nn = wf.add_node(Activity("2", t.NOT_NULL, {"attr": "A"}))
+    dw = wf.add_node(RecordSet("3", "DW", schema, RecordSetKind.TARGET))
+    wf.add_edge(src, nn)
+    wf.add_edge(nn, dw)
+    assert state_signature(wf) == "1.2.3"
+
+
+def test_multi_target_signature_sorted():
+    wf = ETLWorkflow()
+    schema = Schema(["A"])
+    src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 1))
+    nn1 = wf.add_node(Activity("2", t.NOT_NULL, {"attr": "A"}))
+    nn2 = wf.add_node(Activity("3", t.NOT_NULL, {"attr": "A"}, selectivity=0.5))
+    dw1 = wf.add_node(RecordSet("8", "DW1", schema, RecordSetKind.TARGET))
+    dw2 = wf.add_node(RecordSet("9", "DW2", schema, RecordSetKind.TARGET))
+    wf.add_edge(src, nn1)
+    wf.add_edge(src, nn2)
+    wf.add_edge(nn1, dw1)
+    wf.add_edge(nn2, dw2)
+    assert state_signature(wf) == "1.2.8//1.3.9"
+
+
+def test_merged_activity_id_in_signature(fig1):
+    from repro.core.transitions import Merge
+
+    wf = fig1.workflow
+    merged = Merge(wf.node_by_id("4"), wf.node_by_id("5")).apply(wf)
+    assert state_signature(merged) == "((1.3)//(2.4+5.6)).7.8.9"

@@ -1,0 +1,179 @@
+"""Unit tests for the template layer: declarations, planning, library."""
+
+import pytest
+
+from repro.core.schema import EMPTY_SCHEMA, Schema
+from repro.exceptions import TemplateError
+from repro.templates import (
+    AGGREGATION,
+    ALL_BUILTIN_TEMPLATES,
+    FUNCTION_APPLY,
+    JOIN,
+    PK_CHECK,
+    PROJECTION,
+    SELECTION,
+    SURROGATE_KEY,
+    UNION,
+    ActivityKind,
+    ActivityTemplate,
+    CostShape,
+    SchemaPlan,
+    TemplateLibrary,
+    default_library,
+)
+from repro.templates.builtin import distributes_over_for
+
+
+class TestTemplateDeclaration:
+    def test_bad_arity_rejected(self):
+        with pytest.raises(TemplateError, match="arity"):
+            ActivityTemplate(
+                name="bad",
+                kind=ActivityKind.FILTER,
+                arity=3,
+                cost_shape=CostShape.LINEAR,
+                param_names=(),
+                planner=lambda p: SchemaPlan((EMPTY_SCHEMA,), EMPTY_SCHEMA, EMPTY_SCHEMA),
+            )
+
+    def test_binary_kind_requires_arity_two(self):
+        with pytest.raises(TemplateError, match="BINARY"):
+            ActivityTemplate(
+                name="bad",
+                kind=ActivityKind.BINARY,
+                arity=1,
+                cost_shape=CostShape.MERGE,
+                param_names=(),
+                planner=lambda p: SchemaPlan((EMPTY_SCHEMA,), EMPTY_SCHEMA, EMPTY_SCHEMA),
+            )
+
+    def test_predicate_name_defaults_to_template_name(self):
+        template = ActivityTemplate(
+            name="custom_filter",
+            kind=ActivityKind.FILTER,
+            arity=1,
+            cost_shape=CostShape.LINEAR,
+            param_names=(),
+            planner=lambda p: SchemaPlan((EMPTY_SCHEMA,), EMPTY_SCHEMA, EMPTY_SCHEMA),
+        )
+        assert template.predicate_name == "custom_filter"
+
+
+class TestPlanners:
+    def test_selection_plan(self):
+        plan = SELECTION.plan({"attr": "V", "op": ">=", "value": 1})
+        assert plan.functionality == Schema(["V"])
+        assert plan.generated == EMPTY_SCHEMA
+
+    def test_pk_check_requires_keys(self):
+        with pytest.raises(TemplateError, match="non-empty"):
+            PK_CHECK.plan({"key_attrs": (), "reference": "r"})
+
+    def test_projection_requires_attrs(self):
+        with pytest.raises(TemplateError, match="non-empty"):
+            PROJECTION.plan({"attrs": ()})
+
+    def test_function_apply_in_place_needs_single_input(self):
+        with pytest.raises(TemplateError, match="exactly one input"):
+            FUNCTION_APPLY.plan(
+                {"function": "f", "inputs": ("A", "B"), "output": "A"}
+            )
+
+    def test_function_apply_keep_inputs(self):
+        plan = FUNCTION_APPLY.plan(
+            {"function": "f", "inputs": ("A",), "output": "B", "drop_inputs": False}
+        )
+        assert plan.projected_out == EMPTY_SCHEMA
+        assert plan.generated == Schema(["B"])
+
+    def test_surrogate_key_same_attr_rejected(self):
+        with pytest.raises(TemplateError, match="must differ"):
+            SURROGATE_KEY.plan(
+                {"key_attr": "K", "skey_attr": "K", "lookup": "sk"}
+            )
+
+    def test_aggregation_measure_not_in_group_by(self):
+        with pytest.raises(TemplateError, match="measure"):
+            AGGREGATION.plan(
+                {"group_by": ("V",), "measure": "V", "agg": "sum", "output": "VM"}
+            )
+
+    def test_aggregation_output_not_in_group_by(self):
+        with pytest.raises(TemplateError, match="collides"):
+            AGGREGATION.plan(
+                {"group_by": ("K",), "measure": "V", "agg": "sum", "output": "K"}
+            )
+
+    def test_join_requires_on(self):
+        with pytest.raises(TemplateError, match="non-empty"):
+            JOIN.plan({"on": ()})
+
+    def test_binary_functionality_per_input(self):
+        plan = JOIN.plan({"on": ("K",)})
+        assert len(plan.functionality_per_input) == 2
+        assert plan.functionality == Schema(["K"])
+
+
+class TestDistributesOver:
+    def test_selection_moves_across_all_binaries(self):
+        assert distributes_over_for(SELECTION, {}) == frozenset(
+            {"union", "join", "difference", "intersection"}
+        )
+
+    def test_plain_function_union_only(self):
+        params = {"function": "f", "inputs": ("A",), "output": "B"}
+        assert distributes_over_for(FUNCTION_APPLY, params) == frozenset({"union"})
+
+    def test_injective_function_widens(self):
+        params = {
+            "function": "f",
+            "inputs": ("A",),
+            "output": "B",
+            "injective": True,
+        }
+        assert distributes_over_for(FUNCTION_APPLY, params) == frozenset(
+            {"union", "difference", "intersection"}
+        )
+
+    def test_aggregation_never_moves(self):
+        assert AGGREGATION.distributes_over == frozenset()
+
+
+class TestLibrary:
+    def test_default_library_has_all_builtins(self):
+        library = default_library()
+        assert len(library) == len(ALL_BUILTIN_TEMPLATES)
+        assert "selection" in library
+        assert library.get("union") is UNION
+
+    def test_unknown_template_raises(self):
+        with pytest.raises(TemplateError, match="unknown template"):
+            default_library().get("teleport")
+
+    def test_double_registration_rejected(self):
+        library = default_library()
+        with pytest.raises(TemplateError, match="already registered"):
+            library.register(SELECTION)
+
+    def test_replace_allows_override(self):
+        library = default_library()
+        library.register(SELECTION, replace=True)
+        assert library.get("selection") is SELECTION
+
+    def test_copy_is_independent(self):
+        library = default_library()
+        duplicate = library.copy()
+        custom = ActivityTemplate(
+            name="noop",
+            kind=ActivityKind.FILTER,
+            arity=1,
+            cost_shape=CostShape.LINEAR,
+            param_names=(),
+            planner=lambda p: SchemaPlan((EMPTY_SCHEMA,), EMPTY_SCHEMA, EMPTY_SCHEMA),
+        )
+        duplicate.register(custom)
+        assert "noop" in duplicate
+        assert "noop" not in library
+
+    def test_names_listing(self):
+        assert "aggregation" in default_library().names()

@@ -1,0 +1,73 @@
+"""The random workload generator: determinism, size bands, executability."""
+
+import pytest
+
+from repro.engine import Executor
+from repro.exceptions import ReproError
+from repro.workloads import CATEGORY_SPECS, generate_suite, generate_workload
+
+
+class TestDeterminism:
+    def test_same_seed_same_workflow(self):
+        first = generate_workload("small", seed=7)
+        second = generate_workload("small", seed=7)
+        from repro.core.signature import state_signature
+
+        assert state_signature(first.workflow) == state_signature(second.workflow)
+        assert first.activity_count == second.activity_count
+
+    def test_different_seeds_differ(self):
+        from repro.core.signature import state_signature
+
+        signatures = {
+            state_signature(generate_workload("small", seed=s).workflow)
+            for s in range(5)
+        }
+        assert len(signatures) > 1
+
+    def test_data_factory_deterministic(self):
+        workload = generate_workload("tiny", seed=3)
+        assert workload.make_data(1) == workload.make_data(1)
+
+
+class TestSizeBands:
+    @pytest.mark.parametrize("category", ["tiny", "small", "medium", "large"])
+    def test_activity_counts_near_spec(self, category):
+        spec = CATEGORY_SPECS[category]
+        for seed in range(4):
+            workload = generate_workload(category, seed=seed)
+            low, high = spec.activities
+            # The generator hits the target within the probabilistic
+            # cleansing-flag noise; allow a small margin.
+            assert low - 4 <= workload.activity_count <= high + 4
+
+    def test_source_counts_in_spec(self):
+        spec = CATEGORY_SPECS["large"]
+        for seed in range(4):
+            workload = generate_workload("large", seed=seed)
+            low, high = spec.sources
+            assert low <= len(workload.source_names) <= high
+
+    def test_unknown_category(self):
+        with pytest.raises(ReproError, match="unknown category"):
+            generate_workload("gigantic")
+
+
+class TestValidity:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_generated_workflows_are_valid(self, seed):
+        workload = generate_workload("small", seed=seed)
+        workload.workflow.validate()
+        workload.workflow.propagate_schemas()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_generated_workflows_execute(self, seed):
+        workload = generate_workload("tiny", seed=seed)
+        executor = Executor(context=workload.context)
+        result = executor.run(workload.workflow, workload.make_data(seed, n=40))
+        assert "DW" in result.targets
+
+    def test_suite_generation(self):
+        suite = generate_suite("tiny", count=3, base_seed=10)
+        assert len(suite) == 3
+        assert {w.seed for w in suite} == {10, 11, 12}

@@ -1,0 +1,81 @@
+"""Scenario builders and synthetic data."""
+
+import pytest
+
+from repro.core.signature import state_signature
+from repro.workloads import (
+    fig1_naming,
+    fig4_context,
+    fig4_states,
+    make_generic_rows,
+    make_parts1_rows,
+    make_parts2_rows,
+)
+from repro.exceptions import NamingError
+
+
+class TestFig1Scenario:
+    def test_structure_matches_paper(self, fig1):
+        assert state_signature(fig1.workflow) == "((1.3)//(2.4.5.6)).7.8.9"
+
+    def test_workflow_is_valid(self, fig1):
+        fig1.workflow.validate()
+        fig1.workflow.propagate_schemas()
+
+    def test_naming_registry_consistent(self):
+        registry = fig1_naming()
+        assert registry.reference_for("part key") == "PKEY"
+        assert registry.reference_for("per-delivery cost in dollars") == "DCOST"
+        # Dollar and euro costs are distinct entities.
+        with pytest.raises(NamingError):
+            registry.register("X", "per-delivery cost in dollars", "ECOST")
+
+
+class TestFig4Scenario:
+    def test_three_states(self, fig4):
+        states, _ = fig4
+        assert set(states) == {"initial", "distributed", "factorized"}
+        for wf in states.values():
+            wf.validate()
+            wf.propagate_schemas()
+
+    def test_context_contains_lookup(self):
+        context = fig4_context()
+        assert "skeys" in context.lookups
+
+
+class TestDatagen:
+    def test_parts1_schema(self):
+        rows = make_parts1_rows(20, seed=1)
+        assert len(rows) == 20
+        assert set(rows[0]) == {"PKEY", "SOURCE", "DATE", "ECOST_M"}
+
+    def test_parts1_null_rate(self):
+        rows = make_parts1_rows(500, seed=1, null_rate=0.5)
+        nulls = sum(1 for r in rows if r["ECOST_M"] is None)
+        assert 150 < nulls < 350
+
+    def test_parts2_dates_are_us_month_firsts(self):
+        rows = make_parts2_rows(50, seed=1)
+        for row in rows:
+            month, day, year = row["DATE"].split("/")
+            assert day == "01" and year == "2005"
+
+    def test_generic_rows_schema(self):
+        rows = make_generic_rows(10, 1, "S1")
+        assert set(rows[0]) == {"KEY", "SRC", "DATE", "V1", "V2", "V3"}
+        assert all(r["SRC"] == "S1" for r in rows)
+
+    def test_generic_rows_value_range(self):
+        rows = make_generic_rows(100, 2, "S", value_range=(10.0, 20.0))
+        for row in rows:
+            for attr in ("V2", "V3"):
+                assert 10.0 <= row[attr] <= 20.0
+
+    def test_generic_rows_only_v1_nullable(self):
+        rows = make_generic_rows(200, 3, "S", null_rate=0.3)
+        assert any(r["V1"] is None for r in rows)
+        assert all(r["V2"] is not None for r in rows)
+
+    def test_deterministic(self):
+        assert make_generic_rows(5, 9, "S") == make_generic_rows(5, 9, "S")
