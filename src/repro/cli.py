@@ -1,4 +1,4 @@
-"""Command-line interface: optimize / render / lint workflows from JSON.
+"""Command-line interface: optimize / render / lint / fuzz workflows.
 
 Usage::
 
@@ -6,20 +6,28 @@ Usage::
     python -m repro render flow.json --format dot > flow.dot
     python -m repro lint flow.json
     python -m repro impact flow.json --source SRC1 --attribute V2
+    python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
 
 Workflows are exchanged in the JSON format of :mod:`repro.io.json_io`;
 custom templates are not resolvable from the command line (use the
 library API for those).
+
+Exit codes: 0 on success, 1 when a check reports findings (lint/impact
+diagnostics, fuzz violations), 2 on bad input (unreadable file, invalid
+JSON, unknown category, ...).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 
 from repro import optimize
 from repro.core.lint import lint_workflow
 from repro.core.impact import impact_of_attribute_removal
+from repro.exceptions import ReproError
 from repro.io import dumps, load, to_dot, to_text
 
 __all__ = ["main", "build_parser"]
@@ -77,6 +85,58 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_impact.add_argument("workflow", help="path to a workflow JSON file")
     cmd_impact.add_argument("--source", required=True)
     cmd_impact.add_argument("--attribute", required=True)
+
+    cmd_fuzz = commands.add_parser(
+        "fuzz",
+        help="differential fuzzing of the transition system (Theorem 2)",
+    )
+    cmd_fuzz.add_argument(
+        "--seeds", type=int, default=25, help="number of seeds (default: 25)"
+    )
+    cmd_fuzz.add_argument(
+        "--base-seed", type=int, default=0, help="first seed (default: 0)"
+    )
+    cmd_fuzz.add_argument(
+        "--categories",
+        default="tiny,small",
+        help="comma-separated workload categories (default: tiny,small)",
+    )
+    cmd_fuzz.add_argument(
+        "--chain-length",
+        type=int,
+        default=8,
+        help="max transitions per chain (default: 8)",
+    )
+    cmd_fuzz.add_argument(
+        "--rows",
+        type=int,
+        default=60,
+        help="rows per source recordset (default: 60)",
+    )
+    cmd_fuzz.add_argument(
+        "--data-seed", type=int, default=0, help="source-data seed"
+    )
+    cmd_fuzz.add_argument(
+        "--corpus",
+        default=None,
+        help="corpus directory: persists failing seeds and repro artifacts",
+    )
+    cmd_fuzz.add_argument(
+        "--no-packaging",
+        action="store_true",
+        help="exclude the MER/SPL packaging transitions",
+    )
+    cmd_fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="report failures without minimizing them",
+    )
+    cmd_fuzz.add_argument(
+        "--rel-tol",
+        type=float,
+        default=0.05,
+        help="relative cost-conformance tolerance (default: 0.05)",
+    )
     return parser
 
 
@@ -130,17 +190,63 @@ def _cmd_impact(args) -> int:
     return 1
 
 
+def _cmd_fuzz(args) -> int:
+    # Imported lazily: the fuzz stack pulls in the generator and engine,
+    # which the file-based subcommands never need.
+    from repro.fuzz import FuzzConfig, OracleConfig, run_fuzz
+
+    categories = tuple(
+        part.strip() for part in args.categories.split(",") if part.strip()
+    )
+    config = FuzzConfig(
+        categories=categories,
+        chain_length=args.chain_length,
+        rows_per_source=args.rows,
+        data_seed=args.data_seed,
+        include_packaging=not args.no_packaging,
+        oracle=OracleConfig(rel_tol=args.rel_tol),
+    )
+    report = run_fuzz(
+        config,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 _HANDLERS = {
     "optimize": _cmd_optimize,
     "render": _cmd_render,
     "lint": _cmd_lint,
     "impact": _cmd_impact,
+    "fuzz": _cmd_fuzz,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    try:
+        code = _HANDLERS[args.command](args)
+        # Flush inside the try so an EPIPE from buffered output surfaces
+        # here (where it is handled) instead of at interpreter shutdown
+        # (where it would turn into exit code 120 and stderr noise).
+        sys.stdout.flush()
+        return code
+    except BrokenPipeError:
+        # `repro render … | head` pipelines: the consumer closing the pipe
+        # early is not an error.  Point stdout at devnull so the
+        # interpreter's exit flush does not raise a second time.
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+"""Differential fuzzing and conformance verification of the optimizer.
+
+The paper's correctness claim (Theorem 2) is that every SWA / FAC / DIS /
+MER / SPL transition produces an *equivalent* workflow.  The library
+carries two halves of an equivalence oracle — the symbolic post-condition
+check (:mod:`repro.core.equivalence`) and the empirical same-data /
+same-output check (:mod:`repro.engine.validate`) — plus a cost model whose
+cardinality propagation mirrors the execution engine's row counters.
+
+This package hammers long random transition chains against all three at
+once:
+
+* :mod:`repro.fuzz.oracles` — the conformance oracle: symbolic
+  equivalence, empirical equivalence, and cost-model conformance
+  (predicted processed rows vs. the executor's counters);
+* :mod:`repro.fuzz.chain` — the transition-chain fuzzer: generate a
+  workload from a seed, walk a random chain of enumerated transitions
+  (including the MER/SPL packaging moves the search excludes), and check
+  every intermediate state;
+* :mod:`repro.fuzz.shrink` — minimizes a failing chain to the shortest
+  reproducing sub-chain and the smallest source-data slice, and emits a
+  deterministic JSON repro artifact;
+* :mod:`repro.fuzz.corpus` — run orchestration, per-transition violation
+  statistics, and persistence of failing seeds for regression replay.
+
+The ``repro fuzz`` CLI subcommand drives :func:`run_fuzz` end to end.
+"""
+
+from repro.fuzz.chain import (
+    ChainStep,
+    FuzzConfig,
+    FuzzFailure,
+    SeedResult,
+    fuzz_candidates,
+    fuzz_seed,
+    replay_chain,
+)
+from repro.fuzz.corpus import FuzzReport, load_known_failures, run_fuzz
+from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
+from repro.fuzz.shrink import (
+    ShrunkRepro,
+    dump_artifact,
+    repro_artifact,
+    save_artifact,
+    shrink_failure,
+)
+
+__all__ = [
+    "ChainStep",
+    "ConformanceOracle",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleConfig",
+    "SeedResult",
+    "ShrunkRepro",
+    "Violation",
+    "dump_artifact",
+    "fuzz_candidates",
+    "fuzz_seed",
+    "load_known_failures",
+    "replay_chain",
+    "repro_artifact",
+    "run_fuzz",
+    "save_artifact",
+    "shrink_failure",
+]

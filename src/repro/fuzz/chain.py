@@ -1,0 +1,285 @@
+"""The transition-chain fuzzer.
+
+One fuzz case is fully determined by ``(config, seed)``: the seed picks a
+generated workload (:func:`repro.workloads.generate_workload` is
+deterministic in ``(category, seed)``), a private RNG walks a random chain
+of applicable transitions, and every intermediate state is checked against
+the initial state by the :class:`~repro.fuzz.oracles.ConformanceOracle`.
+
+The candidate enumeration extends the search-facing
+:func:`repro.core.transitions.candidate_transitions` (SWA / FAC / DIS)
+with the MER and SPL packaging moves the search deliberately excludes —
+Theorem 2 claims equivalence for all five, so the fuzzer exercises all
+five.
+
+Chains are recorded as ``(candidate index, describe())`` pairs.  The index
+gives exact replay; the description string lets the shrinker re-match a
+transition after earlier steps were removed (see
+:func:`replay_chain`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.cost.model import CostModel
+from repro.core.transitions import candidate_transitions
+from repro.core.transitions.base import Transition
+from repro.core.transitions.merge import Merge, Split
+from repro.core.workflow import ETLWorkflow
+from repro.engine.executor import Executor
+from repro.exceptions import ReproError
+from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
+from repro.workloads import CATEGORY_SPECS, generate_workload
+
+__all__ = [
+    "FuzzConfig",
+    "ChainStep",
+    "FuzzFailure",
+    "SeedResult",
+    "fuzz_candidates",
+    "fuzz_seed",
+    "replay_chain",
+]
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Everything a fuzz run needs beyond the seeds themselves."""
+
+    #: Workload categories, assigned to seeds round-robin.
+    categories: tuple[str, ...] = ("tiny", "small")
+    #: Maximum transitions per chain.
+    chain_length: int = 8
+    #: Rows generated per source recordset.
+    rows_per_source: int = 60
+    #: Seed of the synthetic source data (independent of the workflow seed).
+    data_seed: int = 0
+    #: Also fuzz the MER/SPL packaging transitions.
+    include_packaging: bool = True
+    #: Chance per step of preferring a packaging move over a core move —
+    #: adjacent unary pairs make MER candidates plentiful, so an unweighted
+    #: walk degenerates into merge ping-pong.
+    packaging_probability: float = 0.3
+    oracle: OracleConfig = field(default_factory=OracleConfig)
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ReproError(
+                f"at least one workload category is required; choose from "
+                f"{sorted(CATEGORY_SPECS)}"
+            )
+        unknown = [c for c in self.categories if c not in CATEGORY_SPECS]
+        if unknown:
+            raise ReproError(
+                f"unknown workload categories {unknown}; choose from "
+                f"{sorted(CATEGORY_SPECS)}"
+            )
+        if self.chain_length < 1:
+            raise ReproError("chain_length must be at least 1")
+
+    def category_for(self, seed: int) -> str:
+        return self.categories[seed % len(self.categories)]
+
+
+@dataclass(frozen=True)
+class ChainStep:
+    """One applied transition: position in the enumeration + description."""
+
+    index: int
+    transition: str
+    mnemonic: str
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "transition": self.transition,
+            "mnemonic": self.mnemonic,
+        }
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """A reproducible oracle violation: workload coordinates + chain."""
+
+    category: str
+    seed: int
+    rows_per_source: int
+    data_seed: int
+    include_packaging: bool
+    steps: tuple[ChainStep, ...]
+    violations: tuple[Violation, ...]
+
+
+@dataclass
+class SeedResult:
+    """Outcome of fuzzing one seed."""
+
+    category: str
+    seed: int
+    steps_applied: list[ChainStep]
+    transition_counts: Counter
+    states_checked: int
+    failure: FuzzFailure | None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def _packaging_candidates(workflow: ETLWorkflow) -> list[Transition]:
+    """MER over adjacent unary pairs, SPL over merged activities."""
+    candidates: list[Transition] = []
+    activities = sorted(workflow.activities(), key=lambda a: a.id)
+    for first in activities:
+        if not first.is_unary:
+            continue
+        consumers = workflow.consumers(first)
+        if len(consumers) != 1:
+            continue
+        second = consumers[0]
+        if (
+            isinstance(second, Activity)
+            and second.is_unary
+            and len(workflow.consumers(second)) == 1
+        ):
+            candidates.append(Merge(first, second))
+    for activity in activities:
+        if isinstance(activity, CompositeActivity):
+            if len(workflow.consumers(activity)) == 1:
+                candidates.append(Split(activity))
+    return candidates
+
+
+def fuzz_candidates(
+    workflow: ETLWorkflow, include_packaging: bool = True
+) -> list[Transition]:
+    """All transition candidates of a state, in a deterministic order."""
+    candidates = list(candidate_transitions(workflow))
+    if include_packaging:
+        candidates.extend(_packaging_candidates(workflow))
+    return candidates
+
+
+def fuzz_seed(
+    config: FuzzConfig,
+    seed: int,
+    category: str | None = None,
+    model: CostModel | None = None,
+) -> SeedResult:
+    """Fuzz one seed: walk a random transition chain, checking every state."""
+    category = category if category is not None else config.category_for(seed)
+    workload = generate_workload(
+        category, seed=seed, rows_per_source=config.rows_per_source
+    )
+    data = workload.make_data(config.data_seed)
+    oracle = ConformanceOracle(
+        workload.workflow,
+        data,
+        executor=Executor(context=workload.context),
+        model=model,
+        config=config.oracle,
+    )
+    rng = random.Random(0x5EED ^ (seed * 1_000_003) ^ config.data_seed)
+
+    current = workload.workflow
+    steps: list[ChainStep] = []
+    counts: Counter = Counter()
+    states_checked = 0
+    failure: FuzzFailure | None = None
+
+    for _ in range(config.chain_length):
+        core = list(candidate_transitions(current))
+        packaging = (
+            _packaging_candidates(current) if config.include_packaging else []
+        )
+        candidates = core + packaging
+        if not candidates:
+            break
+        # Try the preferred pool first, the other as a fallback, each in a
+        # random order; indices stay positions in the combined enumeration
+        # (the order fuzz_candidates produces) so replays line up.
+        core_indices = list(range(len(core)))
+        packaging_indices = list(range(len(core), len(candidates)))
+        prefer_packaging = bool(packaging) and (
+            not core or rng.random() < config.packaging_probability
+        )
+        pools = (
+            (packaging_indices, core_indices)
+            if prefer_packaging
+            else (core_indices, packaging_indices)
+        )
+        applied: tuple[int, Transition, ETLWorkflow] | None = None
+        for pool in pools:
+            for index in rng.sample(pool, len(pool)):
+                transition = candidates[index]
+                successor = transition.try_apply(current)
+                if successor is not None:
+                    applied = (index, transition, successor)
+                    break
+            if applied is not None:
+                break
+        if applied is None:
+            break
+        index, transition, successor = applied
+        steps.append(ChainStep(index, transition.describe(), transition.mnemonic))
+        counts[transition.mnemonic] += 1
+        states_checked += 1
+        violations = oracle.check(successor)
+        if violations:
+            step_no = len(steps)
+            failure = FuzzFailure(
+                category=category,
+                seed=seed,
+                rows_per_source=config.rows_per_source,
+                data_seed=config.data_seed,
+                include_packaging=config.include_packaging,
+                steps=tuple(steps),
+                violations=tuple(
+                    v.at(step_no, transition.describe()) for v in violations
+                ),
+            )
+            break
+        current = successor
+
+    return SeedResult(
+        category=category,
+        seed=seed,
+        steps_applied=steps,
+        transition_counts=counts,
+        states_checked=states_checked,
+        failure=failure,
+    )
+
+
+def replay_chain(
+    workflow: ETLWorkflow,
+    descriptions: list[str] | tuple[str, ...],
+    include_packaging: bool = True,
+) -> ETLWorkflow | None:
+    """Re-apply a chain by matching ``describe()`` strings.
+
+    Returns the final state, or ``None`` when the chain diverges (a
+    description no longer matches any applicable candidate — the normal
+    outcome when the shrinker removed a step a later one depended on).
+    """
+    current = workflow
+    for description in descriptions:
+        match = next(
+            (
+                t
+                for t in fuzz_candidates(current, include_packaging)
+                if t.describe() == description
+            ),
+            None,
+        )
+        if match is None:
+            return None
+        successor = match.try_apply(current)
+        if successor is None:
+            return None
+        current = successor
+    return current

@@ -1,0 +1,199 @@
+"""Fuzz-run orchestration, reporting, and corpus persistence.
+
+:func:`run_fuzz` drives :func:`~repro.fuzz.chain.fuzz_seed` over a seed
+range, shrinks any failure, and aggregates a :class:`FuzzReport` — seeds
+run, states checked, transitions applied per mnemonic, and the violation
+count attributed to the transition kind that produced each failing state.
+
+A *corpus directory* makes runs cumulative:
+
+* ``failures.json`` — the (category, seed) coordinates of every failure
+  ever observed; subsequent runs replay these first, so a fixed bug stays
+  fixed (regression seeds) and an open one is rediscovered immediately;
+* ``<category>-seed<seed>.json`` — the shrunk repro artifact per failure;
+* ``summary.json`` — the report of the most recent run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.cost.model import CostModel
+from repro.fuzz.chain import FuzzConfig, fuzz_seed
+from repro.fuzz.shrink import save_artifact, shrink_failure
+
+__all__ = ["FuzzReport", "run_fuzz", "load_known_failures"]
+
+_FAILURES_FILE = "failures.json"
+_SUMMARY_FILE = "summary.json"
+
+
+@dataclass
+class FuzzReport:
+    """Aggregated outcome of one fuzz run."""
+
+    config: FuzzConfig
+    seeds_run: int = 0
+    states_checked: int = 0
+    transitions_applied: Counter = field(default_factory=Counter)
+    violations_by_transition: Counter = field(default_factory=Counter)
+    #: One summary dict per failing seed (see ``_failure_summary``).
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "categories": list(self.config.categories),
+            "chain_length": self.config.chain_length,
+            "rows_per_source": self.config.rows_per_source,
+            "data_seed": self.config.data_seed,
+            "include_packaging": self.config.include_packaging,
+            "seeds_run": self.seeds_run,
+            "states_checked": self.states_checked,
+            "transitions_applied": dict(sorted(self.transitions_applied.items())),
+            "violations_by_transition": dict(
+                sorted(self.violations_by_transition.items())
+            ),
+            "failures": self.failures,
+        }
+
+    def summary(self) -> str:
+        applied = ", ".join(
+            f"{mnemonic}:{count}"
+            for mnemonic, count in sorted(self.transitions_applied.items())
+        ) or "none"
+        lines = [
+            f"fuzz: {self.seeds_run} seed(s), {self.states_checked} state(s) "
+            f"checked, transitions applied: {applied}",
+        ]
+        if self.ok:
+            lines.append(
+                "no equivalence or cost-conformance violations found"
+            )
+        else:
+            lines.append(f"{len(self.failures)} violating seed(s):")
+            for failure in self.failures:
+                kinds = ",".join(failure["kinds"])
+                lines.append(
+                    f"  {failure['category']} seed {failure['seed']}: "
+                    f"step {failure['step']} {failure['transition']} "
+                    f"[{kinds}] -> chain shrunk to "
+                    f"{len(failure['chain'])} step(s), "
+                    f"{failure['rows_per_source']} row(s)/source"
+                )
+        return "\n".join(lines)
+
+
+def load_known_failures(corpus_dir: str) -> list[tuple[str, int]]:
+    """The (category, seed) pairs recorded by previous runs, oldest first."""
+    path = os.path.join(corpus_dir, _FAILURES_FILE)
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    return [(entry["category"], entry["seed"]) for entry in entries]
+
+
+def _record_failure(corpus_dir: str, category: str, seed: int) -> None:
+    known = load_known_failures(corpus_dir)
+    if (category, seed) not in known:
+        known.append((category, seed))
+    path = os.path.join(corpus_dir, _FAILURES_FILE)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(
+            [{"category": c, "seed": s} for c, s in known],
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+
+
+def _failure_summary(shrunk, failure) -> dict:
+    last_step = failure.steps[-1]
+    return {
+        "category": failure.category,
+        "seed": failure.seed,
+        "step": len(failure.steps),
+        "transition": last_step.transition,
+        "mnemonic": last_step.mnemonic,
+        "kinds": sorted({v.kind for v in shrunk.violations} or
+                        {v.kind for v in failure.violations}),
+        "chain": list(shrunk.chain),
+        "rows_per_source": shrunk.rows_per_source,
+    }
+
+
+def run_fuzz(
+    config: FuzzConfig,
+    seeds: int = 25,
+    base_seed: int = 0,
+    corpus_dir: str | None = None,
+    shrink: bool = True,
+    model: CostModel | None = None,
+) -> FuzzReport:
+    """Fuzz ``seeds`` seeds (known corpus failures first) and aggregate.
+
+    With a ``corpus_dir``, failing seeds are persisted, their shrunk repro
+    artifacts written next to them, and the run summary saved as
+    ``summary.json``.
+    """
+    schedule: list[tuple[str, int]] = []
+    if corpus_dir is not None:
+        os.makedirs(corpus_dir, exist_ok=True)
+        schedule.extend(load_known_failures(corpus_dir))
+    for seed in range(base_seed, base_seed + seeds):
+        pair = (config.category_for(seed), seed)
+        if pair not in schedule:
+            schedule.append(pair)
+
+    report = FuzzReport(config=config)
+    for category, seed in schedule:
+        result = fuzz_seed(config, seed, category=category, model=model)
+        report.seeds_run += 1
+        report.states_checked += result.states_checked
+        report.transitions_applied.update(result.transition_counts)
+        if result.failure is None:
+            continue
+        failure = result.failure
+        report.violations_by_transition[failure.steps[-1].mnemonic] += 1
+        shrunk = (
+            shrink_failure(failure, model=model, oracle_config=config.oracle)
+            if shrink
+            else None
+        )
+        if shrunk is not None:
+            summary = _failure_summary(shrunk, failure)
+        else:
+            summary = {
+                "category": failure.category,
+                "seed": failure.seed,
+                "step": len(failure.steps),
+                "transition": failure.steps[-1].transition,
+                "mnemonic": failure.steps[-1].mnemonic,
+                "kinds": sorted({v.kind for v in failure.violations}),
+                "chain": [s.transition for s in failure.steps],
+                "rows_per_source": failure.rows_per_source,
+            }
+        if corpus_dir is not None:
+            _record_failure(corpus_dir, failure.category, failure.seed)
+            if shrunk is not None:
+                artifact_path = os.path.join(
+                    corpus_dir, f"{failure.category}-seed{failure.seed}.json"
+                )
+                save_artifact(shrunk, artifact_path)
+                summary["artifact"] = artifact_path
+        report.failures.append(summary)
+
+    if corpus_dir is not None:
+        summary_path = os.path.join(corpus_dir, _SUMMARY_FILE)
+        with open(summary_path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return report

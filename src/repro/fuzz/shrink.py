@@ -1,0 +1,203 @@
+"""Failure minimization and deterministic repro artifacts.
+
+Given a :class:`~repro.fuzz.chain.FuzzFailure`, the shrinker looks for
+
+1. the shortest sub-chain of transitions that still trips an oracle —
+   greedy delta debugging: repeatedly try dropping one step, replaying the
+   remainder by description (:func:`~repro.fuzz.chain.replay_chain`) until
+   no single step can be removed; and
+2. the smallest source-data slice (rows per source) that still reproduces
+   it — a binary search down from the failing size (symbolic violations
+   are data-independent and typically shrink to zero rows).
+
+The result serializes to a deterministic JSON artifact (sorted keys, the
+:mod:`repro.io.json_io` workflow encoding) so a failure found on one
+machine replays bit-identically on another.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.cost.model import CostModel
+from repro.core.workflow import ETLWorkflow
+from repro.engine.executor import Executor
+from repro.fuzz.chain import FuzzFailure, replay_chain
+from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
+from repro.io.json_io import workflow_to_dict
+from repro.workloads import generate_workload
+
+__all__ = [
+    "ShrunkRepro",
+    "shrink_failure",
+    "repro_artifact",
+    "dump_artifact",
+    "save_artifact",
+]
+
+ARTIFACT_KIND = "repro-fuzz-failure"
+ARTIFACT_VERSION = 1
+
+
+@dataclass
+class ShrunkRepro:
+    """A minimized failure, ready to serialize."""
+
+    failure: FuzzFailure
+    #: Minimized chain (transition descriptions, in application order).
+    chain: tuple[str, ...]
+    #: Minimized rows per source that still reproduce the violation.
+    rows_per_source: int
+    #: Violations observed on the minimized reproduction.
+    violations: tuple[Violation, ...]
+    initial: ETLWorkflow
+    failing: ETLWorkflow
+
+
+class _Reproducer:
+    """Replays (chain, data size) combinations for one failure's workload."""
+
+    def __init__(
+        self,
+        failure: FuzzFailure,
+        model: CostModel | None,
+        oracle_config: OracleConfig | None,
+    ):
+        self.failure = failure
+        self.model = model
+        self.oracle_config = oracle_config
+        self.workload = generate_workload(
+            failure.category,
+            seed=failure.seed,
+            rows_per_source=failure.rows_per_source,
+        )
+        self._oracles: dict[int, ConformanceOracle] = {}
+
+    def final_state(self, chain: tuple[str, ...]) -> ETLWorkflow | None:
+        return replay_chain(
+            self.workload.workflow, chain, self.failure.include_packaging
+        )
+
+    def _oracle(self, n_rows: int) -> ConformanceOracle:
+        oracle = self._oracles.get(n_rows)
+        if oracle is None:
+            oracle = ConformanceOracle(
+                self.workload.workflow,
+                self.workload.make_data(self.failure.data_seed, n=n_rows),
+                executor=Executor(context=self.workload.context),
+                model=self.model,
+                config=self.oracle_config,
+            )
+            self._oracles[n_rows] = oracle
+        return oracle
+
+    def violations(
+        self, chain: tuple[str, ...], n_rows: int
+    ) -> tuple[Violation, ...]:
+        """Violations of the replayed chain on ``n_rows`` rows (empty = ok)."""
+        if not chain:
+            return ()
+        final = self.final_state(chain)
+        if final is None:
+            return ()
+        return tuple(self._oracle(n_rows).check(final))
+
+
+def shrink_failure(
+    failure: FuzzFailure,
+    model: CostModel | None = None,
+    oracle_config: OracleConfig | None = None,
+) -> ShrunkRepro:
+    """Minimize a failure's chain and data slice.
+
+    Falls back to the original chain/size when the failure does not
+    reproduce under replay (e.g. a non-deterministic bug) — the artifact
+    then records the unshrunk reproduction.
+    """
+    reproducer = _Reproducer(failure, model, oracle_config)
+    chain = tuple(step.transition for step in failure.steps)
+    n_rows = failure.rows_per_source
+    violations = reproducer.violations(chain, n_rows)
+
+    if violations:
+        chain = _shrink_chain(reproducer, chain, n_rows)
+        n_rows = _shrink_rows(reproducer, chain, n_rows)
+        violations = reproducer.violations(chain, n_rows)
+    else:
+        # Not reproducible via replay; keep the recorded facts verbatim.
+        violations = failure.violations
+
+    final = reproducer.final_state(chain)
+    return ShrunkRepro(
+        failure=failure,
+        chain=chain,
+        rows_per_source=n_rows,
+        violations=violations,
+        initial=reproducer.workload.workflow,
+        failing=final if final is not None else reproducer.workload.workflow,
+    )
+
+
+def _shrink_chain(
+    reproducer: _Reproducer, chain: tuple[str, ...], n_rows: int
+) -> tuple[str, ...]:
+    """Greedily drop steps while the violation still reproduces."""
+    changed = True
+    while changed and len(chain) > 1:
+        changed = False
+        # Later steps first: the violation usually lives at the chain's end,
+        # so the prefix is the most promising thing to discard.
+        for index in range(len(chain) - 1, -1, -1):
+            candidate = chain[:index] + chain[index + 1 :]
+            if reproducer.violations(candidate, n_rows):
+                chain = candidate
+                changed = True
+                break
+    return chain
+
+
+def _shrink_rows(
+    reproducer: _Reproducer, chain: tuple[str, ...], n_rows: int
+) -> int:
+    """Binary-search the smallest per-source row count that reproduces."""
+    low, high = 0, n_rows  # invariant: `high` reproduces
+    while low < high:
+        mid = (low + high) // 2
+        if reproducer.violations(chain, mid):
+            high = mid
+        else:
+            low = mid + 1
+    return high
+
+
+def repro_artifact(shrunk: ShrunkRepro) -> dict[str, object]:
+    """The JSON-ready repro document (deterministic for a given failure)."""
+    failure = shrunk.failure
+    return {
+        "kind": ARTIFACT_KIND,
+        "format_version": ARTIFACT_VERSION,
+        "workload": {
+            "category": failure.category,
+            "seed": failure.seed,
+            "rows_per_source": failure.rows_per_source,
+            "data_seed": failure.data_seed,
+            "include_packaging": failure.include_packaging,
+            "shrunk_rows_per_source": shrunk.rows_per_source,
+        },
+        "original_chain": [step.to_dict() for step in failure.steps],
+        "chain": list(shrunk.chain),
+        "violations": [v.to_dict() for v in shrunk.violations],
+        "initial_workflow": workflow_to_dict(shrunk.initial),
+        "failing_workflow": workflow_to_dict(shrunk.failing),
+    }
+
+
+def dump_artifact(shrunk: ShrunkRepro) -> str:
+    """Serialize the artifact deterministically (sorted keys, fixed indent)."""
+    return json.dumps(repro_artifact(shrunk), indent=2, sort_keys=True)
+
+
+def save_artifact(shrunk: ShrunkRepro, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_artifact(shrunk) + "\n")

@@ -1,10 +1,42 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite.
+
+Two Hypothesis profiles are pinned here so property runs are reproducible
+where it matters:
+
+* ``ci`` — derandomized (fixed seed) with no deadline, for CI: a red run
+  is a real regression, never a flaky schedule or a slow runner;
+* ``dev`` — the default locally: randomized exploration, no deadline (the
+  engine-backed properties routinely outrun the 200 ms default).
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core.cost import ProcessedRowsCostModel
+
+settings.register_profile(
+    "ci",
+    settings(
+        derandomize=True,
+        deadline=None,
+        print_blob=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.register_profile(
+    "dev",
+    settings(
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    ),
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.engine import Executor
 from repro.workloads import (
     fig1_workflow,

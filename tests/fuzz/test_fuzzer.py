@@ -1,0 +1,87 @@
+"""The chain fuzzer on the shipped (sound) transition set."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.signature import state_signature
+from repro.fuzz import FuzzConfig, fuzz_seed, replay_chain, run_fuzz
+from repro.workloads import generate_workload
+
+CONFIG = FuzzConfig(chain_length=5, rows_per_source=40)
+
+
+class TestFuzzSeed:
+    def test_clean_on_shipped_transitions(self):
+        for seed in range(5):
+            result = fuzz_seed(CONFIG, seed)
+            assert result.ok, result.failure
+
+    def test_applies_and_counts_transitions(self):
+        result = fuzz_seed(CONFIG, seed=0)
+        assert result.states_checked == len(result.steps_applied) > 0
+        assert sum(result.transition_counts.values()) == len(
+            result.steps_applied
+        )
+
+    def test_deterministic_in_seed(self):
+        first = fuzz_seed(CONFIG, seed=2)
+        second = fuzz_seed(CONFIG, seed=2)
+        assert first.steps_applied == second.steps_applied
+
+    def test_packaging_can_be_excluded(self):
+        config = dataclasses.replace(CONFIG, include_packaging=False)
+        for seed in range(5):
+            result = fuzz_seed(config, seed)
+            assert set(result.transition_counts) <= {"SWA", "FAC", "DIS"}
+
+    def test_chain_replays_to_same_state(self):
+        result = fuzz_seed(CONFIG, seed=1)
+        assert result.steps_applied
+        chain = [step.transition for step in result.steps_applied]
+
+        def replay():
+            workload = generate_workload(
+                result.category, seed=1, rows_per_source=CONFIG.rows_per_source
+            )
+            return replay_chain(workload.workflow, chain)
+
+        first, second = replay(), replay()
+        assert first is not None
+        first.validate()
+        assert state_signature(first) == state_signature(second)
+
+
+class TestRunFuzz:
+    def test_report_aggregates_and_is_clean(self):
+        report = run_fuzz(CONFIG, seeds=4)
+        assert report.ok
+        assert report.seeds_run == 4
+        assert report.states_checked > 0
+        assert sum(report.transitions_applied.values()) == report.states_checked
+        assert "no equivalence" in report.summary()
+
+    def test_report_is_deterministic(self):
+        first = run_fuzz(CONFIG, seeds=3)
+        second = run_fuzz(CONFIG, seeds=3)
+        assert first.to_dict() == second.to_dict()
+
+    def test_rejects_unknown_category(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="unknown workload categories"):
+            FuzzConfig(categories=("nope",))
+
+    def test_rejects_empty_chain(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="chain_length"):
+            FuzzConfig(chain_length=0)
+
+
+@pytest.mark.slow
+def test_fifty_seed_conformance_run():
+    """The acceptance-criteria run: 50 seeds, zero violations."""
+    report = run_fuzz(FuzzConfig(), seeds=50)
+    assert report.ok, report.summary()
+    assert report.seeds_run == 50

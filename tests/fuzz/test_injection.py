@@ -1,0 +1,153 @@
+"""Seeded-injection tests: a deliberately broken transition must be caught.
+
+The fuzzer's value rests on the oracles actually firing, so these tests
+monkeypatch ``Swap`` into an unsound transition — the guard-checked
+rewiring silently *drops* the moved selection, a realistic "graph surgery
+lost an edge" bug — and require that
+
+* the fuzzer detects the violation (symbolic and empirical),
+* the shrinker minimizes the failing chain to at most 3 steps and the
+  source data to (near) nothing, and
+* the emitted JSON repro artifact is deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.core.activity import CompositeActivity
+from repro.core.transitions.swap import Swap
+from repro.fuzz import (
+    FuzzConfig,
+    dump_artifact,
+    fuzz_seed,
+    run_fuzz,
+    shrink_failure,
+)
+from repro.fuzz.shrink import repro_artifact
+
+# Packaging moves are excluded so every step of the failing chain is a
+# Swap; the minimal repro is then a single broken swap.
+CONFIG = FuzzConfig(
+    chain_length=6, rows_per_source=40, include_packaging=False
+)
+
+_REAL_REWIRE = Swap.rewire
+
+
+def _broken_rewire(self, workflow):
+    """Swap, then 'accidentally' drop the moved activity when it filters."""
+    _REAL_REWIRE(self, workflow)
+    victim = self.first
+    if isinstance(victim, CompositeActivity):
+        return
+    if victim.template.name != "selection" or victim.selectivity >= 1.0:
+        return
+    provider = workflow.providers(victim)[0]
+    consumer = workflow.consumers(victim)[0]
+    port = workflow.edge_port(victim, consumer)
+    workflow.remove_node(victim)
+    workflow.add_edge(provider, consumer, port=port)
+
+
+@pytest.fixture
+def broken_swap(monkeypatch):
+    monkeypatch.setattr(Swap, "rewire", _broken_rewire)
+
+
+def _first_failure(max_seeds=30, kind=None):
+    for seed in range(max_seeds):
+        result = fuzz_seed(CONFIG, seed)
+        if result.failure is None:
+            continue
+        if kind is None or kind in {v.kind for v in result.failure.violations}:
+            return result.failure
+    raise AssertionError("injected unsound swap never triggered")
+
+
+class TestDetection:
+    def test_fuzzer_catches_unsound_swap(self, broken_swap):
+        failure = _first_failure()
+        kinds = {v.kind for v in failure.violations}
+        assert kinds & {"symbolic", "empirical"}
+        assert failure.steps[-1].mnemonic == "SWA"
+
+    def test_both_oracles_fire_across_seeds(self, broken_swap):
+        # A dropped filter that still has an identical twin (a FAC/DIS
+        # clone) leaves the post-condition *set* unchanged — only the
+        # empirical oracle sees it; a dropped unique filter trips both.
+        assert _first_failure(kind="empirical") is not None
+        assert _first_failure(kind="symbolic") is not None
+
+    def test_violations_carry_chain_position(self, broken_swap):
+        failure = _first_failure()
+        for violation in failure.violations:
+            assert violation.step == len(failure.steps)
+            assert violation.transition == failure.steps[-1].transition
+
+    def test_run_fuzz_reports_and_attributes_failure(self, broken_swap):
+        report = run_fuzz(CONFIG, seeds=10)
+        assert not report.ok
+        assert report.violations_by_transition["SWA"] >= 1
+        assert "violating seed(s)" in report.summary()
+
+
+class TestShrinking:
+    def test_shrinks_to_minimal_chain(self, broken_swap):
+        failure = _first_failure()
+        shrunk = shrink_failure(failure)
+        assert 1 <= len(shrunk.chain) <= 3
+        assert shrunk.violations  # still reproduces after minimization
+        assert shrunk.rows_per_source <= failure.rows_per_source
+
+    def test_symbolic_failure_shrinks_data_to_zero(self, broken_swap):
+        failure = _first_failure(kind="symbolic")
+        shrunk = shrink_failure(failure)
+        # The dropped-filter bug is visible in the post-condition alone,
+        # so the binary search drives the data slice all the way down.
+        assert shrunk.rows_per_source == 0
+
+    def test_artifact_is_deterministic_json(self, broken_swap):
+        failure = _first_failure()
+        first = dump_artifact(shrink_failure(failure))
+        second = dump_artifact(shrink_failure(failure))
+        assert first == second
+        document = json.loads(first)
+        assert document["kind"] == "repro-fuzz-failure"
+        assert document["chain"]
+        assert document["violations"]
+        assert document["initial_workflow"]["nodes"]
+        assert document["failing_workflow"]["nodes"]
+
+    def test_artifact_records_workload_coordinates(self, broken_swap):
+        failure = _first_failure()
+        document = repro_artifact(shrink_failure(failure))
+        workload = document["workload"]
+        assert workload["category"] == failure.category
+        assert workload["seed"] == failure.seed
+        assert workload["rows_per_source"] == CONFIG.rows_per_source
+        assert workload["shrunk_rows_per_source"] <= CONFIG.rows_per_source
+
+
+class TestCorpusPersistence:
+    def test_failing_seed_persists_and_replays_first(self, broken_swap, tmp_path):
+        corpus = str(tmp_path / "corpus")
+        report = run_fuzz(CONFIG, seeds=10, corpus_dir=corpus)
+        assert not report.ok
+        from repro.fuzz import load_known_failures
+
+        known = load_known_failures(corpus)
+        assert known
+        first_failure = report.failures[0]
+        assert (first_failure["category"], first_failure["seed"]) in known
+        assert (tmp_path / "corpus" / "summary.json").exists()
+        artifact = first_failure["artifact"]
+        assert json.loads(open(artifact, encoding="utf-8").read())["chain"]
+
+        # A later (healed) run replays the recorded seeds first and stays
+        # green, proving regression seeds survive across runs.
+        with pytest.MonkeyPatch.context() as patcher:
+            patcher.setattr(Swap, "rewire", _REAL_REWIRE)
+            healed = run_fuzz(CONFIG, seeds=0, corpus_dir=corpus)
+        assert healed.seeds_run == len(known)
+        assert healed.ok

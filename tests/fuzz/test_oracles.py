@@ -1,0 +1,118 @@
+"""Unit tests for the three conformance checks."""
+
+import pytest
+
+from repro.core.cost import ProcessedRowsCostModel
+from repro.engine import Executor
+from repro.fuzz import ConformanceOracle, OracleConfig
+from repro.fuzz.oracles import predicted_processed_rows
+from repro.workloads import generate_workload
+
+
+@pytest.fixture
+def workload():
+    return generate_workload("tiny", seed=3, rows_per_source=50)
+
+
+@pytest.fixture
+def oracle(workload):
+    return ConformanceOracle(
+        workload.workflow,
+        workload.make_data(0),
+        executor=Executor(context=workload.context),
+    )
+
+
+def _drop_one_selection(workflow):
+    """A structurally valid but inequivalent variant: one filter removed."""
+    victim = next(
+        a
+        for a in workflow.activities()
+        if a.template.name == "selection" and a.selectivity < 1.0
+    )
+    mutated = workflow.copy()
+    provider = mutated.providers(victim)[0]
+    consumer = mutated.consumers(victim)[0]
+    port = mutated.edge_port(victim, consumer)
+    mutated.remove_node(victim)
+    mutated.add_edge(provider, consumer, port=port)
+    mutated.validate()
+    mutated.propagate_schemas()
+    return mutated
+
+
+class TestCleanState:
+    def test_baseline_passes_all_checks(self, workload, oracle):
+        assert oracle.check(workload.workflow) == []
+
+    def test_predictions_match_engine_counts(self, workload):
+        data = workload.make_data(0)
+        executor = Executor(context=workload.context)
+        stats = executor.run(workload.workflow, data).stats
+        from repro.engine.calibrate import calibrate_workflow
+
+        calibrated = calibrate_workflow(workload.workflow, data, executor)
+        predicted = predicted_processed_rows(
+            calibrated,
+            ProcessedRowsCostModel(),
+            {name: len(rows) for name, rows in data.items()},
+        )
+        assert set(predicted) == set(stats.rows_processed)
+        for activity_id, expected in predicted.items():
+            assert expected == pytest.approx(
+                stats.rows_processed[activity_id], abs=1e-6
+            )
+
+
+class TestViolationDetection:
+    def test_dropped_filter_fails_symbolic_check(self, workload, oracle):
+        mutated = _drop_one_selection(workload.workflow)
+        kinds = {v.kind for v in oracle.check(mutated)}
+        assert "symbolic" in kinds
+
+    def test_dropped_filter_fails_empirical_check(self, workload, oracle):
+        mutated = _drop_one_selection(workload.workflow)
+        kinds = {v.kind for v in oracle.check(mutated)}
+        assert "empirical" in kinds
+
+    def test_checks_can_be_disabled(self, workload):
+        mutated = _drop_one_selection(workload.workflow)
+        oracle = ConformanceOracle(
+            workload.workflow,
+            workload.make_data(0),
+            executor=Executor(context=workload.context),
+            config=OracleConfig(
+                check_symbolic=False, check_empirical=False, check_cost=False
+            ),
+        )
+        assert oracle.check(mutated) == []
+
+    def test_broken_cost_model_fails_conformance(self, workload):
+        class LyingModel(ProcessedRowsCostModel):
+            """Ignores selectivities: every unary output equals its input."""
+
+            def output_cardinality(self, activity, input_cards):
+                if activity.is_unary:
+                    return input_cards[0]
+                return super().output_cardinality(activity, input_cards)
+
+        oracle = ConformanceOracle(
+            workload.workflow,
+            workload.make_data(0),
+            executor=Executor(context=workload.context),
+            model=LyingModel(),
+            config=OracleConfig(check_symbolic=False, check_empirical=False),
+        )
+        kinds = {v.kind for v in oracle.check(workload.workflow)}
+        assert kinds == {"cost"}
+
+    def test_missing_source_data_reports_crash_not_exception(self, workload):
+        oracle = ConformanceOracle(
+            workload.workflow,
+            workload.make_data(0),
+            executor=Executor(context=workload.context),
+        )
+        other = generate_workload("tiny", seed=4, rows_per_source=50)
+        violations = oracle.check(other.workflow)
+        assert violations  # different workload is not equivalent
+        assert all(v.kind in {"symbolic", "empirical", "crash"} for v in violations)

@@ -69,6 +69,117 @@ class TestImpactCommand:
         assert "breaks nothing" in capsys.readouterr().out
 
 
+class TestFuzzCommand:
+    FAST = ["--seeds", "3", "--rows", "30", "--chain-length", "4",
+            "--categories", "tiny"]
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["fuzz", *self.FAST]) == 0
+        out = capsys.readouterr().out
+        assert "3 seed(s)" in out
+        assert "no equivalence or cost-conformance violations" in out
+
+    def test_corpus_directory_is_written(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        assert main(["fuzz", *self.FAST, "--corpus", corpus]) == 0
+        assert (tmp_path / "corpus" / "summary.json").exists()
+
+    def test_violations_exit_nonzero(self, monkeypatch, capsys):
+        from repro.core.transitions.swap import Swap
+
+        real_rewire = Swap.rewire
+
+        def broken_rewire(self, workflow):
+            real_rewire(self, workflow)
+            victim = self.first
+            if getattr(victim.template, "name", None) != "selection":
+                return
+            provider = workflow.providers(victim)[0]
+            consumer = workflow.consumers(victim)[0]
+            port = workflow.edge_port(victim, consumer)
+            workflow.remove_node(victim)
+            workflow.add_edge(provider, consumer, port=port)
+
+        monkeypatch.setattr(Swap, "rewire", broken_rewire)
+        assert main(["fuzz", "--seeds", "10", "--rows", "30",
+                     "--chain-length", "4", "--no-packaging"]) == 1
+        assert "violating seed(s)" in capsys.readouterr().out
+
+    def test_unknown_category_exits_two(self, capsys):
+        assert main(["fuzz", "--categories", "bogus", "--seeds", "1"]) == 2
+        assert "unknown workload categories" in capsys.readouterr().err
+
+    def test_empty_categories_exit_two(self, capsys):
+        assert main(["fuzz", "--categories", "", "--seeds", "1"]) == 2
+        assert "at least one workload category" in capsys.readouterr().err
+
+    def test_bad_chain_length_exits_two(self, capsys):
+        assert main(["fuzz", "--chain-length", "0", "--seeds", "1"]) == 2
+        assert "chain_length" in capsys.readouterr().err
+
+
+class TestBadInput:
+    """Every file-reading subcommand fails cleanly with exit code 2."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["optimize", "{path}"],
+            ["render", "{path}"],
+            ["lint", "{path}"],
+            ["impact", "{path}", "--source", "S", "--attribute", "A"],
+        ],
+        ids=["optimize", "render", "lint", "impact"],
+    )
+    def test_missing_file(self, argv, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        code = main([part.format(path=missing) for part in argv])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        assert main(["render", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unsupported_format_version(self, tmp_path, capsys):
+        path = tmp_path / "future.json"
+        path.write_text(
+            '{"format_version": 999, "nodes": [], "edges": []}',
+            encoding="utf-8",
+        )
+        assert main(["lint", str(path)]) == 2
+        assert "unsupported workflow format version" in capsys.readouterr().err
+
+
 def test_unknown_command_rejected(fig1_json):
     with pytest.raises(SystemExit):
         main(["teleport", fig1_json])
+
+
+def test_broken_pipe_is_not_an_error(fig1_json):
+    """`repro render … | head` must exit 0 on EPIPE, not 2 (or 120)."""
+    import os
+    import subprocess
+    import sys
+
+    import repro
+
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.dirname(os.path.dirname(repro.__file__)),
+    )
+    read_end, write_end = os.pipe()
+    os.close(read_end)  # writes into the pipe now raise EPIPE
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "render", fig1_json],
+            stdout=write_end,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+    finally:
+        os.close(write_end)
+    assert proc.returncode == 0, proc.stderr.decode()
+    assert b"Traceback" not in proc.stderr
