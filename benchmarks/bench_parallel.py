@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Serial vs parallel HS, plus the warm transposition-cache rerun.
+
+Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
+
+* wall-clock of ``jobs=1`` vs ``jobs=2,4`` HS on a generated scaling
+  workload (default: ``large`` seed 0 — 9 local groups), with a hard check
+  that every parallel run returns the byte-identical best signature, cost
+  and visited count;
+* a cold-vs-warm on-disk cache pair, recording the warm run's ``cache_hits``
+  and time.
+
+The speedup column is only meaningful on multi-core machines — group
+exploration is CPU-bound, so on a single-core container ``jobs>1`` adds
+pool overhead instead (the JSON records ``cpu_count`` so the perf
+trajectory can tell those environments apart).
+
+Usage::
+
+    python benchmarks/bench_parallel.py                     # large, jobs 2,4
+    python benchmarks/bench_parallel.py --category small    # CI smoke size
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import SearchBudget, heuristic_search  # noqa: E402
+from repro.workloads import generate_workload  # noqa: E402
+
+
+def _run(category: str, seed: int, budget: SearchBudget):
+    workload = generate_workload(category, seed=seed)
+    started = time.perf_counter()
+    result = heuristic_search(workload.workflow.copy(), budget=budget)
+    return time.perf_counter() - started, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--category", default="large",
+                        help="workload category (default: large)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jobs", default="2,4",
+                        help="comma-separated parallel worker counts")
+    parser.add_argument("--output", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+    job_counts = [int(part) for part in args.jobs.split(",") if part.strip()]
+
+    workload = generate_workload(args.category, seed=args.seed)
+    probe = workload.workflow
+    probe.validate()
+    probe.propagate_schemas()
+    local_groups = [g for g in probe.local_groups() if len(g) >= 2]
+
+    serial_seconds, serial = _run(args.category, args.seed, SearchBudget())
+    print(f"{args.category} seed {args.seed}: "
+          f"{workload.activity_count} activities, "
+          f"{len(local_groups)} local groups")
+    print(f"  jobs=1  {serial_seconds:7.2f}s  "
+          f"visited={serial.visited_states}  best={serial.best.cost:.0f}")
+
+    runs = []
+    for jobs in job_counts:
+        seconds, result = _run(
+            args.category, args.seed, SearchBudget(jobs=jobs)
+        )
+        identical = (
+            result.best.signature == serial.best.signature
+            and result.best.cost == serial.best.cost
+            and result.visited_states == serial.visited_states
+        )
+        runs.append({
+            "jobs": jobs,
+            "seconds": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 3),
+            "identical_to_serial": identical,
+        })
+        print(f"  jobs={jobs}  {seconds:7.2f}s  "
+              f"speedup={serial_seconds / seconds:.2f}x  "
+              f"identical={identical}")
+        if not identical:
+            print("error: parallel run diverged from serial", file=sys.stderr)
+            return 1
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold_seconds, cold = _run(
+            args.category, args.seed, SearchBudget(cache=cache_dir)
+        )
+        warm_seconds, warm = _run(
+            args.category, args.seed, SearchBudget(cache=cache_dir)
+        )
+    warm_identical = (
+        warm.best.signature == cold.best.signature
+        and warm.visited_states == cold.visited_states
+    )
+    print(f"  cache   cold {cold_seconds:.2f}s -> warm {warm_seconds:.2f}s "
+          f"({warm.cache_hits} hit(s), identical={warm_identical})")
+    if warm.cache_hits == 0 or not warm_identical:
+        print("error: warm cache run must hit and agree", file=sys.stderr)
+        return 1
+
+    payload = {
+        "benchmark": "parallel",
+        "category": args.category,
+        "seed": args.seed,
+        "activities": workload.activity_count,
+        "local_groups": len(local_groups),
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 4),
+        "visited_states": serial.visited_states,
+        "best_cost": serial.best.cost,
+        "runs": runs,
+        "cache": {
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_speedup": round(cold_seconds / warm_seconds, 3),
+            "warm_cache_hits": warm.cache_hits,
+            "identical_to_cold": warm_identical,
+        },
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

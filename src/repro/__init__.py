@@ -4,16 +4,24 @@
 The library models an ETL workflow as a DAG of activities and recordsets,
 generates equivalent rewritings through the paper's five transitions
 (swap, factorize, distribute, merge, split), and searches the resulting
-state space for a minimum-cost design with three algorithms: exhaustive
-(ES), heuristic (HS), and greedy (HS-Greedy).
+state space for a minimum-cost design with four algorithms: exhaustive
+(ES), heuristic (HS), greedy (HS-Greedy), and simulated annealing (SA —
+an extension beyond the paper).
 
 Quick start::
 
-    from repro import optimize
+    from repro import SearchBudget, optimize
     from repro.workloads import fig1_workflow
 
     result = optimize(fig1_workflow().workflow, algorithm="heuristic")
     print(result.summary())
+
+    # Parallel + cached: four workers, on-disk transposition cache.
+    result = optimize(
+        fig1_workflow().workflow,
+        algorithm="hs",
+        budget=SearchBudget(jobs=4, cache=True),
+    )
 
 See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the full
 system inventory.
@@ -43,13 +51,17 @@ from repro.core.search import (
     HSConfig,
     annealing_search,
     OptimizationResult,
+    SearchBudget,
+    TranspositionCache,
     exhaustive_search,
     greedy_search,
     heuristic_search,
+    optimize_many,
+    run_search as _run_search,
 )
 from repro.exceptions import ReproError
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Activity",
@@ -68,52 +80,73 @@ __all__ = [
     "estimate",
     "HSConfig",
     "OptimizationResult",
+    "SearchBudget",
+    "TranspositionCache",
     "exhaustive_search",
     "heuristic_search",
     "greedy_search",
     "annealing_search",
     "optimize",
+    "optimize_many",
     "ReproError",
     "__version__",
 ]
 
-_ALGORITHMS = {
-    "annealing": annealing_search,
-    "sa": annealing_search,
-    "exhaustive": exhaustive_search,
-    "es": exhaustive_search,
-    "heuristic": heuristic_search,
-    "hs": heuristic_search,
-    "greedy": greedy_search,
-    "hs-greedy": greedy_search,
-}
+#: Kwargs superseded by ``budget=SearchBudget(...)`` (or, for ``config``,
+#: by calling the algorithm function directly with its tuning knobs).
+_DEPRECATED_KWARGS = ("max_states", "max_seconds", "config")
 
 
 def optimize(
     workflow: ETLWorkflow,
     algorithm: str = "heuristic",
     model: CostModel | None = None,
+    budget: SearchBudget | None = None,
     **kwargs,
 ) -> OptimizationResult:
-    """Optimize an ETL workflow with one of the paper's algorithms.
+    """Optimize an ETL workflow with one of the four algorithms.
 
     Args:
         workflow: the initial state ``S0``.
-        algorithm: ``"exhaustive"``/``"es"``, ``"heuristic"``/``"hs"`` or
-            ``"greedy"``/``"hs-greedy"`` (case-insensitive).
+        algorithm: ``"exhaustive"``/``"es"``, ``"heuristic"``/``"hs"``,
+            ``"greedy"``/``"hs-greedy"`` or ``"annealing"``/``"sa"``
+            (case-insensitive).
         model: cost model; defaults to the paper's processed-rows model.
-        **kwargs: forwarded to the chosen algorithm (e.g. ``max_states``
-            for ES, ``merge_constraints``/``config`` for HS).
+        budget: uniform :class:`SearchBudget` — ``max_states`` /
+            ``max_seconds`` stopping criteria plus the ``jobs`` (worker
+            processes) and ``cache`` (transposition cache) execution
+            knobs, honoured by every algorithm.
+        **kwargs: algorithm-specific options (``merge_constraints`` for
+            HS/greedy, ``seed``/``steps`` for annealing, ``strategy`` for
+            ES).  The legacy per-algorithm budget spellings
+            (``max_states=``, ``max_seconds=``, ``config=HSConfig(...)``)
+            still work but emit a :class:`DeprecationWarning` — pass
+            ``budget=SearchBudget(...)`` instead.
 
     Returns:
         The :class:`OptimizationResult` with the best state found and the
         search statistics the paper's tables report.
     """
-    try:
-        search = _ALGORITHMS[algorithm.lower()]
-    except KeyError:
+    import warnings
+
+    legacy = [key for key in _DEPRECATED_KWARGS if key in kwargs]
+    if legacy:
+        warnings.warn(
+            f"optimize(..., {', '.join(f'{key}=' for key in legacy)}...) is "
+            "deprecated; pass budget=SearchBudget(max_states=..., "
+            "max_seconds=...) instead (HSConfig tuning knobs stay available "
+            "on heuristic_search/greedy_search directly)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if budget is None:
+        budget = SearchBudget(
+            max_states=kwargs.pop("max_states", None),
+            max_seconds=kwargs.pop("max_seconds", None),
+        )
+    elif any(key in kwargs for key in ("max_states", "max_seconds")):
         raise ReproError(
-            f"unknown algorithm {algorithm!r}; choose one of "
-            f"{sorted(set(_ALGORITHMS))}"
-        ) from None
-    return search(workflow, model=model, **kwargs)
+            "pass stopping criteria either through budget=SearchBudget(...) "
+            "or through the legacy max_states=/max_seconds= keywords, not both"
+        )
+    return _run_search(algorithm, workflow, model=model, budget=budget, **kwargs)

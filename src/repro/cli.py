@@ -24,7 +24,7 @@ import json
 import os
 import sys
 
-from repro import optimize
+from repro import SearchBudget, optimize
 from repro.core.lint import lint_workflow
 from repro.core.impact import impact_of_attribute_removal
 from repro.exceptions import ReproError
@@ -50,14 +50,34 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_optimize.add_argument(
         "--algorithm",
         default="hs",
-        choices=["es", "hs", "greedy"],
+        choices=["es", "hs", "greedy", "sa", "annealing"],
         help="search algorithm (default: hs)",
     )
     cmd_optimize.add_argument(
         "--max-states",
         type=int,
         default=None,
-        help="state budget (exhaustive search only)",
+        help="state budget (any algorithm)",
+    )
+    cmd_optimize.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="wall-clock budget; best-so-far is reported when it trips",
+    )
+    cmd_optimize.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: 1 = serial; 0 = one per CPU)",
+    )
+    cmd_optimize.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "transposition-cache directory; warm re-runs of the same "
+            "workflow skip re-exploration (default: in-memory only)"
+        ),
     )
     cmd_optimize.add_argument(
         "--output",
@@ -137,15 +157,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="relative cost-conformance tolerance (default: 0.05)",
     )
+    cmd_fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the seed loop (default: 1; 0 = per CPU)",
+    )
     return parser
 
 
 def _cmd_optimize(args) -> int:
     workflow = load(args.workflow)
-    kwargs = {}
-    if args.algorithm == "es" and args.max_states is not None:
-        kwargs["max_states"] = args.max_states
-    result = optimize(workflow, algorithm=args.algorithm, **kwargs)
+    budget = SearchBudget(
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+    )
+    result = optimize(workflow, algorithm=args.algorithm, budget=budget)
     print(result.summary())
     print(f"initial: {result.initial.signature}")
     print(f"best   : {result.best.signature}")
@@ -212,6 +241,7 @@ def _cmd_fuzz(args) -> int:
         base_seed=args.base_seed,
         corpus_dir=args.corpus,
         shrink=not args.no_shrink,
+        jobs=args.jobs,
     )
     print(report.summary())
     return 0 if report.ok else 1

@@ -1,18 +1,33 @@
-"""State-space search algorithms: ES, HS, HS-Greedy (paper section 4)."""
+"""State-space search: ES, HS, HS-Greedy (paper section 4) and SA.
+
+All algorithms share one execution surface — :class:`SearchBudget` for
+stopping criteria plus the ``jobs``/``cache`` knobs, the
+:class:`~repro.core.search.transposition.TranspositionCache` transposition
+memo, and the :mod:`~repro.core.search.parallel` process-pool layer with
+its :func:`optimize_many` batch driver.
+"""
 
 from repro.core.search.annealing import annealing_search
+from repro.core.search.budget import SearchBudget
 from repro.core.search.exhaustive import exhaustive_search
 from repro.core.search.greedy import greedy_search
 from repro.core.search.heuristic import HSConfig, heuristic_search
+from repro.core.search.parallel import WorkerPool, optimize_many, run_search
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
+from repro.core.search.transposition import TranspositionCache
 
 __all__ = [
     "SearchState",
     "OptimizationResult",
+    "SearchBudget",
+    "TranspositionCache",
+    "WorkerPool",
     "HSConfig",
     "exhaustive_search",
     "annealing_search",
     "heuristic_search",
     "greedy_search",
+    "run_search",
+    "optimize_many",
 ]

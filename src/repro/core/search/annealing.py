@@ -19,8 +19,10 @@ import random
 import time
 
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.budget import SearchBudget, coalesce_budget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
+from repro.core.search.transposition import TranspositionCache
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 
@@ -35,6 +37,8 @@ def annealing_search(
     initial_temperature: float | None = None,
     cooling: float = 0.995,
     max_seconds: float | None = None,
+    budget: SearchBudget | None = None,
+    pool=None,
 ) -> OptimizationResult:
     """Optimize with simulated annealing.
 
@@ -47,54 +51,98 @@ def annealing_search(
             5 % of the initial state's cost (accepting small regressions
             early on).
         cooling: geometric cooling factor per step.
-        max_seconds: wall-clock budget; returns best-so-far when it trips.
+        max_seconds: legacy spelling of ``budget.max_seconds``.
+        budget: uniform :class:`SearchBudget`; ``jobs != 1`` runs that
+            many independent chains (seeds ``seed .. seed+jobs-1``) on a
+            worker pool and returns the best endpoint — see
+            :func:`~repro.core.search.parallel.annealing_multi_chain`.
+        pool: optional shared worker pool (see
+            :func:`~repro.core.search.parallel.optimize_many`).
     """
     model = model if model is not None else ProcessedRowsCostModel()
+    budget = coalesce_budget(budget, max_seconds=max_seconds)
+
+    if budget.resolved_jobs() > 1:
+        from repro.core.search.parallel import annealing_multi_chain
+
+        return annealing_multi_chain(
+            workflow,
+            model,
+            budget,
+            seed=seed,
+            steps=steps,
+            initial_temperature=initial_temperature,
+            cooling=cooling,
+            pool=pool,
+        )
+
+    cache, owned_cache = TranspositionCache.resolve(budget.cache)
+    hits_before = cache.hits
     rng = random.Random(seed)
     started = time.perf_counter()
 
-    initial = SearchState.initial(workflow, model)
-    current = initial
-    best = initial
-    seen: set[str] = {initial.signature}
-    temperature = (
-        initial_temperature
-        if initial_temperature is not None
-        else max(1.0, 0.05 * initial.cost)
-    )
-    completed = True
+    try:
+        initial = SearchState.initial(workflow, model)
+        # The walk records every proposed state's cost (it never *reads*
+        # the cache mid-walk, so equal seeds give equal runs regardless of
+        # cache warmth); other algorithms get the totals for free.
+        ns = cache.namespace(initial.workflow, model)
+        ns.put_cost(initial.signature, initial.cost)
+        current = initial
+        best = initial
+        seen: set[str] = {initial.signature}
+        temperature = (
+            initial_temperature
+            if initial_temperature is not None
+            else max(1.0, 0.05 * initial.cost)
+        )
+        completed = True
 
-    for _ in range(steps):
-        if max_seconds is not None and time.perf_counter() - started > max_seconds:
-            completed = False
-            break
-        candidates = list(candidate_transitions(current.workflow))
-        if not candidates:
-            break
-        rng.shuffle(candidates)
-        moved = False
-        for transition in candidates:
-            successor_workflow = transition.try_apply(current.workflow)
-            if successor_workflow is None:
-                continue
-            successor = current.successor(transition, successor_workflow, model)
-            seen.add(successor.signature)
-            delta = successor.cost - current.cost
-            if delta <= 0 or rng.random() < math.exp(-delta / max(temperature, 1e-9)):
-                current = successor
-                if successor.cost < best.cost:
-                    best = successor
-                moved = True
+        for _ in range(steps):
+            if (
+                budget.max_seconds is not None
+                and time.perf_counter() - started > budget.max_seconds
+            ):
+                completed = False
                 break
-        if not moved:
-            break  # local minimum with no acceptable uphill move proposed
-        temperature *= cooling
+            if budget.max_states is not None and len(seen) >= budget.max_states:
+                completed = False
+                break
+            candidates = list(candidate_transitions(current.workflow))
+            if not candidates:
+                break
+            rng.shuffle(candidates)
+            moved = False
+            for transition in candidates:
+                successor_workflow = transition.try_apply(current.workflow)
+                if successor_workflow is None:
+                    continue
+                successor = current.successor(transition, successor_workflow, model)
+                seen.add(successor.signature)
+                ns.put_cost(successor.signature, successor.cost)
+                delta = successor.cost - current.cost
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-9)
+                ):
+                    current = successor
+                    if successor.cost < best.cost:
+                        best = successor
+                    moved = True
+                    break
+            if not moved:
+                break  # local minimum with no acceptable uphill move proposed
+            temperature *= cooling
 
-    return OptimizationResult(
-        algorithm="SA",
-        initial=initial,
-        best=best,
-        visited_states=len(seen),
-        elapsed_seconds=time.perf_counter() - started,
-        completed=completed,
-    )
+        return OptimizationResult(
+            algorithm="SA",
+            initial=initial,
+            best=best,
+            visited_states=len(seen),
+            elapsed_seconds=time.perf_counter() - started,
+            completed=completed,
+            cache_hits=cache.hits - hits_before,
+            jobs=1,
+        )
+    finally:
+        if owned_cache:
+            cache.flush()

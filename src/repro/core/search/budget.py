@@ -1,0 +1,89 @@
+"""The unified search budget — one knob object for all four algorithms.
+
+Historically every algorithm grew its own budget surface: ES took
+``max_states``/``max_seconds`` keyword arguments, HS buried a wall-clock
+budget inside :class:`~repro.core.search.heuristic.HSConfig`, and the
+annealer had only ``max_seconds``.  :class:`SearchBudget` replaces that
+divergence with a single value object accepted (as ``budget=``) by
+:func:`~repro.optimize`, :func:`~repro.core.search.exhaustive
+.exhaustive_search`, :func:`~repro.core.search.heuristic
+.heuristic_search`, :func:`~repro.core.search.greedy.greedy_search` and
+:func:`~repro.core.search.annealing.annealing_search` alike.
+
+Besides the two stopping criteria it carries the two *execution* knobs the
+parallel engine introduces:
+
+* ``jobs`` — worker processes for the parallel search paths (``1`` =
+  serial, ``<= 0`` = one per CPU);
+* ``cache`` — the transposition-cache specification, see
+  :meth:`~repro.core.search.transposition.TranspositionCache.resolve`.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = ["SearchBudget", "coalesce_budget"]
+
+
+@dataclass(frozen=True)
+class SearchBudget:
+    """Uniform stopping and execution budget for one optimizer run.
+
+    Attributes:
+        max_states: stop after this many unique states were generated
+            (signature-deduplicated); the run reports ``completed=False``.
+        max_seconds: wall-clock budget; best-so-far is returned with
+            ``completed=False`` when it trips.
+        jobs: worker processes for the parallel execution layer.  ``1``
+            (the default) keeps every algorithm on its serial path;
+            values ``<= 0`` mean "one worker per CPU".
+        cache: transposition-cache specification — ``None``/``False`` for
+            a run-local in-memory cache, ``True`` for the default on-disk
+            location (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``), a
+            path-like for an explicit cache directory, or a
+            :class:`~repro.core.search.transposition.TranspositionCache`
+            instance to share one cache across runs.
+    """
+
+    max_states: int | None = None
+    max_seconds: float | None = None
+    jobs: int = 1
+    cache: Any = None
+
+    def __post_init__(self) -> None:
+        if self.max_states is not None and self.max_states < 1:
+            raise ReproError("SearchBudget.max_states must be at least 1")
+        if self.max_seconds is not None and self.max_seconds < 0:
+            raise ReproError("SearchBudget.max_seconds must be >= 0")
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count (``jobs <= 0`` means one per CPU)."""
+        if self.jobs <= 0:
+            return os.cpu_count() or 1
+        return int(self.jobs)
+
+
+def coalesce_budget(
+    budget: SearchBudget | None,
+    max_states: int | None = None,
+    max_seconds: float | None = None,
+) -> SearchBudget:
+    """Merge a ``budget=`` argument with an algorithm's legacy kwargs.
+
+    The legacy per-algorithm keywords (``max_states=`` / ``max_seconds=``)
+    keep working when no :class:`SearchBudget` is supplied; passing both
+    spellings at once is ambiguous and raises.
+    """
+    if budget is None:
+        return SearchBudget(max_states=max_states, max_seconds=max_seconds)
+    if max_states is not None or max_seconds is not None:
+        raise ReproError(
+            "pass stopping criteria either through budget=SearchBudget(...) "
+            "or through the legacy max_states=/max_seconds= keywords, not both"
+        )
+    return budget

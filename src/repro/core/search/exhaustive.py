@@ -18,8 +18,11 @@ import time
 from collections import deque
 
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.budget import SearchBudget, coalesce_budget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
+from repro.core.search.transposition import TranspositionCache
+from repro.core.signature import state_signature
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 from repro.exceptions import ReproError
@@ -33,6 +36,8 @@ def exhaustive_search(
     max_states: int | None = None,
     max_seconds: float | None = None,
     strategy: str = "best_first",
+    budget: SearchBudget | None = None,
+    pool=None,
 ) -> OptimizationResult:
     """Explore the full state space (subject to budgets) and return the best.
 
@@ -47,9 +52,16 @@ def exhaustive_search(
     Args:
         workflow: the initial state ``S0``.
         model: cost model; defaults to the paper's processed-rows model.
-        max_states: stop after this many unique states were generated.
-        max_seconds: stop after this much wall-clock time.
+        max_states: legacy spelling of ``budget.max_states``.
+        max_seconds: legacy spelling of ``budget.max_seconds``.
         strategy: ``"best_first"`` or ``"breadth_first"``.
+        budget: uniform :class:`SearchBudget`; with ``jobs != 1`` the
+            best-first frontier expands in parallel waves (see
+            :func:`~repro.core.search.parallel.parallel_exhaustive`;
+            breadth-first stays serial).  ``budget.cache`` memoizes state
+            costs so warm re-runs skip re-costing.
+        pool: optional shared worker pool (see
+            :func:`~repro.core.search.parallel.optimize_many`).
 
     Returns:
         An :class:`OptimizationResult` whose ``completed`` flag records
@@ -58,54 +70,84 @@ def exhaustive_search(
     if strategy not in ("best_first", "breadth_first"):
         raise ReproError(f"unknown ES strategy {strategy!r}")
     model = model if model is not None else ProcessedRowsCostModel()
+    budget = coalesce_budget(budget, max_states=max_states, max_seconds=max_seconds)
+
+    if budget.resolved_jobs() > 1 and strategy == "best_first":
+        from repro.core.search.parallel import parallel_exhaustive
+
+        return parallel_exhaustive(workflow, model, budget, pool=pool)
+
+    cache, owned_cache = TranspositionCache.resolve(budget.cache)
+    hits_before = cache.hits
     started = time.perf_counter()
-    initial = SearchState.initial(workflow, model)
+    try:
+        initial = SearchState.initial(workflow, model)
+        ns = cache.namespace(initial.workflow, model)
+        ns.put_cost(initial.signature, initial.cost)
 
-    seen: set[str] = {initial.signature}
-    best_first = strategy == "best_first"
-    heap: list[tuple[float, str, SearchState]] = []
-    fifo: deque[SearchState] = deque()
-    if best_first:
-        heap.append((initial.cost, initial.signature, initial))
-    else:
-        fifo.append(initial)
-    best = initial
-    completed = True
-
-    while heap or fifo:
-        if max_states is not None and len(seen) >= max_states:
-            completed = False
-            break
-        if max_seconds is not None and time.perf_counter() - started > max_seconds:
-            completed = False
-            break
+        seen: set[str] = {initial.signature}
+        best_first = strategy == "best_first"
+        heap: list[tuple[float, str, SearchState]] = []
+        fifo: deque[SearchState] = deque()
         if best_first:
-            _, _, state = heapq.heappop(heap)
+            heap.append((initial.cost, initial.signature, initial))
         else:
-            state = fifo.popleft()
-        for transition in candidate_transitions(state.workflow):
-            successor_workflow = transition.try_apply(state.workflow)
-            if successor_workflow is None:
-                continue
-            successor = state.successor(transition, successor_workflow, model)
-            if successor.signature in seen:
-                continue
-            seen.add(successor.signature)
-            if best_first:
-                heapq.heappush(heap, (successor.cost, successor.signature, successor))
-            else:
-                fifo.append(successor)
-            if successor.cost < best.cost:
-                best = successor
-            if max_states is not None and len(seen) >= max_states:
+            fifo.append(initial)
+        best = initial
+        completed = True
+
+        while heap or fifo:
+            if budget.max_states is not None and len(seen) >= budget.max_states:
                 completed = False
                 break
+            if (
+                budget.max_seconds is not None
+                and time.perf_counter() - started > budget.max_seconds
+            ):
+                completed = False
+                break
+            if best_first:
+                _, _, state = heapq.heappop(heap)
+            else:
+                state = fifo.popleft()
+            for transition in candidate_transitions(state.workflow):
+                successor_workflow = transition.try_apply(state.workflow)
+                if successor_workflow is None:
+                    continue
+                # Signature-first dedup: re-derived states are skipped
+                # before any costing work happens.
+                signature = state_signature(successor_workflow)
+                if signature in seen:
+                    continue
+                seen.add(signature)
+                successor = ns.successor(
+                    state, transition, successor_workflow, model, signature
+                )
+                if best_first:
+                    heapq.heappush(
+                        heap, (successor.cost, successor.signature, successor)
+                    )
+                else:
+                    fifo.append(successor)
+                if successor.cost < best.cost:
+                    best = successor
+                if (
+                    budget.max_states is not None
+                    and len(seen) >= budget.max_states
+                ):
+                    completed = False
+                    break
 
-    return OptimizationResult(
-        algorithm="ES",
-        initial=initial,
-        best=best,
-        visited_states=len(seen),
-        elapsed_seconds=time.perf_counter() - started,
-        completed=completed,
-    )
+        return OptimizationResult(
+            algorithm="ES",
+            initial=initial,
+            best=best,
+            visited_states=len(seen),
+            elapsed_seconds=time.perf_counter() - started,
+            completed=completed,
+            cache_hits=cache.hits - hits_before,
+            jobs=1,
+        )
+    finally:
+        if owned_cache:
+            cache.flush()

@@ -15,6 +15,7 @@ single change.
 from __future__ import annotations
 
 from repro.core.cost.model import CostModel
+from repro.core.search.budget import SearchBudget
 from repro.core.search.heuristic import HSConfig, heuristic_search
 from repro.core.search.result import OptimizationResult
 from repro.core.workflow import ETLWorkflow
@@ -27,6 +28,8 @@ def greedy_search(
     model: CostModel | None = None,
     merge_constraints: tuple[tuple[str, str], ...] = (),
     config: HSConfig | None = None,
+    budget: SearchBudget | None = None,
+    pool=None,
 ) -> OptimizationResult:
     """Run HS-Greedy on the initial state; see :func:`heuristic_search`."""
     return heuristic_search(
@@ -35,4 +38,6 @@ def greedy_search(
         merge_constraints=merge_constraints,
         config=config,
         greedy=True,
+        budget=budget,
+        pool=pool,
     )

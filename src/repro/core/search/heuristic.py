@@ -29,6 +29,16 @@ with less cost" — which is exactly the paper's description of the greedy
 variant, and reproduces its profile (nearly as good on small workflows,
 much faster, increasingly unstable on large ones).
 
+Group optimization is *hermetic*: each local group is explored
+independently from the phase's base state (its reachable orderings and
+their costs depend only on the group's internal ordering — the input
+cardinality and the rest of the graph are invariant under in-group
+swaps), and the per-group winners are composed in group order.  Because
+every group task is a pure function of (base workflow, member ids), the
+tasks can run on a process pool (``SearchBudget.jobs``) or be replayed
+from the transposition cache, and serial, parallel and warm-cache runs
+all return byte-identical best states and visited counts.
+
 Visited-state accounting matches section 4.1: every *unique* generated
 state (signature-deduplicated), including the intermediate states of
 shifts, counts as visited.
@@ -42,9 +52,13 @@ import time
 from dataclasses import dataclass
 
 from repro.core.activity import Activity, CompositeActivity, base_clone_id
+from repro.core.cost.estimator import estimate
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.budget import SearchBudget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
+from repro.core.search.transposition import CacheNamespace, TranspositionCache
+from repro.core.signature import state_signature
 from repro.core.transitions.factorize import Distribute, Factorize
 from repro.core.transitions.merge import Merge, split_fully
 from repro.core.transitions.swap import Swap
@@ -77,25 +91,68 @@ class HSConfig:
 
 
 class _Session:
-    """Shared bookkeeping: cost model, dedup, clocks, and the running SMIN."""
+    """Shared bookkeeping: cost model, dedup, clocks, and the running SMIN.
 
-    def __init__(self, model: CostModel, config: HSConfig):
+    Budget checks live only here — in the main process — so a wall-clock
+    or state budget trips at the same replay position regardless of how
+    many workers computed the group outcomes.
+    """
+
+    def __init__(
+        self,
+        model: CostModel,
+        config: HSConfig,
+        budget: SearchBudget,
+        ns: CacheNamespace | None = None,
+        pool=None,
+    ):
         self.model = model
         self.config = config
+        self.budget = budget
+        self.max_seconds = (
+            budget.max_seconds
+            if budget.max_seconds is not None
+            else config.max_seconds
+        )
+        self.ns = ns
+        self.pool = pool
         self.seen: set[str] = set()
         self.started = time.perf_counter()
         self.best: SearchState | None = None
 
-    def record(self, state: SearchState) -> bool:
-        """Register a generated state; returns False when already seen."""
-        if self.config.max_seconds is not None:
-            if time.perf_counter() - self.started > self.config.max_seconds:
+    def check_budget(self) -> None:
+        if self.max_seconds is not None:
+            if time.perf_counter() - self.started > self.max_seconds:
                 raise SearchBudgetExceeded("HS wall-clock budget exhausted")
+        if self.budget.max_states is not None:
+            if len(self.seen) >= self.budget.max_states:
+                raise SearchBudgetExceeded("HS state budget exhausted")
+
+    def record(self, state: SearchState) -> bool:
+        """Register a generated (materialized) state; False when already seen."""
+        self.check_budget()
         if state.signature in self.seen:
             return False
         self.seen.add(state.signature)
+        if self.ns is not None:
+            self.ns.put_cost(state.signature, state.cost)
         if self.best is None or state.cost < self.best.cost:
             self.best = state
+        return True
+
+    def record_stream(self, signature: str, cost: float) -> bool:
+        """Register a state from a hermetic exploration stream.
+
+        Stream states carry no workflow (they are dominated by the
+        composed group-best state, so they never need materializing) but
+        count toward ``visited`` exactly like the old in-line exploration.
+        """
+        self.check_budget()
+        if signature in self.seen:
+            return False
+        self.seen.add(signature)
+        if self.ns is not None:
+            self.ns.put_cost(signature, cost)
         return True
 
     @property
@@ -109,6 +166,8 @@ def heuristic_search(
     merge_constraints: tuple[tuple[str, str], ...] = (),
     config: HSConfig | None = None,
     greedy: bool = False,
+    budget: SearchBudget | None = None,
+    pool=None,
 ) -> OptimizationResult:
     """Run HS (or HS-Greedy with ``greedy=True``) on the initial state.
 
@@ -118,62 +177,99 @@ def heuristic_search(
         merge_constraints: pairs of activity ids to MERGE during
             pre-processing (design constraints / user constraints); the
             resulting packages are SPLIT again before returning.
-        config: see :class:`HSConfig`.
+        config: see :class:`HSConfig` (tuning knobs of the four phases).
         greedy: switch to the HS-Greedy swap strategy.
+        budget: uniform :class:`SearchBudget` — stopping criteria plus the
+            ``jobs`` / ``cache`` execution knobs.  ``budget.max_seconds``
+            supersedes the legacy ``config.max_seconds`` when both are set.
+        pool: a :class:`~repro.core.search.parallel.WorkerPool` to reuse
+            (:func:`~repro.core.search.parallel.optimize_many` amortizes
+            one pool across runs); by default a pool is created on demand
+            when ``budget.jobs != 1`` and torn down before returning.
     """
     model = model if model is not None else ProcessedRowsCostModel()
     config = config if config is not None else HSConfig()
-    session = _Session(model, config)
+    budget = budget if budget is not None else SearchBudget()
 
-    # Pre-processing (Fig. 7 lines 4-8): apply MER per constraints.
-    prepared = _apply_merge_constraints(workflow, merge_constraints)
-    initial = SearchState.initial(prepared, model)
-    # Register S0 directly: the budget clock must not trip before the
-    # search proper starts.
-    session.seen.add(initial.signature)
-    session.best = initial
-    # Results are reported against the *unmerged* S0 for comparability;
-    # merging never changes the state cost (components are priced as-is).
-    reported_initial = SearchState.initial(workflow.copy(), model)
+    cache, owned_cache = TranspositionCache.resolve(budget.cache)
+    hits_before = cache.hits
+    jobs = budget.resolved_jobs()
 
-    homologous_pairs = _find_homologous(initial.workflow)
-    distributable = _find_distributable(initial.workflow)
+    owned_pool = False
+    if pool is None and jobs > 1:
+        from repro.core.search.parallel import WorkerPool
 
-    completed = True
-    visited_list: list[SearchState] = []
+        pool = WorkerPool(jobs)
+        owned_pool = True
+
     try:
-        # Phase I (lines 9-13): swap-optimize every local group.
-        smin = _optimize_all_groups(initial, session, greedy)
-        visited_list = [smin]
+        # Pre-processing (Fig. 7 lines 4-8): apply MER per constraints.
+        prepared = _apply_merge_constraints(workflow, merge_constraints)
+        initial = SearchState.initial(prepared, model)
+        session = _Session(
+            model,
+            config,
+            budget,
+            ns=cache.namespace(initial.workflow, model),
+            pool=pool,
+        )
+        # Register S0 directly: the budget clock must not trip before the
+        # search proper starts.
+        session.seen.add(initial.signature)
+        session.best = initial
+        # Results are reported against the *unmerged* S0 for comparability;
+        # merging never changes the state cost (components are priced as-is).
+        reported_initial = SearchState.initial(workflow.copy(), model)
 
-        # Phase II (lines 14-20): factorize homologous pairs.
-        visited_list = _phase_factorize(visited_list, homologous_pairs, session)
+        homologous_pairs = _find_homologous(initial.workflow)
+        distributable = _find_distributable(initial.workflow)
 
-        # Phase III (lines 21-28): distribute the initial state's
-        # distributable activities over each recorded state.
-        visited_list = _phase_distribute(visited_list, distributable, session)
+        completed = True
+        visited_list: list[SearchState] = []
+        try:
+            # Phase I (lines 9-13): swap-optimize every local group.
+            smin = _optimize_all_groups(initial, session, greedy)
+            visited_list = [smin]
 
-        # Phase IV (lines 29-35): re-optimize the groups of the most
-        # promising recorded states (the factorized/distributed designs
-        # changed their local groups, so new orderings may now win).
-        ranked = sorted(visited_list, key=lambda s: (s.cost, s.signature))
-        for state in ranked[: config.phase_iv_cap]:
-            _optimize_all_groups(state, session, greedy)
-    except SearchBudgetExceeded:
-        completed = False
+            # Phase II (lines 14-20): factorize homologous pairs.
+            visited_list = _phase_factorize(
+                visited_list, homologous_pairs, session
+            )
 
-    best = session.best if session.best is not None else initial
-    # Post-processing (line 36): split every merged activity.
-    best = _split_all(best, session)
+            # Phase III (lines 21-28): distribute the initial state's
+            # distributable activities over each recorded state.
+            visited_list = _phase_distribute(
+                visited_list, distributable, session
+            )
 
-    return OptimizationResult(
-        algorithm="HS-Greedy" if greedy else "HS",
-        initial=reported_initial,
-        best=best,
-        visited_states=len(session.seen),
-        elapsed_seconds=session.elapsed,
-        completed=completed,
-    )
+            # Phase IV (lines 29-35): re-optimize the groups of the most
+            # promising recorded states (the factorized/distributed designs
+            # changed their local groups, so new orderings may now win).
+            ranked = sorted(visited_list, key=lambda s: (s.cost, s.signature))
+            for state in ranked[: config.phase_iv_cap]:
+                _optimize_all_groups(state, session, greedy)
+        except SearchBudgetExceeded:
+            completed = False
+
+        best = session.best if session.best is not None else initial
+        # Post-processing (line 36): split every merged activity.
+        best = _split_all(best, session)
+
+        return OptimizationResult(
+            algorithm="HS-Greedy" if greedy else "HS",
+            initial=reported_initial,
+            best=best,
+            visited_states=len(session.seen),
+            elapsed_seconds=session.elapsed,
+            completed=completed,
+            cache_hits=cache.hits - hits_before,
+            jobs=jobs,
+        )
+    finally:
+        if owned_pool:
+            pool.close()
+        if owned_cache:
+            cache.flush()
 
 
 # -- pre/post-processing -------------------------------------------------------------
@@ -362,21 +458,182 @@ def _shift_backward_state(
 
 
 # -- Phase I / IV: local-group ordering optimization -------------------------------------
+#
+# Each group is explored *hermetically*: a pure function of the base
+# workflow and the group's member ids, with a freshly-estimated base cost
+# report so a worker process computes bit-identical floats to an in-process
+# run.  The main process then composes the outcomes in group order —
+# replaying each stream into the visited set and applying each best path —
+# so serial, parallel and warm-cache runs agree byte-for-byte.
+
+
+def _group_memo_key(
+    signature: str, member_ids: list[str], greedy: bool, group_cap: int
+) -> str:
+    mode = "greedy" if greedy else f"bf{group_cap}"
+    return f"{signature}|{'.'.join(member_ids)}|{mode}"
+
+
+def _group_task(
+    args: tuple[ETLWorkflow, list[str], bool, int, CostModel],
+) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
+    """Explore one local group's orderings from a base workflow (pure).
+
+    Returns ``(path, explored)``: ``path`` is the swap sequence (pairs of
+    activity ids) leading from the base ordering to the best one found;
+    ``explored`` is every locally-new state as ``(signature, cost)`` in
+    generation order.  Runs unchanged in-process or on a worker.
+    """
+    workflow, member_ids, greedy, group_cap, model = args
+    members = {workflow.node_by_id(member_id) for member_id in member_ids}
+    base = SearchState(
+        workflow=workflow,
+        signature=state_signature(workflow),
+        report=estimate(workflow, model),
+    )
+    if greedy:
+        return _hill_climb_hermetic(base, members, model)
+    return _explore_hermetic(base, members, model, group_cap)
+
+
+def _explore_hermetic(
+    base: SearchState, members: set[Activity], model: CostModel, group_cap: int
+) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
+    """Best-first exploration of a group's reachable orderings (HS)."""
+    best_cost = base.cost
+    best_path: tuple[tuple[str, str], ...] = ()
+    local_seen = {base.signature}
+    explored: list[tuple[str, float]] = []
+    counter = itertools.count()
+    heap: list[
+        tuple[float, int, SearchState, tuple[tuple[str, str], ...]]
+    ] = [(base.cost, next(counter), base, ())]
+    expansions = 0
+    while heap and expansions < group_cap:
+        _, _, expanding, path = heapq.heappop(heap)
+        expansions += 1
+        for swap in _group_swaps(expanding.workflow, members):
+            shifted = swap.try_apply(expanding.workflow)
+            if shifted is None:
+                continue
+            successor = expanding.successor(swap, shifted, model)
+            if successor.signature in local_seen:
+                continue
+            local_seen.add(successor.signature)
+            explored.append((successor.signature, successor.cost))
+            successor_path = path + ((swap.first.id, swap.second.id),)
+            if successor.cost < best_cost:
+                best_cost = successor.cost
+                best_path = successor_path
+            heapq.heappush(
+                heap, (successor.cost, next(counter), successor, successor_path)
+            )
+    return list(best_path), explored
+
+
+def _hill_climb_hermetic(
+    base: SearchState, members: set[Activity], model: CostModel
+) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
+    """First-improvement hill climbing over a group's ordering (HS-Greedy)."""
+    current = base
+    path: list[tuple[str, str]] = []
+    explored: list[tuple[str, float]] = []
+    improved = True
+    while improved:
+        improved = False
+        for swap in _group_swaps(current.workflow, members):
+            shifted = swap.try_apply(current.workflow)
+            if shifted is None:
+                continue
+            successor = current.successor(swap, shifted, model)
+            explored.append((successor.signature, successor.cost))
+            if successor.cost < current.cost:
+                current = successor
+                path.append((swap.first.id, swap.second.id))
+                improved = True
+                break
+    return path, explored
 
 
 def _optimize_all_groups(
     state: SearchState, session: _Session, greedy: bool
 ) -> SearchState:
-    """Optimize each local group's ordering in turn (cumulative)."""
-    current = state
-    for group in current.workflow.local_groups():
-        members = set(group)
-        if len(members) < 2:
-            continue
-        if greedy:
-            current = _hill_climb_group(current, members, session)
+    """Optimize every local group of ``state`` and compose the winners.
+
+    In-group swaps leave the group's input cardinality and the rest of
+    the graph untouched, so each group's best ordering is independent of
+    the others' and the composed state dominates every state any single
+    exploration stream visited.  Outcomes come from the transposition
+    cache when warm, from the worker pool when ``jobs > 1``, and are
+    computed in-process otherwise — all three produce identical streams.
+    """
+    session.check_budget()
+    groups = [
+        [activity.id for activity in group]
+        for group in state.workflow.local_groups()
+        if len(group) >= 2
+    ]
+    if not groups:
+        session.record(state)
+        return state
+    group_cap = session.config.group_cap
+
+    keys = [
+        _group_memo_key(state.signature, ids, greedy, group_cap)
+        for ids in groups
+    ]
+    outcomes: list[
+        tuple[list[tuple[str, str]], list[tuple[str, float]]] | None
+    ] = [None] * len(groups)
+    pending: list[int] = []
+    for index, key in enumerate(keys):
+        if session.ns is not None:
+            entry = session.ns.get_group(key)
+            if entry is not None:
+                outcomes[index] = (
+                    [tuple(pair) for pair in entry["path"]],
+                    [tuple(item) for item in entry["explored"]],
+                )
+                continue
+        pending.append(index)
+
+    if pending:
+        tasks = [
+            (state.workflow, groups[index], greedy, group_cap, session.model)
+            for index in pending
+        ]
+        if session.pool is not None and len(pending) > 1:
+            results = session.pool.map(_group_task, tasks)
         else:
-            current = _explore_group(current, members, session)
+            results = [_group_task(task) for task in tasks]
+        for index, result in zip(pending, results):
+            outcomes[index] = result
+            if session.ns is not None:
+                path, explored = result
+                session.ns.put_group(
+                    keys[index],
+                    {
+                        "path": [list(pair) for pair in path],
+                        "explored": [list(item) for item in explored],
+                    },
+                )
+
+    # Compose in group order: replay each stream into the visited set,
+    # then apply the group's best path.  Identical for any jobs value.
+    current = state
+    for outcome in outcomes:
+        path, explored = outcome
+        for signature, cost in explored:
+            session.record_stream(signature, cost)
+        for first_id, second_id in path:
+            swap = Swap(
+                current.workflow.node_by_id(first_id),
+                current.workflow.node_by_id(second_id),
+            )
+            current = current.successor(
+                swap, swap.apply(current.workflow), session.model
+            )
+            session.record(current)
     return current
 
 
@@ -391,54 +648,6 @@ def _group_swaps(workflow: ETLWorkflow, members: set[Activity]) -> list[Swap]:
         if isinstance(consumer, Activity) and consumer in members:
             swaps.append(Swap(activity, consumer))
     return swaps
-
-
-def _explore_group(
-    state: SearchState, members: set[Activity], session: _Session
-) -> SearchState:
-    """Best-first exploration of a group's reachable orderings (HS)."""
-    best = state
-    local_seen = {state.signature}
-    counter = itertools.count()
-    heap: list[tuple[float, int, SearchState]] = [(state.cost, next(counter), state)]
-    expansions = 0
-    while heap and expansions < session.config.group_cap:
-        _, _, expanding = heapq.heappop(heap)
-        expansions += 1
-        for swap in _group_swaps(expanding.workflow, members):
-            shifted = swap.try_apply(expanding.workflow)
-            if shifted is None:
-                continue
-            successor = expanding.successor(swap, shifted, session.model)
-            if successor.signature in local_seen:
-                continue
-            local_seen.add(successor.signature)
-            session.record(successor)
-            if successor.cost < best.cost:
-                best = successor
-            heapq.heappush(heap, (successor.cost, next(counter), successor))
-    return best
-
-
-def _hill_climb_group(
-    state: SearchState, members: set[Activity], session: _Session
-) -> SearchState:
-    """First-improvement hill climbing over a group's ordering (HS-Greedy)."""
-    current = state
-    improved = True
-    while improved:
-        improved = False
-        for swap in _group_swaps(current.workflow, members):
-            shifted = swap.try_apply(current.workflow)
-            if shifted is None:
-                continue
-            successor = current.successor(swap, shifted, session.model)
-            session.record(successor)
-            if successor.cost < current.cost:
-                current = successor
-                improved = True
-                break
-    return current
 
 
 # -- Phase II: factorization -------------------------------------------------------------

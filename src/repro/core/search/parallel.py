@@ -1,0 +1,349 @@
+"""Process-pool execution layer for the search algorithms, plus the
+batch driver that amortizes pool and cache across many workflows.
+
+Three parallelization schemes, matched to the structure of each search
+(Liu's shared-caching + parallel-partitions recipe for ETL dataflows):
+
+* **HS / HS-Greedy** — Phase I/IV local-group exploration is
+  embarrassingly parallel: one pool task per local group, outcomes merged
+  deterministically in group order by the main process (see
+  :mod:`repro.core.search.heuristic`), so parallel runs return
+  byte-identical best states and visited counts to serial ones.
+* **ES** — wave expansion: the ``_WAVE`` cheapest frontier states are
+  popped together and their successor generation/costing fans out across
+  workers; the main process merges children in pop-order × enumeration
+  order.  The wave size is constant (independent of ``jobs``), so runs
+  that complete the space agree with serial ES on the explored set.
+* **SA** — multi-chain annealing: ``jobs`` independent seeded chains run
+  concurrently and the best endpoint wins (ties to the lowest chain
+  index); a classic restart portfolio that trades extra CPU for a better
+  chance of escaping local minima.
+
+All tasks are pure functions of picklable inputs; anything that fails to
+pickle (say, a closure-based cost model) silently degrades to the serial
+path rather than erroring.
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_all_start_methods, get_context
+from typing import Callable, Iterable, Sequence
+
+from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.annealing import annealing_search
+from repro.core.search.budget import SearchBudget
+from repro.core.search.exhaustive import exhaustive_search
+from repro.core.search.greedy import greedy_search
+from repro.core.search.heuristic import heuristic_search
+from repro.core.search.result import OptimizationResult
+from repro.core.search.state import SearchState
+from repro.core.search.transposition import TranspositionCache
+from repro.core.transitions.enumerate import candidate_transitions
+from repro.core.workflow import ETLWorkflow
+from repro.exceptions import ReproError
+
+__all__ = ["WorkerPool", "ALGORITHMS", "run_search", "optimize_many"]
+
+#: Frontier states expanded per ES wave — constant, NOT scaled with
+#: ``jobs``, so the traversal order does not depend on the worker count.
+_WAVE = 16
+
+#: One registry for every accepted algorithm spelling.
+ALGORITHMS: dict[str, Callable[..., OptimizationResult]] = {
+    "annealing": annealing_search,
+    "sa": annealing_search,
+    "exhaustive": exhaustive_search,
+    "es": exhaustive_search,
+    "heuristic": heuristic_search,
+    "hs": heuristic_search,
+    "greedy": greedy_search,
+    "hs-greedy": greedy_search,
+}
+
+
+class WorkerPool:
+    """A lazily-started process pool with a serial fallback.
+
+    Workers fork on first use (``fork`` start method where available, so
+    tasks inherit the loaded modules without re-import), and any pickling
+    or pool-infrastructure failure downgrades the call to in-process
+    execution — parallelism is an accelerator here, never a requirement.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = max(1, int(jobs))
+        self._executor: ProcessPoolExecutor | None = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=get_context(method)
+            )
+        return self._executor
+
+    def map(self, task: Callable, args: Iterable) -> list:
+        """Run ``task`` over ``args``, preserving order."""
+        args = list(args)
+        if self.jobs <= 1 or len(args) <= 1:
+            return [task(arg) for arg in args]
+        try:
+            executor = self._ensure()
+            return list(executor.map(task, args, chunksize=1))
+        except (pickle.PicklingError, AttributeError, BrokenProcessPool, OSError):
+            self.close()
+            return [task(arg) for arg in args]
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- ES: parallel wave expansion ---------------------------------------------------------
+
+
+def _expand_task(
+    args: tuple[SearchState, CostModel],
+) -> list[SearchState]:
+    """Generate and cost every successor of one state (pure)."""
+    state, model = args
+    successors: list[SearchState] = []
+    for transition in candidate_transitions(state.workflow):
+        successor_workflow = transition.try_apply(state.workflow)
+        if successor_workflow is None:
+            continue
+        successors.append(state.successor(transition, successor_workflow, model))
+    return successors
+
+
+def parallel_exhaustive(
+    workflow: ETLWorkflow,
+    model: CostModel | None,
+    budget: SearchBudget,
+    pool: WorkerPool | None = None,
+) -> OptimizationResult:
+    """Best-first ES with wave-parallel frontier expansion.
+
+    Completed runs explore exactly the serial algorithm's (finite,
+    signature-deduplicated) space; budget-truncated runs may cut the
+    frontier at a different point than serial ES would.
+    """
+    model = model if model is not None else ProcessedRowsCostModel()
+    cache, owned_cache = TranspositionCache.resolve(budget.cache)
+    hits_before = cache.hits
+    jobs = budget.resolved_jobs()
+    owned_pool = pool is None
+    if owned_pool:
+        pool = WorkerPool(jobs)
+    started = time.perf_counter()
+    try:
+        initial = SearchState.initial(workflow, model)
+        ns = cache.namespace(initial.workflow, model)
+        ns.put_cost(initial.signature, initial.cost)
+        seen: set[str] = {initial.signature}
+        heap: list[tuple[float, str, SearchState]] = [
+            (initial.cost, initial.signature, initial)
+        ]
+        best = initial
+        completed = True
+
+        def budget_tripped() -> bool:
+            if budget.max_states is not None and len(seen) >= budget.max_states:
+                return True
+            if budget.max_seconds is not None:
+                return time.perf_counter() - started > budget.max_seconds
+            return False
+
+        while heap:
+            if budget_tripped():
+                completed = False
+                break
+            wave = [heapq.heappop(heap) for _ in range(min(_WAVE, len(heap)))]
+            expansions = pool.map(
+                _expand_task, [(state, model) for _, _, state in wave]
+            )
+            for successors in expansions:
+                for successor in successors:
+                    if successor.signature in seen:
+                        continue
+                    seen.add(successor.signature)
+                    ns.put_cost(successor.signature, successor.cost)
+                    heapq.heappush(
+                        heap, (successor.cost, successor.signature, successor)
+                    )
+                    if successor.cost < best.cost:
+                        best = successor
+                    if (
+                        budget.max_states is not None
+                        and len(seen) >= budget.max_states
+                    ):
+                        completed = False
+                        break
+                if not completed:
+                    break
+            if not completed:
+                break
+
+        return OptimizationResult(
+            algorithm="ES",
+            initial=initial,
+            best=best,
+            visited_states=len(seen),
+            elapsed_seconds=time.perf_counter() - started,
+            completed=completed,
+            cache_hits=cache.hits - hits_before,
+            jobs=jobs,
+        )
+    finally:
+        if owned_pool:
+            pool.close()
+        if owned_cache:
+            cache.flush()
+
+
+# -- SA: multi-chain portfolio -----------------------------------------------------------
+
+
+def _anneal_chain(
+    args: tuple[ETLWorkflow, CostModel | None, dict],
+) -> OptimizationResult:
+    workflow, model, kwargs = args
+    return annealing_search(workflow, model=model, **kwargs)
+
+
+def annealing_multi_chain(
+    workflow: ETLWorkflow,
+    model: CostModel | None,
+    budget: SearchBudget,
+    seed: int = 0,
+    steps: int = 2000,
+    initial_temperature: float | None = None,
+    cooling: float = 0.995,
+    pool: WorkerPool | None = None,
+) -> OptimizationResult:
+    """Run ``jobs`` independent annealing chains and keep the best endpoint.
+
+    Chain ``i`` uses seed ``seed + i``; chain 0 is exactly the serial run,
+    so the portfolio never returns a worse state than ``jobs=1`` with the
+    same seed.  ``visited_states`` sums the per-chain counts (chains do
+    not share a dedup set).
+    """
+    jobs = budget.resolved_jobs()
+    chain_budget = SearchBudget(
+        max_states=budget.max_states, max_seconds=budget.max_seconds
+    )
+    tasks = [
+        (
+            workflow,
+            model,
+            {
+                "seed": seed + chain,
+                "steps": steps,
+                "initial_temperature": initial_temperature,
+                "cooling": cooling,
+                "budget": chain_budget,
+            },
+        )
+        for chain in range(jobs)
+    ]
+    owned_pool = pool is None
+    if owned_pool:
+        pool = WorkerPool(jobs)
+    started = time.perf_counter()
+    try:
+        chains = pool.map(_anneal_chain, tasks)
+    finally:
+        if owned_pool:
+            pool.close()
+    winner_index = min(
+        range(len(chains)), key=lambda i: (chains[i].best.cost, i)
+    )
+    winner = chains[winner_index]
+    return OptimizationResult(
+        algorithm="SA",
+        initial=chains[0].initial,
+        best=winner.best,
+        visited_states=sum(chain.visited_states for chain in chains),
+        elapsed_seconds=time.perf_counter() - started,
+        completed=all(chain.completed for chain in chains),
+        cache_hits=0,
+        jobs=jobs,
+    )
+
+
+# -- dispatch + batch driver -------------------------------------------------------------
+
+
+def run_search(
+    algorithm: str,
+    workflow: ETLWorkflow,
+    model: CostModel | None = None,
+    budget: SearchBudget | None = None,
+    pool: WorkerPool | None = None,
+    **kwargs,
+) -> OptimizationResult:
+    """Dispatch one run to the algorithm registry (every spelling)."""
+    try:
+        search = ALGORITHMS[algorithm.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown algorithm {algorithm!r}; choose one of "
+            f"{sorted(set(ALGORITHMS))}"
+        ) from None
+    return search(workflow, model=model, budget=budget, pool=pool, **kwargs)
+
+
+def optimize_many(
+    workflows: Sequence[ETLWorkflow],
+    algorithm: str = "heuristic",
+    model: CostModel | None = None,
+    budget: SearchBudget | None = None,
+    **kwargs,
+) -> list[OptimizationResult]:
+    """Optimize a batch of workflows on one shared pool and cache.
+
+    The heavy-traffic batch case: worker processes are forked once and
+    the transposition cache persists across runs, so repeated (or
+    similar) workflows skip re-exploration — repeats of a workflow
+    already optimized in the batch report nonzero ``cache_hits`` and
+    return in a fraction of the first run's time.
+    """
+    budget = budget if budget is not None else SearchBudget()
+    cache, owned_cache = TranspositionCache.resolve(budget.cache)
+    shared_budget = SearchBudget(
+        max_states=budget.max_states,
+        max_seconds=budget.max_seconds,
+        jobs=budget.jobs,
+        cache=cache,
+    )
+    jobs = budget.resolved_jobs()
+    pool = WorkerPool(jobs) if jobs > 1 else None
+    try:
+        return [
+            run_search(
+                algorithm,
+                workflow,
+                model=model,
+                budget=shared_budget,
+                pool=pool,
+                **kwargs,
+            )
+            for workflow in workflows
+        ]
+    finally:
+        if pool is not None:
+            pool.close()
+        if owned_cache:
+            cache.flush()

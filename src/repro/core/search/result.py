@@ -25,9 +25,23 @@ class OptimizationResult:
     best: SearchState
     visited_states: int
     elapsed_seconds: float
-    #: False when a budgeted search (ES) stopped before exhausting the space
+    #: False when a budgeted search stopped before exhausting the space
     #: — the paper's "the algorithm did not terminate" footnote.
     completed: bool = True
+    #: Transposition-cache hits during this run (0 on a cold run-local cache).
+    cache_hits: int = 0
+    #: Worker processes the run actually used (1 = serial path).
+    jobs: int = 1
+
+    @property
+    def visited(self) -> int:
+        """Alias for :attr:`visited_states` (uniform reporting surface)."""
+        return self.visited_states
+
+    @property
+    def elapsed(self) -> float:
+        """Alias for :attr:`elapsed_seconds` (uniform reporting surface)."""
+        return self.elapsed_seconds
 
     @property
     def initial_cost(self) -> float:
@@ -56,11 +70,12 @@ class OptimizationResult:
         return min(100.0, 100.0 * reference_cost / self.best.cost)
 
     def summary(self) -> str:
-        """One-line human-readable report."""
+        """One-line human-readable report, uniform across algorithms."""
         status = "" if self.completed else " (budget exhausted)"
         return (
             f"{self.algorithm}: cost {self.initial.cost:.0f} -> "
             f"{self.best.cost:.0f} ({self.improvement_percent:.1f}% better), "
             f"{self.visited_states} states visited in "
-            f"{self.elapsed_seconds:.2f}s{status}"
+            f"{self.elapsed_seconds:.2f}s "
+            f"[jobs={self.jobs}, cache hits={self.cache_hits}]{status}"
         )

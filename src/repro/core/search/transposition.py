@@ -1,0 +1,296 @@
+"""Shared transposition cache for the state-space search (all algorithms).
+
+Chess engines memoize positions reached through transposed move orders; the
+ETL state space transposes the same way — Phase III of HS re-derives states
+Phase II already visited, simulated annealing walks back over its own
+trail, and in the heavy-traffic batch case the *same workflow* is optimized
+again and again.  This module provides the shared memo:
+
+* **cost totals** keyed on :func:`~repro.core.signature.state_signature` —
+  a state re-encountered through any path (or any run) skips re-costing;
+* **group explorations** keyed on ``(state signature, local-group member
+  ids, strategy)`` — the dominant cost of HS (Phase I/IV swap exploration,
+  >99 % of wall-clock on large workflows) is replayed from the memo instead
+  of re-searched;
+* an optional **on-disk layer** (JSON, one file per workflow/cost-model
+  namespace under ``$REPRO_CACHE_DIR`` or ``~/.cache/repro``) that makes
+  the memo survive across processes, so repeated optimization of the same
+  workflow — `Liu's shared-caching argument <https://arxiv.org/abs/1409.1639>`_
+  — costs a fraction of the first run.
+
+Entries are namespaced by :func:`~repro.core.signature.workflow_fingerprint`
+plus a cost-model key, because state signatures identify states only within
+one optimization problem.  Cached values are only ever values the same
+deterministic computation would have produced, so warm and cold runs return
+identical best states; they may differ in the last float ulp of *recorded*
+costs when a value computed incrementally is replayed, which is why the
+deterministic search paths (HS group exploration) consult the memo at
+dispatch granularity, never mid-exploration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.core.cost.estimator import CostReport, estimate, estimate_incremental
+from repro.core.cost.model import CostModel
+from repro.core.signature import state_signature, workflow_fingerprint
+from repro.core.workflow import ETLWorkflow, Node
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.search.state import SearchState
+    from repro.core.transitions.base import Transition
+
+__all__ = [
+    "TranspositionCache",
+    "CacheNamespace",
+    "DeferredCostReport",
+    "default_cache_dir",
+]
+
+_FORMAT_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else ``~/.cache/repro``."""
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def _model_key(model: CostModel) -> str:
+    """Namespace component identifying the cost model.
+
+    Custom models that carry tunable state should expose a
+    ``cost_model_key()`` method returning a stable string; class identity
+    is the fallback (sufficient for the shipped stateless models).
+    """
+    key = getattr(model, "cost_model_key", None)
+    if callable(key):
+        return str(key())
+    return f"{type(model).__module__}.{type(model).__qualname__}"
+
+
+class DeferredCostReport:
+    """A cost report whose total is known (from the cache) but whose
+    per-node breakdown is computed only if the state is ever expanded.
+
+    Most generated states are never expanded (best-first search under a
+    budget discards the bulk of its frontier), so on cache hits the full
+    topological costing pass is skipped entirely.  Duck-types
+    :class:`~repro.core.cost.estimator.CostReport`.
+    """
+
+    __slots__ = ("total", "_workflow", "_model", "_full")
+
+    def __init__(self, total: float, workflow: ETLWorkflow, model: CostModel):
+        self.total = total
+        self._workflow = workflow
+        self._model = model
+        self._full: CostReport | None = None
+
+    def materialize(self) -> CostReport:
+        """Compute (once) and return the full per-node report."""
+        if self._full is None:
+            self._full = estimate(self._workflow, self._model)
+        return self._full
+
+    @property
+    def node_costs(self) -> dict[Node, float]:
+        return self.materialize().node_costs
+
+    @property
+    def cardinalities(self) -> dict[Node, float]:
+        return self.materialize().cardinalities
+
+    def cost_of(self, node: Node) -> float:
+        return self.materialize().cost_of(node)
+
+    def __reduce__(self):
+        # Workers receive the materialized report so they never re-estimate.
+        return (CostReport, (self.total, self.node_costs, self.cardinalities))
+
+
+class CacheNamespace:
+    """The cache slice of one (workflow family, cost model) pair."""
+
+    def __init__(self, cache: "TranspositionCache", key: str):
+        self._cache = cache
+        self.key = key
+        self.costs: dict[str, float] = {}
+        self.groups: dict[str, dict[str, Any]] = {}
+        self.dirty = False
+        self._load()
+
+    # -- persistence ------------------------------------------------------------
+
+    def _path(self) -> Path | None:
+        if self._cache.directory is None:
+            return None
+        return self._cache.directory / f"{self.key}.json"
+
+    def _load(self) -> None:
+        path = self._path()
+        if path is None or not path.exists():
+            return
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("format_version") != _FORMAT_VERSION:
+                return
+            self.costs.update(data.get("costs", {}))
+            self.groups.update(data.get("groups", {}))
+        except (OSError, ValueError):
+            # A corrupt or unreadable cache file is a cold cache, not an
+            # error: the search recomputes everything it needs.
+            return
+
+    def flush(self) -> None:
+        path = self._path()
+        if path is None or not self.dirty:
+            return
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "costs": self.costs,
+            "groups": self.groups,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{self.key}.", suffix=".tmp", dir=path.parent
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)  # atomic: concurrent runs last-writer-win
+            self.dirty = False
+        except OSError:
+            return
+
+    # -- cost totals ------------------------------------------------------------
+
+    def get_cost(self, signature: str) -> float | None:
+        total = self.costs.get(signature)
+        if total is None:
+            self._cache.misses += 1
+            return None
+        self._cache.hits += 1
+        return total
+
+    def put_cost(self, signature: str, total: float) -> None:
+        if signature not in self.costs:
+            self.costs[signature] = total
+            self.dirty = True
+
+    # -- group-exploration memo --------------------------------------------------
+
+    def get_group(self, key: str) -> dict[str, Any] | None:
+        entry = self.groups.get(key)
+        if entry is None:
+            self._cache.misses += 1
+            return None
+        self._cache.hits += 1
+        return entry
+
+    def put_group(self, key: str, entry: dict[str, Any]) -> None:
+        self.groups[key] = entry
+        self.dirty = True
+
+    def drop_group(self, key: str) -> None:
+        if self.groups.pop(key, None) is not None:
+            self.dirty = True
+
+    # -- successor construction ----------------------------------------------------
+
+    def successor(
+        self,
+        parent: "SearchState",
+        transition: "Transition",
+        workflow: ETLWorkflow,
+        model: CostModel,
+        signature: str | None = None,
+    ) -> "SearchState":
+        """Build a successor state, reusing a memoized cost when possible.
+
+        On a hit the successor carries a :class:`DeferredCostReport` — the
+        per-node breakdown is only computed if the state is ever expanded.
+        """
+        from repro.core.search.state import SearchState
+
+        if signature is None:
+            signature = state_signature(workflow)
+        total = self.get_cost(signature)
+        if total is not None:
+            report: Any = DeferredCostReport(total, workflow, model)
+        else:
+            report = estimate_incremental(
+                workflow, model, parent.report, transition.affected_nodes()
+            )
+            self.put_cost(signature, report.total)
+        return SearchState(
+            workflow=workflow,
+            signature=signature,
+            report=report,
+            produced_by=transition,
+            depth=parent.depth + 1,
+        )
+
+
+class TranspositionCache:
+    """Signature-keyed memo shared by every search algorithm.
+
+    One instance may back many runs (see
+    :func:`~repro.core.search.parallel.optimize_many`); per-workflow
+    namespaces keep unrelated search spaces apart.  ``hits`` / ``misses``
+    aggregate across namespaces; algorithms report the per-run delta as
+    ``OptimizationResult.cache_hits``.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None):
+        self.directory = Path(directory).expanduser() if directory else None
+        self.hits = 0
+        self.misses = 0
+        self._namespaces: dict[str, CacheNamespace] = {}
+
+    @classmethod
+    def resolve(cls, spec: Any) -> tuple["TranspositionCache", bool]:
+        """Interpret a :attr:`SearchBudget.cache` value.
+
+        Returns ``(cache, owned)`` — ``owned`` is True when this call
+        created the instance (the caller is then responsible for flushing
+        it at the end of the run).
+
+        * ``None`` / ``False`` — fresh in-memory cache, no disk layer;
+        * ``True`` — on-disk cache at :func:`default_cache_dir`;
+        * path-like — on-disk cache rooted at that directory;
+        * an existing :class:`TranspositionCache` — shared, not owned.
+        """
+        if isinstance(spec, TranspositionCache):
+            return spec, False
+        if spec is None or spec is False:
+            return cls(), True
+        if spec is True:
+            return cls(default_cache_dir()), True
+        return cls(spec), True
+
+    def namespace(self, workflow: ETLWorkflow, model: CostModel) -> CacheNamespace:
+        """The cache slice for one workflow family under one cost model."""
+        key = f"{workflow_fingerprint(workflow)}-{_model_key(model)}"
+        # Path-safe: fingerprint is hex, the model key may hold dots only.
+        key = "".join(c if c.isalnum() or c in "._-" else "_" for c in key)
+        found = self._namespaces.get(key)
+        if found is None:
+            found = CacheNamespace(self, key)
+            self._namespaces[key] = found
+        return found
+
+    def flush(self) -> None:
+        """Write every dirty namespace to the disk layer (no-op without one)."""
+        for namespace in self._namespaces.values():
+            namespace.flush()

@@ -1,4 +1,4 @@
-"""Canonical state signatures (section 4.1).
+"""Canonical state signatures (section 4.1) and workflow fingerprints.
 
 During search we must discern states from one another so that the same
 state is never generated (and costed) twice.  The paper assigns each
@@ -13,14 +13,23 @@ intersection) the branch strings are sorted so that mirror-image states get
 one canonical signature; for non-commutative ones (difference) port order
 is preserved.  Workflows with several targets are rendered as the sorted
 ``//``-join of the per-target signatures.
+
+A signature identifies a state only *within* one optimization problem: it
+is built from node ids, so two unrelated workflows that happen to share
+ids collide.  :func:`workflow_fingerprint` closes that gap for the
+transposition cache — a content hash over every node's full descriptor
+(template, parameters, selectivity, schema, cardinality) and the
+port-annotated edge list, stable across processes and sessions.
 """
 
 from __future__ import annotations
 
-from repro.core.activity import Activity
+import hashlib
+
+from repro.core.activity import Activity, CompositeActivity
 from repro.core.workflow import ETLWorkflow, Node
 
-__all__ = ["state_signature"]
+__all__ = ["state_signature", "workflow_fingerprint"]
 
 
 def state_signature(workflow: ETLWorkflow) -> str:
@@ -58,3 +67,44 @@ def _is_commutative(node: Node) -> bool:
     if isinstance(node, Activity) and node.is_binary:
         return node.template.commutative
     return True
+
+
+def _activity_descriptor(activity: Activity) -> str:
+    if isinstance(activity, CompositeActivity):
+        parts = "+".join(_activity_descriptor(c) for c in activity.components)
+        return f"composite[{parts}]"
+    params = ",".join(
+        f"{key}={activity.params[key]!r}" for key in sorted(activity.params)
+    )
+    return (
+        f"activity:{activity.id}:{activity.template.name}"
+        f"({params})@{activity.selectivity!r}"
+    )
+
+
+def workflow_fingerprint(workflow: ETLWorkflow) -> str:
+    """A stable content hash of a workflow (nodes + wiring).
+
+    Unlike :func:`state_signature` — which encodes only node *ids* and
+    structure — the fingerprint covers everything state costs depend on:
+    template names, instantiation parameters, selectivities, recordset
+    schemas and cardinalities.  All states explored from one initial
+    workflow share its node population, so the fingerprint of the initial
+    state namespaces an entire search space in the transposition cache.
+    """
+    lines: list[str] = []
+    for node in sorted(workflow.nodes(), key=lambda n: n.id):
+        if isinstance(node, Activity):
+            lines.append(_activity_descriptor(node))
+        else:
+            lines.append(
+                f"recordset:{node.id}:{node.name}:{node.kind.value}"
+                f":{','.join(node.schema)}@{node.cardinality!r}"
+            )
+    edges = sorted(
+        (provider.id, consumer.id, workflow.edge_port(provider, consumer))
+        for provider, consumer in workflow.graph.edges
+    )
+    lines.extend(f"edge:{p}->{c}#{port}" for p, c, port in edges)
+    digest = hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+    return digest[:24]

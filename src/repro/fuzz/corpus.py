@@ -27,6 +27,12 @@ from repro.fuzz.shrink import save_artifact, shrink_failure
 
 __all__ = ["FuzzReport", "run_fuzz", "load_known_failures"]
 
+
+def _seed_task(args: tuple) -> object:
+    """One fuzz seed as a pool task (pure; see ``run_fuzz(jobs=...)``)."""
+    config, category, seed, model = args
+    return fuzz_seed(config, seed, category=category, model=model)
+
 _FAILURES_FILE = "failures.json"
 _SUMMARY_FILE = "summary.json"
 
@@ -137,12 +143,16 @@ def run_fuzz(
     corpus_dir: str | None = None,
     shrink: bool = True,
     model: CostModel | None = None,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Fuzz ``seeds`` seeds (known corpus failures first) and aggregate.
 
     With a ``corpus_dir``, failing seeds are persisted, their shrunk repro
     artifacts written next to them, and the run summary saved as
-    ``summary.json``.
+    ``summary.json``.  ``jobs != 1`` fans the (independent) seeds out
+    across worker processes; results are aggregated in schedule order and
+    shrinking stays in the main process, so the report is identical to a
+    serial run's.
     """
     schedule: list[tuple[str, int]] = []
     if corpus_dir is not None:
@@ -153,9 +163,19 @@ def run_fuzz(
         if pair not in schedule:
             schedule.append(pair)
 
+    tasks = [
+        (config, category, seed, model) for category, seed in schedule
+    ]
+    if jobs != 1:
+        from repro.core.search.parallel import WorkerPool
+
+        with WorkerPool(jobs if jobs > 0 else (os.cpu_count() or 1)) as pool:
+            results = pool.map(_seed_task, tasks)
+    else:
+        results = [_seed_task(task) for task in tasks]
+
     report = FuzzReport(config=config)
-    for category, seed in schedule:
-        result = fuzz_seed(config, seed, category=category, model=model)
+    for (category, seed), result in zip(schedule, results):
         report.seeds_run += 1
         report.states_checked += result.states_checked
         report.transitions_applied.update(result.transition_counts)

@@ -133,7 +133,8 @@ class TestOptimizeFacade:
     def test_kwargs_forwarded(self, fig1):
         from repro import optimize
 
-        result = optimize(fig1.workflow, algorithm="es", max_states=3)
+        with pytest.warns(DeprecationWarning):
+            result = optimize(fig1.workflow, algorithm="es", max_states=3)
         assert not result.completed
 
     def test_summary_mentions_algorithm(self, fig1):

@@ -1,0 +1,160 @@
+"""Parallel == serial determinism, the worker pool, and the batch driver.
+
+The tentpole contract: for any jobs value, HS returns a byte-identical
+best state and visited count, because group explorations are hermetic and
+their outcomes are merged deterministically in group order by the main
+process.  Warm transposition-cache runs replay the same streams and agree
+too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    SearchBudget,
+    annealing_search,
+    exhaustive_search,
+    heuristic_search,
+    optimize_many,
+)
+from repro.core.search.parallel import WorkerPool
+from repro.fuzz import FuzzConfig, run_fuzz
+from repro.workloads import fig1_workflow, generate_workload
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_single_job_runs_inline(self):
+        pool = WorkerPool(1)
+        assert pool.map(_square, [2, 3]) == [4, 9]
+        assert pool._executor is None  # never forked
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        with WorkerPool(2) as pool:
+            assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+
+
+class TestHSDeterminism:
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_jobs4_matches_jobs1_on_generated_workloads(self, seed):
+        workload = generate_workload("small", seed=seed)
+        serial = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(jobs=1)
+        )
+        workload = generate_workload("small", seed=seed)
+        parallel = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(jobs=4)
+        )
+        assert parallel.best.signature == serial.best.signature
+        assert parallel.best.cost == serial.best.cost
+        assert parallel.visited_states == serial.visited_states
+        assert serial.jobs == 1 and parallel.jobs == 4
+
+    def test_greedy_jobs4_matches_jobs1(self):
+        workload = generate_workload("small", seed=0)
+        serial = heuristic_search(workload.workflow.copy(), greedy=True)
+        workload = generate_workload("small", seed=0)
+        parallel = heuristic_search(
+            workload.workflow.copy(), greedy=True, budget=SearchBudget(jobs=4)
+        )
+        assert parallel.best.signature == serial.best.signature
+        assert parallel.visited_states == serial.visited_states
+
+
+class TestESParallel:
+    def test_completed_wave_run_matches_serial(self):
+        serial = exhaustive_search(fig1_workflow().workflow)
+        parallel = exhaustive_search(
+            fig1_workflow().workflow, budget=SearchBudget(jobs=4)
+        )
+        assert serial.completed and parallel.completed
+        assert parallel.best.signature == serial.best.signature
+        assert parallel.best.cost == serial.best.cost
+        assert parallel.visited_states == serial.visited_states
+
+    def test_max_states_truncates(self):
+        result = exhaustive_search(
+            fig1_workflow().workflow, budget=SearchBudget(max_states=5, jobs=2)
+        )
+        assert not result.completed
+
+
+class TestSAMultiChain:
+    def test_portfolio_never_worse_than_serial(self):
+        serial = annealing_search(fig1_workflow().workflow, seed=7, steps=150)
+        portfolio = annealing_search(
+            fig1_workflow().workflow,
+            seed=7,
+            steps=150,
+            budget=SearchBudget(jobs=3),
+        )
+        assert portfolio.best.cost <= serial.best.cost
+        assert portfolio.jobs == 3
+        assert portfolio.visited_states >= serial.visited_states
+
+
+class TestWarmCache:
+    def test_warm_run_replays_identically_with_hits(self, tmp_path):
+        workload = generate_workload("small", seed=0)
+        cold = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(cache=tmp_path)
+        )
+        workload = generate_workload("small", seed=0)
+        warm = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(cache=tmp_path)
+        )
+        assert cold.cache_hits == 0
+        assert warm.cache_hits > 0
+        assert warm.best.signature == cold.best.signature
+        assert warm.best.cost == cold.best.cost
+        assert warm.visited_states == cold.visited_states
+        assert warm.elapsed_seconds < cold.elapsed_seconds
+
+    def test_parallel_warm_run_agrees_too(self, tmp_path):
+        workload = generate_workload("small", seed=2)
+        cold = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(jobs=4, cache=tmp_path)
+        )
+        workload = generate_workload("small", seed=2)
+        warm = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(jobs=4, cache=tmp_path)
+        )
+        assert warm.cache_hits > 0
+        assert warm.best.signature == cold.best.signature
+        assert warm.visited_states == cold.visited_states
+
+
+class TestOptimizeMany:
+    def test_batch_shares_cache_across_runs(self):
+        workflows = [fig1_workflow().workflow, fig1_workflow().workflow]
+        first, second = optimize_many(workflows, algorithm="hs")
+        assert second.cache_hits > 0
+        assert second.best.signature == first.best.signature
+        assert second.visited_states == first.visited_states
+
+    def test_batch_accepts_jobs(self):
+        workflows = [fig1_workflow().workflow]
+        (result,) = optimize_many(
+            workflows, algorithm="es", budget=SearchBudget(jobs=2)
+        )
+        assert result.completed
+        assert result.jobs == 2
+
+
+class TestFuzzParallelPath:
+    def test_parallel_fuzz_matches_serial_report(self):
+        config = FuzzConfig(categories=("tiny",), chain_length=4)
+        serial = run_fuzz(config, seeds=4, jobs=1)
+        parallel = run_fuzz(config, seeds=4, jobs=2)
+        assert parallel.ok == serial.ok
+        assert parallel.seeds_run == serial.seeds_run
+        assert parallel.states_checked == serial.states_checked
+        assert parallel.transitions_applied == serial.transitions_applied

@@ -1,0 +1,156 @@
+"""Transposition cache: memo semantics, disk layer, namespacing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.cost.estimator import estimate
+from repro.core.cost.model import LinearCostModel, ProcessedRowsCostModel
+from repro.core.search.transposition import (
+    DeferredCostReport,
+    TranspositionCache,
+    default_cache_dir,
+)
+from repro.core.signature import workflow_fingerprint
+from repro.workloads import fig1_workflow, two_branch_scenario
+
+
+@pytest.fixture
+def workflow():
+    wf = fig1_workflow().workflow
+    wf.validate()
+    wf.propagate_schemas()
+    return wf
+
+
+class TestResolve:
+    def test_none_is_memory_only(self):
+        cache, owned = TranspositionCache.resolve(None)
+        assert owned and cache.directory is None
+
+    def test_false_is_memory_only(self):
+        cache, _ = TranspositionCache.resolve(False)
+        assert cache.directory is None
+
+    def test_true_uses_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cc"))
+        cache, owned = TranspositionCache.resolve(True)
+        assert owned and cache.directory == tmp_path / "cc"
+        assert default_cache_dir() == tmp_path / "cc"
+
+    def test_path_is_disk_backed(self, tmp_path):
+        cache, _ = TranspositionCache.resolve(tmp_path)
+        assert cache.directory == tmp_path
+
+    def test_instance_is_shared_not_owned(self):
+        shared = TranspositionCache()
+        cache, owned = TranspositionCache.resolve(shared)
+        assert cache is shared and not owned
+
+
+class TestCostMemo:
+    def test_hit_and_miss_accounting(self, workflow):
+        cache = TranspositionCache()
+        ns = cache.namespace(workflow, ProcessedRowsCostModel())
+        assert ns.get_cost("sig-a") is None
+        ns.put_cost("sig-a", 123.5)
+        assert ns.get_cost("sig-a") == 123.5
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_first_write_wins(self, workflow):
+        cache = TranspositionCache()
+        ns = cache.namespace(workflow, ProcessedRowsCostModel())
+        ns.put_cost("sig", 1.0)
+        ns.put_cost("sig", 2.0)
+        assert ns.get_cost("sig") == 1.0
+
+
+class TestNamespacing:
+    def test_distinct_workflows_do_not_share(self):
+        cache = TranspositionCache()
+        model = ProcessedRowsCostModel()
+        fig1 = fig1_workflow().workflow
+        fig1.validate(), fig1.propagate_schemas()
+        other = two_branch_scenario().workflow
+        other.validate(), other.propagate_schemas()
+        cache.namespace(fig1, model).put_cost("sig", 1.0)
+        assert cache.namespace(other, model).get_cost("sig") is None
+
+    def test_distinct_models_do_not_share(self, workflow):
+        cache = TranspositionCache()
+        cache.namespace(workflow, ProcessedRowsCostModel()).put_cost("s", 1.0)
+        assert cache.namespace(workflow, LinearCostModel()).get_cost("s") is None
+
+    def test_fingerprint_stable_across_copies(self, workflow):
+        assert workflow_fingerprint(workflow) == workflow_fingerprint(
+            workflow.copy()
+        )
+
+    def test_fingerprint_differs_for_different_content(self, workflow):
+        other = two_branch_scenario().workflow
+        other.validate()
+        other.propagate_schemas()
+        assert workflow_fingerprint(workflow) != workflow_fingerprint(other)
+
+
+class TestDiskLayer:
+    def test_flush_then_reload(self, tmp_path, workflow):
+        model = ProcessedRowsCostModel()
+        cache = TranspositionCache(tmp_path)
+        ns = cache.namespace(workflow, model)
+        ns.put_cost("sig-x", 9.25)
+        ns.put_group("gk", {"path": [["a", "b"]], "explored": [["s", 1.0]]})
+        cache.flush()
+
+        reloaded = TranspositionCache(tmp_path)
+        ns2 = reloaded.namespace(workflow, model)
+        assert ns2.get_cost("sig-x") == 9.25
+        assert ns2.get_group("gk") == {
+            "path": [["a", "b"]],
+            "explored": [["s", 1.0]],
+        }
+
+    def test_corrupt_file_is_a_cold_cache(self, tmp_path, workflow):
+        model = ProcessedRowsCostModel()
+        cache = TranspositionCache(tmp_path)
+        ns = cache.namespace(workflow, model)
+        ns.put_cost("sig", 1.0)
+        cache.flush()
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json", encoding="utf-8")
+        reloaded = TranspositionCache(tmp_path)
+        assert reloaded.namespace(workflow, model).get_cost("sig") is None
+
+    def test_unknown_format_version_ignored(self, tmp_path, workflow):
+        model = ProcessedRowsCostModel()
+        cache = TranspositionCache(tmp_path)
+        ns = cache.namespace(workflow, model)
+        ns.put_cost("sig", 1.0)
+        cache.flush()
+        for path in tmp_path.glob("*.json"):
+            data = json.loads(path.read_text(encoding="utf-8"))
+            data["format_version"] = 999
+            path.write_text(json.dumps(data), encoding="utf-8")
+        reloaded = TranspositionCache(tmp_path)
+        assert reloaded.namespace(workflow, model).get_cost("sig") is None
+
+    def test_memory_cache_flush_is_noop(self, workflow):
+        cache = TranspositionCache()
+        cache.namespace(workflow, ProcessedRowsCostModel()).put_cost("s", 1.0)
+        cache.flush()  # must not raise or write anywhere
+
+
+class TestDeferredCostReport:
+    def test_total_known_breakdown_lazy(self, workflow):
+        model = ProcessedRowsCostModel()
+        full = estimate(workflow, model)
+        deferred = DeferredCostReport(full.total, workflow, model)
+        assert deferred.total == full.total
+        assert deferred._full is None  # not yet materialized
+        assert deferred.node_costs == full.node_costs
+        assert deferred._full is not None
+        for node in workflow.nodes():
+            assert deferred.cost_of(node) == full.cost_of(node)
