@@ -6,6 +6,7 @@ Usage::
     python -m repro render flow.json --format dot > flow.dot
     python -m repro lint flow.json
     python -m repro impact flow.json --source SRC1 --attribute V2
+    python -m repro run flow.json --data rows.json --max-resident-rows 10000
     python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
 
 Workflows are exchanged in the JSON format of :mod:`repro.io.json_io`;
@@ -106,6 +107,49 @@ def build_parser() -> argparse.ArgumentParser:
     cmd_impact.add_argument("--source", required=True)
     cmd_impact.add_argument("--attribute", required=True)
 
+    cmd_run = commands.add_parser(
+        "run", help="execute a workflow on JSON source data"
+    )
+    cmd_run.add_argument("workflow", help="path to a workflow JSON file")
+    cmd_run.add_argument(
+        "--data",
+        required=True,
+        help="JSON file mapping source recordset names to row lists",
+    )
+    cmd_run.add_argument(
+        "--stream",
+        action="store_true",
+        help="use the streaming engine (implied by the options below)",
+    )
+    cmd_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="rows per streaming batch (default: 4096; implies --stream)",
+    )
+    cmd_run.add_argument(
+        "--max-resident-rows",
+        type=int,
+        default=None,
+        help="resident-row budget for streaming (implies --stream)",
+    )
+    cmd_run.add_argument(
+        "--spill-dir",
+        default=None,
+        help="spill directory for over-budget buffers (implies --stream)",
+    )
+    cmd_run.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-activity profile after the run",
+    )
+    cmd_run.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="write the target flows as JSON here (default: counts only)",
+    )
+
     cmd_fuzz = commands.add_parser(
         "fuzz",
         help="differential fuzzing of the transition system (Theorem 2)",
@@ -163,6 +207,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for the seed loop (default: 1; 0 = per CPU)",
     )
+    cmd_fuzz.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="fuzz through the streaming engine with this batch size",
+    )
+    cmd_fuzz.add_argument(
+        "--max-resident-rows",
+        type=int,
+        default=None,
+        help="resident-row budget for streaming fuzz runs",
+    )
     return parser
 
 
@@ -219,6 +275,61 @@ def _cmd_impact(args) -> int:
     return 1
 
 
+def _budget_from_args(args, force: bool = False):
+    """An ExecutionBudget from ``--stream``-family flags, or ``None``."""
+    from repro.engine.batches import DEFAULT_BATCH_SIZE, ExecutionBudget
+
+    wants_stream = force or any(
+        value is not None
+        for value in (args.batch_size, args.max_resident_rows,
+                      getattr(args, "spill_dir", None))
+    )
+    if not wants_stream:
+        return None
+    return ExecutionBudget(
+        batch_size=(
+            args.batch_size if args.batch_size is not None
+            else DEFAULT_BATCH_SIZE
+        ),
+        max_resident_rows=args.max_resident_rows,
+        spill_dir=getattr(args, "spill_dir", None),
+    )
+
+
+def _cmd_run(args) -> int:
+    from repro.engine import Executor
+    from repro.engine.tracing import TracingExecutor
+    from repro.io.atomic import atomic_write_json
+
+    workflow = load(args.workflow)
+    with open(args.data, encoding="utf-8") as handle:
+        source_data = json.load(handle)
+    budget = _budget_from_args(args, force=args.stream)
+    executor = TracingExecutor() if args.trace else Executor()
+    result = executor.run(workflow, source_data, budget=budget)
+    for name in sorted(result.targets):
+        print(f"target {name}: {len(result.targets[name])} row(s)")
+    print(f"rows processed: {result.stats.total_rows_processed}")
+    if result.streaming is not None:
+        streaming = result.streaming
+        budget_note = (
+            f" (budget {streaming.max_resident_rows})"
+            if streaming.max_resident_rows is not None
+            else ""
+        )
+        print(
+            f"streaming: batch size {streaming.batch_size}, peak resident "
+            f"rows {streaming.peak_resident_rows}{budget_note}, "
+            f"{streaming.spilled_rows} row(s) spilled"
+        )
+    if args.trace:
+        print(executor.last_trace.render())
+    if args.output:
+        atomic_write_json(args.output, result.targets, sort_keys=False)
+        print(f"target flows written to {args.output}")
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     # Imported lazily: the fuzz stack pulls in the generator and engine,
     # which the file-based subcommands never need.
@@ -234,6 +345,7 @@ def _cmd_fuzz(args) -> int:
         data_seed=args.data_seed,
         include_packaging=not args.no_packaging,
         oracle=OracleConfig(rel_tol=args.rel_tol),
+        execution_budget=_budget_from_args(args),
     )
     report = run_fuzz(
         config,
@@ -252,6 +364,7 @@ _HANDLERS = {
     "render": _cmd_render,
     "lint": _cmd_lint,
     "impact": _cmd_impact,
+    "run": _cmd_run,
     "fuzz": _cmd_fuzz,
 }
 

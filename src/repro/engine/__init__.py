@@ -1,6 +1,14 @@
 """Execution engine: runs ETL workflows on in-memory data."""
 
+from repro.engine.batches import (
+    DEFAULT_BATCH_SIZE,
+    ExecutionBudget,
+    ResidentLedger,
+    SpillableRowBuffer,
+    StreamingMetrics,
+)
 from repro.engine.calibrate import (
+    CalibrationWarning,
     apply_selectivities,
     calibrate_workflow,
     measure_selectivities,
@@ -8,9 +16,15 @@ from repro.engine.calibrate import (
 from repro.engine.checkpoint import (
     CheckpointingExecutor,
     CheckpointStore,
+    PartialCheckpoint,
     SimulatedFailure,
 )
-from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
+from repro.engine.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    Executor,
+    iter_components,
+)
 from repro.engine.operators import (
     EngineContext,
     OperatorRegistry,
@@ -18,15 +32,28 @@ from repro.engine.operators import (
     default_scalar_functions,
 )
 from repro.engine.rows import Row, as_multiset, freeze_row
-from repro.engine.validate import RunEquivalenceReport, empirically_equivalent
+from repro.engine.validate import (
+    RunEquivalenceReport,
+    StreamingConformanceReport,
+    empirically_equivalent,
+    streaming_matches_materializing,
+)
 
 __all__ = [
     "Executor",
     "ExecutionResult",
     "ExecutionStats",
+    "iter_components",
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionBudget",
+    "ResidentLedger",
+    "SpillableRowBuffer",
+    "StreamingMetrics",
     "CheckpointingExecutor",
     "CheckpointStore",
+    "PartialCheckpoint",
     "SimulatedFailure",
+    "CalibrationWarning",
     "measure_selectivities",
     "apply_selectivities",
     "calibrate_workflow",
@@ -38,5 +65,7 @@ __all__ = [
     "freeze_row",
     "as_multiset",
     "RunEquivalenceReport",
+    "StreamingConformanceReport",
     "empirically_equivalent",
+    "streaming_matches_materializing",
 ]

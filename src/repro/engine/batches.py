@@ -1,0 +1,273 @@
+"""Batching primitives for the streaming execution engine.
+
+The streaming executor (:mod:`repro.engine.streaming`) moves rows through
+the workflow in fixed-size chunks instead of materializing every
+intermediate flow.  This module holds the pieces that are useful on their
+own:
+
+* :class:`ExecutionBudget` — the caller-facing knob accepted by
+  :meth:`repro.engine.executor.Executor.run`;
+* :class:`ResidentLedger` — run-wide accounting of *resident rows* (rows
+  the engine is currently holding in memory) with per-owner peaks;
+* :class:`SpillableRowBuffer` — an append-only row store that overflows
+  to disk once the run exceeds its resident-row budget;
+* :func:`iter_batches` / :func:`rebatch` — chunking helpers.
+
+Accounting model
+----------------
+"Resident rows" counts the engine's own working state: the source batch
+currently in flight, batches emitted by blocking operators, buffered
+fan-out flows, and blocking-operator accumulator entries (aggregation
+groups, dedup survivors, join build rows, difference/intersection
+counters).  Rows held by *derived* in-chain batches are bounded by the
+source batch and are not double-counted; the final target lists returned
+in :class:`~repro.engine.executor.ExecutionResult` are part of the API
+contract and are likewise not charged against the budget.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.engine.rows import Row
+from repro.exceptions import ExecutionError
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "ExecutionBudget",
+    "ResidentLedger",
+    "SpillableRowBuffer",
+    "StreamingMetrics",
+    "iter_batches",
+    "rebatch",
+]
+
+#: Default rows per batch for the streaming engine.
+DEFAULT_BATCH_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class ExecutionBudget:
+    """What the streaming engine may hold in memory, and where to spill.
+
+    Attributes:
+        batch_size: rows per pipeline chunk (default 4096).
+        max_resident_rows: soft ceiling on resident rows.  Spillable
+            buffers flush to disk once the run is over this ceiling;
+            non-spillable accumulator state (e.g. aggregation groups) is
+            counted honestly but cannot shrink below its natural size.
+            ``None`` disables spilling and only tracks the peak.
+        spill_dir: directory for spill files; created on demand.  Without
+            it, exceeding ``max_resident_rows`` keeps rows in memory (the
+            ledger still records the true peak).
+    """
+
+    batch_size: int = DEFAULT_BATCH_SIZE
+    max_resident_rows: int | None = None
+    spill_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ExecutionError(
+                f"batch_size must be at least 1, got {self.batch_size}"
+            )
+        if self.max_resident_rows is not None and self.max_resident_rows < 1:
+            raise ExecutionError(
+                f"max_resident_rows must be at least 1, got "
+                f"{self.max_resident_rows}"
+            )
+
+
+class ResidentLedger:
+    """Run-wide resident-row accounting with per-owner peaks.
+
+    Owners are node/activity ids; :meth:`acquire` / :meth:`release` are
+    called by the streaming operators as rows enter and leave the engine's
+    working state.  The global peak is what a run's
+    :class:`StreamingMetrics` reports and what the bounded-memory bench
+    asserts against the budget.
+    """
+
+    def __init__(self, limit: int | None = None):
+        self.limit = limit
+        self.current = 0
+        self.peak = 0
+        self.spilled_rows = 0
+        self._owner_current: dict[str, int] = {}
+        self._owner_peak: dict[str, int] = {}
+
+    def acquire(self, owner: str, rows: int) -> None:
+        if rows <= 0:
+            return
+        self.current += rows
+        if self.current > self.peak:
+            self.peak = self.current
+        held = self._owner_current.get(owner, 0) + rows
+        self._owner_current[owner] = held
+        if held > self._owner_peak.get(owner, 0):
+            self._owner_peak[owner] = held
+
+    def release(self, owner: str, rows: int) -> None:
+        if rows <= 0:
+            return
+        self.current -= rows
+        self._owner_current[owner] = self._owner_current.get(owner, 0) - rows
+
+    def note_spill(self, rows: int) -> None:
+        self.spilled_rows += rows
+
+    @property
+    def over_budget(self) -> bool:
+        return self.limit is not None and self.current > self.limit
+
+    def peak_for(self, owner: str) -> int:
+        return self._owner_peak.get(owner, 0)
+
+
+class SpillableRowBuffer:
+    """An append-only row store that spills to disk past the row budget.
+
+    Appends go to an in-memory tail; whenever the run's ledger reports the
+    budget exceeded (and a spill directory is configured), the tail is
+    flushed to a pickle-framed spill file.  Iteration replays the spilled
+    frames followed by the in-memory tail, preserving append order, so a
+    buffer behaves exactly like the list it replaces.
+
+    The buffer freezes on first read: the accumulate phase of a blocking
+    operator is strictly before its emit phase, so appending after a read
+    is a programming error, not a use case.
+    """
+
+    def __init__(
+        self,
+        ledger: ResidentLedger,
+        owner: str,
+        spill_dir: str | None = None,
+    ):
+        self._ledger = ledger
+        self._owner = owner
+        self._spill_dir = spill_dir
+        self._memory: list[Row] = []
+        self._spill_path: str | None = None
+        self._spilled_count = 0
+        self._frozen = False
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self._spilled_count + len(self._memory)
+
+    @property
+    def spilled(self) -> bool:
+        return self._spilled_count > 0
+
+    def extend(self, rows: Sequence[Row]) -> None:
+        if self._frozen:
+            raise ExecutionError(
+                f"buffer for {self._owner!r} is frozen (already being read)"
+            )
+        if (
+            self._spill_dir is not None
+            and self._ledger.limit is not None
+            and self._memory
+            and self._ledger.current + len(rows) > self._ledger.limit
+        ):
+            # Shed what we already hold *before* admitting the new batch,
+            # so the buffer itself never pushes the run past its budget.
+            self._flush()
+        self._memory.extend(rows)
+        self._ledger.acquire(self._owner, len(rows))
+        if self._ledger.over_budget and self._spill_dir is not None:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._memory:
+            return
+        if self._spill_path is None:
+            os.makedirs(self._spill_dir, exist_ok=True)
+            fd, self._spill_path = tempfile.mkstemp(
+                prefix=f".{self._owner.replace(os.sep, '_')}.",
+                suffix=".spill",
+                dir=self._spill_dir,
+            )
+            os.close(fd)
+        with open(self._spill_path, "ab") as handle:
+            pickle.dump(self._memory, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        flushed = len(self._memory)
+        self._spilled_count += flushed
+        self._ledger.release(self._owner, flushed)
+        self._ledger.note_spill(flushed)
+        self._memory = []
+
+    def rows(self) -> Iterator[Row]:
+        """All rows in append order (spilled frames first, then memory)."""
+        self._frozen = True
+        if self._spill_path is not None:
+            with open(self._spill_path, "rb") as handle:
+                while True:
+                    try:
+                        frame = pickle.load(handle)
+                    except EOFError:
+                        break
+                    yield from frame
+        yield from self._memory
+
+    def batches(self, batch_size: int) -> Iterator[list[Row]]:
+        """The rows re-chunked to ``batch_size``; replayed disk frames are
+        charged to the ledger only while in flight."""
+        for batch in rebatch(self.rows(), batch_size):
+            yield batch
+
+    def close(self) -> None:
+        """Release memory accounting and delete the spill file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._ledger.release(self._owner, len(self._memory))
+        self._memory = []
+        if self._spill_path is not None:
+            try:
+                os.remove(self._spill_path)
+            except OSError:
+                pass
+            self._spill_path = None
+
+
+@dataclass
+class StreamingMetrics:
+    """What one streaming run measured about itself."""
+
+    batch_size: int
+    max_resident_rows: int | None
+    peak_resident_rows: int = 0
+    spilled_rows: int = 0
+    #: Batches processed per (component) activity id.
+    batches_by_activity: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def within_budget(self) -> bool:
+        return (
+            self.max_resident_rows is None
+            or self.peak_resident_rows <= self.max_resident_rows
+        )
+
+
+def iter_batches(rows: Sequence[Row], batch_size: int) -> Iterator[list[Row]]:
+    """``rows`` chunked into lists of at most ``batch_size``."""
+    for start in range(0, len(rows), batch_size):
+        yield list(rows[start : start + batch_size])
+
+
+def rebatch(rows: Iterable[Row], batch_size: int) -> Iterator[list[Row]]:
+    """Re-chunk an arbitrary row iterable into ``batch_size`` lists."""
+    batch: list[Row] = []
+    for row in rows:
+        batch.append(row)
+        if len(batch) >= batch_size:
+            yield batch
+            batch = []
+    if batch:
+        yield batch

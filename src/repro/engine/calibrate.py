@@ -10,24 +10,32 @@ differ only in their ``selectivity``.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Mapping
 
 from repro.core.activity import Activity, CompositeActivity
 from repro.core.workflow import ETLWorkflow, Node
-from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.executor import ExecutionStats, Executor, iter_components
 from repro.engine.rows import Row
 
 __all__ = [
+    "CalibrationWarning",
     "measure_selectivities",
     "apply_selectivities",
     "calibrate_workflow",
 ]
 
 
+class CalibrationWarning(UserWarning):
+    """A calibration run could not measure some activity's selectivity."""
+
+
 def _ratio(stats: ExecutionStats, activity: Activity) -> float | None:
     processed = stats.rows_processed.get(activity.id)
     produced = stats.rows_output.get(activity.id)
-    if not processed:
+    if not processed or produced is None:
+        # No processed rows, or a processed count without a recorded
+        # output (partial stats from an aborted run): unmeasurable.
         return None
     return produced / processed
 
@@ -44,22 +52,31 @@ def measure_selectivities(
     the left input), so only unary activities — where selectivity is
     unambiguously output/input — are measured; binary activities keep
     their declared values.
+
+    Activities the sample never exercised (zero processed rows) cannot be
+    measured; they keep their declared selectivity and a
+    :class:`CalibrationWarning` is emitted so the staleness is visible
+    instead of silent.
     """
     executor = executor if executor is not None else Executor()
     stats = executor.run(workflow, source_data).stats
     measured: dict[str, float] = {}
     for activity in workflow.activities():
-        components = (
-            activity.components
-            if isinstance(activity, CompositeActivity)
-            else (activity,)
-        )
-        for component in components:
+        for component in iter_components(activity):
             if not component.is_unary:
                 continue
             ratio = _ratio(stats, component)
             if ratio is not None:
                 measured[component.id] = ratio
+            else:
+                warnings.warn(
+                    f"activity {component.id!r} ({component.template.name}) "
+                    f"could not be measured on the calibration sample "
+                    f"(zero processed rows or no recorded output); keeping "
+                    f"its declared selectivity {component.selectivity}",
+                    CalibrationWarning,
+                    stacklevel=2,
+                )
     return measured
 
 

@@ -7,10 +7,20 @@ work).  :class:`CheckpointingExecutor` persists each node's output flow
 into a :class:`CheckpointStore` as it completes; a re-run against the
 same store skips every checkpointed node and recomputes only the rest.
 
-Failures are injected by node id (``fail_before``), which makes the
-recovery property mechanically testable: for *any* failure point, failing
-+ resuming must produce exactly the full run's targets while recomputing
-only the nodes that had not completed.
+With an :class:`~repro.engine.batches.ExecutionBudget`, checkpointing is
+**batch-granular**: each node's output is appended to a
+:class:`PartialCheckpoint` one batch at a time, so a failure mid-node
+leaves a durable prefix.  On resume, a row-wise node (every component of
+kind FILTER/FUNCTION) keeps its prefix and recomputes only the suffix of
+input rows it had not consumed; blocking and binary nodes discard the
+partial and recompute whole (their accumulator state is not captured by
+output batches alone).
+
+Failures are injected by node id (``fail_before``) or by batch position
+(``fail_after=(node_id, n)`` — die after the node's *n*-th output batch
+is appended), which makes the recovery property mechanically testable:
+for *any* failure point, failing + resuming must produce exactly the full
+run's targets while recomputing only the work that had not completed.
 """
 
 from __future__ import annotations
@@ -18,21 +28,58 @@ from __future__ import annotations
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 
+from repro.core.activity import Activity
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow
-from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
+from repro.engine.batches import ExecutionBudget, iter_batches
+from repro.engine.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    Executor,
+    iter_components,
+)
 from repro.engine.rows import Row, check_rows_match_schema
 from repro.exceptions import ExecutionError
 
-__all__ = ["SimulatedFailure", "CheckpointStore", "CheckpointingExecutor"]
+__all__ = [
+    "SimulatedFailure",
+    "PartialCheckpoint",
+    "CheckpointStore",
+    "CheckpointingExecutor",
+]
 
 
 class SimulatedFailure(ExecutionError):
     """Raised when execution reaches an injected failure point."""
 
-    def __init__(self, node_id: str):
-        super().__init__(f"simulated failure before node {node_id}")
+    def __init__(self, node_id: str, after_batches: int | None = None):
+        if after_batches is None:
+            super().__init__(f"simulated failure before node {node_id}")
+        else:
+            super().__init__(
+                f"simulated failure after batch {after_batches} "
+                f"of node {node_id}"
+            )
         self.node_id = node_id
+        self.after_batches = after_batches
+
+
+@dataclass
+class PartialCheckpoint:
+    """The durable prefix of one node's output, written batch by batch.
+
+    ``consumed_rows`` is how many *input* rows produced those batches —
+    the resume offset for row-wise nodes.  ``None`` marks the partial as
+    non-resumable (blocking/binary node): its batches are only a crash
+    artifact and the node recomputes whole.
+    """
+
+    batches: list[list[Row]] = field(default_factory=list)
+    consumed_rows: int | None = 0
+
+    @property
+    def rows(self) -> list[Row]:
+        return [row for batch in self.batches for row in batch]
 
 
 @dataclass
@@ -40,18 +87,37 @@ class CheckpointStore:
     """Per-node output flows of (partially) completed runs."""
 
     flows: dict[str, list[Row]] = field(default_factory=dict)
+    partials: dict[str, PartialCheckpoint] = field(default_factory=dict)
 
     def __contains__(self, node_id: object) -> bool:
         return node_id in self.flows
 
     def save(self, node_id: str, rows: list[Row]) -> None:
         self.flows[node_id] = list(rows)
+        # A completed node's partial is subsumed by the full flow.
+        self.partials.pop(node_id, None)
 
     def restore(self, node_id: str) -> list[Row]:
         return list(self.flows[node_id])
 
+    def begin_partial(self, node_id: str, resumable: bool) -> PartialCheckpoint:
+        partial = PartialCheckpoint(consumed_rows=0 if resumable else None)
+        self.partials[node_id] = partial
+        return partial
+
+    def append_partial(
+        self,
+        partial: PartialCheckpoint,
+        batch: list[Row],
+        consumed_rows: int | None,
+    ) -> None:
+        partial.batches.append(list(batch))
+        if partial.consumed_rows is not None:
+            partial.consumed_rows = consumed_rows
+
     def clear(self) -> None:
         self.flows.clear()
+        self.partials.clear()
 
     @property
     def completed_nodes(self) -> frozenset[str]:
@@ -61,10 +127,12 @@ class CheckpointStore:
 class CheckpointingExecutor(Executor):
     """An :class:`Executor` that checkpoints node outputs and resumes.
 
-    ``run`` accepts a :class:`CheckpointStore` (reused across attempts)
-    and an optional ``fail_before`` node id that aborts the run just
-    before that node executes — everything upstream is already
-    checkpointed, so the next call resumes from there.
+    ``run`` accepts a :class:`CheckpointStore` (reused across attempts),
+    an optional ``fail_before`` node id that aborts the run just before
+    that node executes, and — when a ``budget`` sets a batch size — an
+    optional ``fail_after=(node_id, n)`` that aborts after the node's
+    *n*-th output batch was durably appended.  Everything already saved
+    (including partial row-wise prefixes) is reused by the next call.
     """
 
     def run(
@@ -74,10 +142,17 @@ class CheckpointingExecutor(Executor):
         check_schemas: bool = True,
         checkpoints: CheckpointStore | None = None,
         fail_before: str | None = None,
+        fail_after: tuple[str, int] | None = None,
+        budget: ExecutionBudget | None = None,
     ) -> ExecutionResult:
         workflow.validate()
         workflow.propagate_schemas()
         store = checkpoints if checkpoints is not None else CheckpointStore()
+        budget = budget if budget is not None else self.default_budget
+        if fail_after is not None and budget is None:
+            raise ExecutionError(
+                "fail_after requires a budget (batch-granular mode)"
+            )
 
         flows: dict[object, list[Row]] = {}
         stats = ExecutionStats()
@@ -110,6 +185,77 @@ class CheckpointingExecutor(Executor):
                         targets[node.name] = flows[node]
             else:
                 inputs = tuple(flows[p] for p in workflow.providers(node))
-                flows[node] = self._run_activity(node, inputs, stats)
+                if budget is None:
+                    flows[node] = self._run_activity(node, inputs, stats)
+                else:
+                    flows[node] = self._run_activity_batched(
+                        node, inputs, stats, store, budget, fail_after
+                    )
             store.save(node.id, flows[node])
         return ExecutionResult(targets=targets, stats=stats)
+
+    def _run_activity_batched(
+        self,
+        activity: Activity,
+        inputs: tuple[list[Row], ...],
+        stats: ExecutionStats,
+        store: CheckpointStore,
+        budget: ExecutionBudget,
+        fail_after: tuple[str, int] | None,
+    ) -> list[Row]:
+        """Run one node, appending its output to a partial checkpoint
+        one batch at a time (and resuming a row-wise prefix if present)."""
+        components = tuple(iter_components(activity))
+        from repro.engine.streaming import is_row_wise
+
+        row_wise = activity.is_unary and all(
+            is_row_wise(component) for component in components
+        )
+        fail_at = (
+            fail_after[1]
+            if fail_after is not None and fail_after[0] == activity.id
+            else None
+        )
+
+        partial = store.partials.get(activity.id)
+        if (
+            partial is not None
+            and row_wise
+            and partial.consumed_rows is not None
+        ):
+            # Durable prefix from the failed attempt: keep it, recompute
+            # only the input suffix it had not consumed.
+            start = partial.consumed_rows
+        else:
+            partial = store.begin_partial(activity.id, resumable=row_wise)
+            start = 0
+
+        appended = 0
+        if row_wise:
+            flow = inputs[0]
+            for offset in range(start, len(flow), budget.batch_size):
+                batch = flow[offset : offset + budget.batch_size]
+                out = batch
+                for component in components:
+                    operator = self.registry.get(component.template.name)
+                    produced = operator(component, (out,), self.context)
+                    stats.record(component.id, len(out), len(produced))
+                    out = produced
+                store.append_partial(partial, out, offset + len(batch))
+                appended += 1
+                if fail_at is not None and appended >= fail_at:
+                    raise SimulatedFailure(activity.id, after_batches=appended)
+            return partial.rows
+
+        # Blocking/binary node: compute whole (accumulator state is not
+        # reconstructible from output batches), then persist the output
+        # batch-by-batch so the failure injection point still exists.
+        produced = self._run_activity(activity, inputs, stats)
+        for batch in iter_batches(produced, budget.batch_size):
+            store.append_partial(partial, batch, None)
+            appended += 1
+            if fail_at is not None and appended >= fail_at:
+                raise SimulatedFailure(activity.id, after_batches=appended)
+        return produced
+    # NB: blocking nodes with empty output never hit a fail_after point —
+    # there is no batch boundary to fail on.

@@ -7,16 +7,31 @@ the operator registered for its template, and collects the rows arriving
 at each target recordset.  It also counts the rows every activity
 processes — the empirical counterpart of the paper's processed-rows cost
 model, used by the ablation benchmarks to validate the model.
+
+Two execution paths share that contract:
+
+* **materializing** (the default): every intermediate flow is a full
+  Python list — simple, and fine for test-sized data;
+* **streaming** (pass an :class:`~repro.engine.batches.ExecutionBudget`):
+  rows move through the graph in fixed-size batches via generator
+  pipelines, blocking operators accumulate-then-emit with optional
+  spill-to-disk, and memory is bounded by the budget instead of the data.
+  Results and :class:`ExecutionStats` are identical between the paths.
+
+Composite (MER'd) activities are unfolded through one shared helper,
+:func:`iter_components`, so both paths report member-level row counts
+identically.
 """
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.activity import Activity, CompositeActivity
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow
+from repro.engine.batches import ExecutionBudget, StreamingMetrics
 from repro.engine.operators import (
     EngineContext,
     OperatorRegistry,
@@ -26,7 +41,27 @@ from repro.engine.operators import (
 from repro.engine.rows import Row, check_rows_match_schema
 from repro.exceptions import ExecutionError
 
-__all__ = ["ExecutionStats", "ExecutionResult", "Executor"]
+__all__ = [
+    "ExecutionStats",
+    "ExecutionResult",
+    "Executor",
+    "iter_components",
+]
+
+
+def iter_components(activity: Activity) -> Iterator[Activity]:
+    """The executable parts of an activity, in chain order.
+
+    A plain activity yields itself; a :class:`CompositeActivity` yields
+    its (recursively flattened) members.  Both execution paths and the
+    fuzz oracles walk composites through this single helper, so packaged
+    groups report member-level stats consistently everywhere.
+    """
+    if isinstance(activity, CompositeActivity):
+        for component in activity.components:
+            yield from iter_components(component)
+    else:
+        yield activity
 
 
 @dataclass
@@ -58,11 +93,15 @@ class ExecutionResult:
     ``collect_rejects=True``: for every *filter* activity, the rows it
     dropped — the reject streams real ETL deployments route to error
     tables for inspection and replay.
+
+    ``streaming`` is populated by streaming runs only: the batch size the
+    run used, its peak resident rows, and how many rows were spilled.
     """
 
     targets: dict[str, list[Row]]
     stats: ExecutionStats
     rejects: dict[str, list[Row]] = field(default_factory=dict)
+    streaming: StreamingMetrics | None = None
 
 
 class Executor:
@@ -73,17 +112,22 @@ class Executor:
             to a context holding the builtin scalar function library.
         registry: template-name -> operator mapping; defaults to the
             builtin operators.
+        budget: default :class:`ExecutionBudget` applied to every
+            :meth:`run` that does not pass its own — an executor built
+            with a budget streams by default.
     """
 
     def __init__(
         self,
         context: EngineContext | None = None,
         registry: OperatorRegistry | None = None,
+        budget: ExecutionBudget | None = None,
     ):
         if context is None:
             context = EngineContext(scalar_functions=default_scalar_functions())
         self.context = context
         self.registry = registry if registry is not None else default_registry()
+        self.default_budget = budget
 
     def run(
         self,
@@ -91,6 +135,7 @@ class Executor:
         source_data: Mapping[str, list[Row]],
         check_schemas: bool = True,
         collect_rejects: bool = False,
+        budget: ExecutionBudget | None = None,
     ) -> ExecutionResult:
         """Execute ``workflow`` on ``source_data`` (keyed by source name).
 
@@ -99,7 +144,22 @@ class Executor:
         mismatches at the boundary instead of deep inside an operator.
         With ``collect_rejects``, every filter activity's dropped rows are
         gathered into ``ExecutionResult.rejects`` (keyed by activity id).
+        With a ``budget`` (or a default budget on the executor), rows are
+        streamed through the graph in batches instead of materialized.
         """
+        budget = budget if budget is not None else self.default_budget
+        if budget is not None:
+            from repro.engine.streaming import execute_streaming
+
+            return execute_streaming(
+                self,
+                workflow,
+                source_data,
+                budget,
+                check_schemas=check_schemas,
+                collect_rejects=collect_rejects,
+            )
+
         workflow.validate()
         workflow.propagate_schemas()
 
@@ -135,6 +195,17 @@ class Executor:
         return ExecutionResult(targets=targets, stats=stats, rejects=rejects)
 
     @staticmethod
+    def is_filter_like(activity: Activity) -> bool:
+        """True for plain filters and all-filter composites — the
+        activities whose dropped rows :meth:`run` can report as rejects."""
+        from repro.templates.base import ActivityKind
+
+        return all(
+            component.kind is ActivityKind.FILTER
+            for component in iter_components(activity)
+        )
+
+    @staticmethod
     def _collect_rejects(
         activity: Activity,
         inputs: tuple[list[Row], ...],
@@ -149,18 +220,9 @@ class Executor:
         """
         from collections import Counter
 
-        from repro.core.activity import CompositeActivity
         from repro.engine.rows import freeze_row
-        from repro.templates.base import ActivityKind
 
-        if isinstance(activity, CompositeActivity):
-            is_filter = all(
-                component.kind is ActivityKind.FILTER
-                for component in activity.components
-            )
-        else:
-            is_filter = activity.kind is ActivityKind.FILTER
-        if not is_filter:
+        if not Executor.is_filter_like(activity):
             return
         kept = Counter(freeze_row(row) for row in produced)
         dropped: list[Row] = []
@@ -178,16 +240,38 @@ class Executor:
         inputs: tuple[list[Row], ...],
         stats: ExecutionStats,
     ) -> list[Row]:
-        if isinstance(activity, CompositeActivity):
-            flow = inputs[0]
-            for component in activity.components:
-                flow = self._run_activity(component, (flow,), stats)
-            return flow
-        operator = self.registry.get(activity.template.name)
-        produced = operator(activity, inputs, self.context)
+        """Run one (possibly composite) node by chaining its components."""
+        if not isinstance(activity, CompositeActivity):
+            return self._run_component(activity, inputs, stats)
+        flow = inputs[0]
+        for component in iter_components(activity):
+            flow = self._run_component(component, (flow,), stats)
+        return flow
+
+    def _run_component(
+        self,
+        component: Activity,
+        inputs: tuple[list[Row], ...],
+        stats: ExecutionStats,
+    ) -> list[Row]:
+        """Run one non-composite activity (the unit both paths account in)."""
+        operator = self.registry.get(component.template.name)
+        produced = operator(component, inputs, self.context)
         stats.record(
-            activity.id,
+            component.id,
             processed=sum(len(flow) for flow in inputs),
             produced=len(produced),
         )
         return produced
+
+    def _streaming_finished(
+        self,
+        metrics: "dict[str, object]",
+        ledger: object,
+        total_seconds: float,
+    ) -> None:
+        """Hook called once per streaming run with per-component metrics.
+
+        The base executor ignores it; :class:`~repro.engine.tracing.
+        TracingExecutor` turns the metrics into a :class:`TraceReport`.
+        """

@@ -36,10 +36,17 @@ def as_multiset(rows: Iterable[Mapping[str, Any]]) -> Counter:
     return Counter(freeze_row(row) for row in rows)
 
 
-def check_rows_match_schema(rows: Iterable[Row], schema: Schema, where: str) -> None:
-    """Verify every row carries exactly the schema's attributes."""
+def check_rows_match_schema(
+    rows: Iterable[Row], schema: Schema, where: str, start_index: int = 0
+) -> None:
+    """Verify every row carries exactly the schema's attributes.
+
+    ``start_index`` offsets the row number reported in the error message —
+    the streaming engine checks one batch at a time but reports the row's
+    absolute position in the source flow.
+    """
     expected = schema.as_set
-    for index, row in enumerate(rows):
+    for index, row in enumerate(rows, start=start_index):
         present = set(row)
         if present != expected:
             missing = sorted(expected - present)

@@ -1,0 +1,605 @@
+"""Streaming batch-pipelined workflow execution.
+
+The materializing executor holds every intermediate flow as a full list,
+so memory — not processed rows — becomes the binding constraint long
+before night-window-sized loads.  This module executes the same workflows
+as generator pipelines over fixed-size row batches:
+
+* **row-wise activities** (kind FILTER / FUNCTION — including every
+  custom template that declares those kinds) transform one batch at a
+  time, so a linear chain keeps only the batch in flight;
+* **blocking activities** run an explicit *accumulate-then-emit* phase:
+  aggregation and distinct fold batches into O(groups) accumulators,
+  join buffers its build side (spilling to disk past the resident-row
+  budget, then degrading to a block nested-loop probe — the same
+  feasibility split as ``physical/implementations.py``), and
+  difference/intersection fold the right input into a multiset counter;
+* **fan-out nodes** (several consumers) are drained into a
+  :class:`~repro.engine.batches.SpillableRowBuffer` each consumer replays;
+* custom blocking/binary templates fall back to accumulate-everything +
+  one call of their registered operator (correct, but unbounded — the
+  price of an opaque operator).
+
+The streaming path is row- and stats-identical to the materializing path:
+same target lists, same per-activity (member-level, for composites)
+``ExecutionStats`` counters.  That property is enforced by the
+equivalence test suite and the fuzz oracles.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass
+
+from repro.core.activity import Activity, CompositeActivity
+from repro.core.recordset import RecordSet
+from repro.core.workflow import ETLWorkflow, Node
+from repro.engine.batches import (
+    ExecutionBudget,
+    ResidentLedger,
+    SpillableRowBuffer,
+    StreamingMetrics,
+    iter_batches,
+    rebatch,
+)
+from repro.engine.executor import (
+    ExecutionResult,
+    ExecutionStats,
+    iter_components,
+)
+from repro.engine.operators import _AGGREGATE_KINDS
+from repro.engine.rows import Row, check_rows_match_schema, freeze_row
+from repro.exceptions import ExecutionError
+from repro.templates.base import ActivityKind
+
+__all__ = ["ComponentMetrics", "execute_streaming", "is_row_wise"]
+
+BatchIterator = Iterator[list[Row]]
+
+_ROW_WISE_KINDS = (ActivityKind.FILTER, ActivityKind.FUNCTION)
+
+
+def is_row_wise(component: Activity) -> bool:
+    """True when the component may be applied batch-by-batch.
+
+    FILTER and FUNCTION are row-wise *by the kind contract* (each output
+    row depends on exactly one input row), so this extends to custom
+    templates that declare those kinds.
+    """
+    return component.is_unary and component.kind in _ROW_WISE_KINDS
+
+
+@dataclass
+class ComponentMetrics:
+    """Per-component measurements of one streaming run."""
+
+    activity: Activity
+    rows_in: int = 0
+    rows_out: int = 0
+    batches: int = 0
+    seconds: float = 0.0
+
+
+class _StreamRun:
+    """One streaming execution: builds the pipeline, drains the targets."""
+
+    def __init__(
+        self,
+        executor,
+        workflow: ETLWorkflow,
+        source_data: Mapping[str, list[Row]],
+        budget: ExecutionBudget,
+        check_schemas: bool,
+        collect_rejects: bool,
+    ):
+        self.executor = executor
+        self.workflow = workflow
+        self.source_data = source_data
+        self.budget = budget
+        self.check_schemas = check_schemas
+        self.collect_rejects = collect_rejects
+        self.context = executor.context
+        self.registry = executor.registry
+        self.ledger = ResidentLedger(budget.max_resident_rows)
+        self.stats = ExecutionStats()
+        self.metrics: dict[str, ComponentMetrics] = {}
+        self.rejects: dict[str, list[Row]] = {}
+        self._buffers: list[SpillableRowBuffer] = []
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def metric(self, component: Activity) -> ComponentMetrics:
+        entry = self.metrics.get(component.id)
+        if entry is None:
+            entry = ComponentMetrics(activity=component)
+            self.metrics[component.id] = entry
+            # Materializing runs record every walked activity, even on
+            # empty flows; register eagerly so the key sets match.
+            self.stats.record(component.id, 0, 0)
+        return entry
+
+    def _record(
+        self,
+        metric: ComponentMetrics,
+        rows_in: int,
+        rows_out: int,
+        seconds: float,
+    ) -> None:
+        metric.rows_in += rows_in
+        metric.rows_out += rows_out
+        metric.batches += 1
+        metric.seconds += seconds
+        self.stats.record(metric.activity.id, rows_in, rows_out)
+
+    def _emit(self, owner: str, rows: Iterator[Row]) -> BatchIterator:
+        """Re-chunk emitted rows, charging each batch while in flight."""
+        for batch in rebatch(rows, self.budget.batch_size):
+            self.ledger.acquire(owner, len(batch))
+            try:
+                yield batch
+            finally:
+                self.ledger.release(owner, len(batch))
+
+    def _make_buffer(self, owner: str) -> SpillableRowBuffer:
+        buffer = SpillableRowBuffer(
+            self.ledger, owner, self.budget.spill_dir
+        )
+        self._buffers.append(buffer)
+        return buffer
+
+    # -- pipeline construction -------------------------------------------
+
+    def execute(self) -> ExecutionResult:
+        self.workflow.validate()
+        self.workflow.propagate_schemas()
+        started = time.perf_counter()
+        targets: dict[str, list[Row]] = {}
+        supply: dict[Node, list[BatchIterator]] = {}
+        try:
+            for node in self.workflow.topological_order():
+                iterator = self._build_node(node, supply)
+                if isinstance(node, RecordSet) and node.is_target:
+                    flow: list[Row] = []
+                    for batch in iterator:
+                        flow.extend(batch)
+                    targets[node.name] = flow
+                    continue
+                consumers = self.workflow.consumers(node)
+                if len(consumers) <= 1:
+                    supply[node] = [iterator]
+                else:
+                    # Fan-out: several consumers each need the full flow,
+                    # potentially at different times — drain into a
+                    # replayable (spillable) buffer.
+                    buffer = self._make_buffer(f"fanout:{node.id}")
+                    for batch in iterator:
+                        buffer.extend(batch)
+                    supply[node] = [
+                        buffer.batches(self.budget.batch_size)
+                        for _ in consumers
+                    ]
+        finally:
+            for buffer in self._buffers:
+                buffer.close()
+        elapsed = time.perf_counter() - started
+        self.executor._streaming_finished(self.metrics, self.ledger, elapsed)
+        metrics = StreamingMetrics(
+            batch_size=self.budget.batch_size,
+            max_resident_rows=self.budget.max_resident_rows,
+            peak_resident_rows=self.ledger.peak,
+            spilled_rows=self.ledger.spilled_rows,
+            batches_by_activity={
+                component_id: entry.batches
+                for component_id, entry in self.metrics.items()
+            },
+        )
+        return ExecutionResult(
+            targets=targets,
+            stats=self.stats,
+            rejects=self.rejects,
+            streaming=metrics,
+        )
+
+    def _claim(
+        self, supply: dict[Node, list[BatchIterator]], provider: Node
+    ) -> BatchIterator:
+        return supply[provider].pop()
+
+    def _build_node(
+        self, node: Node, supply: dict[Node, list[BatchIterator]]
+    ) -> BatchIterator:
+        if isinstance(node, RecordSet):
+            if node.is_source:
+                try:
+                    rows = self.source_data[node.name]
+                except KeyError:
+                    raise ExecutionError(
+                        f"no data supplied for source {node.name!r}"
+                    ) from None
+                return self._source_batches(node, rows)
+            return self._claim(supply, self.workflow.providers(node)[0])
+        input_iters = tuple(
+            self._claim(supply, provider)
+            for provider in self.workflow.providers(node)
+        )
+        return self._activity_iter(node, input_iters)
+
+    def _source_batches(self, node: RecordSet, rows: list[Row]) -> BatchIterator:
+        where = f"source {node.name}"
+        offset = 0
+        for batch in iter_batches(rows, self.budget.batch_size):
+            if self.check_schemas:
+                check_rows_match_schema(
+                    batch, node.schema, where, start_index=offset
+                )
+            offset += len(batch)
+            self.ledger.acquire(node.id, len(batch))
+            try:
+                yield batch
+            finally:
+                self.ledger.release(node.id, len(batch))
+
+    def _activity_iter(
+        self, activity: Activity, input_iters: tuple[BatchIterator, ...]
+    ) -> BatchIterator:
+        from repro.engine.executor import Executor
+
+        components = tuple(iter_components(activity))
+        if (
+            self.collect_rejects
+            and Executor.is_filter_like(activity)
+            and all(is_row_wise(component) for component in components)
+        ):
+            return self._filter_chain_with_rejects(
+                activity, components, input_iters[0]
+            )
+        if not isinstance(activity, CompositeActivity):
+            return self._component_iter(activity, input_iters)
+        iterator = input_iters[0]
+        for component in components:
+            iterator = self._component_iter(component, (iterator,))
+        return iterator
+
+    def _component_iter(
+        self, component: Activity, input_iters: tuple[BatchIterator, ...]
+    ) -> BatchIterator:
+        self.metric(component)  # register before any batch flows
+        if is_row_wise(component):
+            return self._rowwise(component, input_iters[0])
+        name = component.template.name
+        if name == "aggregation":
+            return self._aggregate(component, input_iters[0])
+        if name == "distinct":
+            return self._distinct(component, input_iters[0])
+        if name == "union":
+            return self._union(component, input_iters)
+        if name == "join":
+            return self._join(component, input_iters)
+        if name in ("difference", "intersection"):
+            return self._semi_anti(
+                component, input_iters, keep=(name == "intersection")
+            )
+        return self._fallback(component, input_iters)
+
+    # -- streaming operators ---------------------------------------------
+
+    def _rowwise(
+        self, component: Activity, upstream: BatchIterator
+    ) -> BatchIterator:
+        operator = self.registry.get(component.template.name)
+        metric = self.metric(component)
+        for batch in upstream:
+            begun = time.perf_counter()
+            out = operator(component, (batch,), self.context)
+            self._record(metric, len(batch), len(out), time.perf_counter() - begun)
+            if out:
+                yield out
+
+    def _filter_chain_with_rejects(
+        self,
+        activity: Activity,
+        components: tuple[Activity, ...],
+        upstream: BatchIterator,
+    ) -> BatchIterator:
+        """A row-wise filter chain that also reports its dropped rows.
+
+        Filters keep rows unmodified, so the per-batch bag difference
+        concatenates to exactly the materializing path's whole-flow diff.
+        """
+        stages = [
+            (
+                self.metric(component),
+                self.registry.get(component.template.name),
+            )
+            for component in components
+        ]
+        dropped = self.rejects.setdefault(activity.id, [])
+
+        def pipeline() -> BatchIterator:
+            for batch in upstream:
+                out = batch
+                for metric, operator in stages:
+                    begun = time.perf_counter()
+                    produced = operator(
+                        metric.activity, (out,), self.context
+                    )
+                    self._record(
+                        metric, len(out), len(produced),
+                        time.perf_counter() - begun,
+                    )
+                    out = produced
+                kept = Counter(freeze_row(row) for row in out)
+                for row in batch:
+                    frozen = freeze_row(row)
+                    if kept[frozen] > 0:
+                        kept[frozen] -= 1
+                    else:
+                        dropped.append(row)
+                if out:
+                    yield out
+
+        return pipeline()
+
+    def _aggregate(
+        self, component: Activity, upstream: BatchIterator
+    ) -> BatchIterator:
+        metric = self.metric(component)
+        group_by = tuple(component.params["group_by"])
+        measure = component.params["measure"]
+        out_attr = component.params["output"]
+        kind = component.params["agg"]
+        if kind not in _AGGREGATE_KINDS:
+            raise ExecutionError(
+                f"aggregation {component.id}: unknown aggregate {kind!r}"
+            )
+        # Per group: [non-null count, running sum, min, max].  All five
+        # aggregate kinds are decomposable over these, and the running
+        # updates apply in arrival order, so the emitted values are
+        # bit-identical to the materializing operator's.
+        groups: dict[tuple, list] = {}
+        try:
+            for batch in upstream:
+                begun = time.perf_counter()
+                for row in batch:
+                    key = tuple(row[attr] for attr in group_by)
+                    state = groups.get(key)
+                    if state is None:
+                        groups[key] = state = [0, 0, None, None]
+                        self.ledger.acquire(component.id, 1)
+                    value = row[measure]
+                    if value is not None:
+                        state[0] += 1
+                        state[1] += value
+                        if state[2] is None or value < state[2]:
+                            state[2] = value
+                        if state[3] is None or value > state[3]:
+                            state[3] = value
+                self._record(
+                    metric, len(batch), 0, time.perf_counter() - begun
+                )
+
+            def emit() -> Iterator[Row]:
+                for key in sorted(groups, key=repr):
+                    count, total, minimum, maximum = groups[key]
+                    if kind == "count":
+                        value = count
+                    elif count == 0:
+                        value = None
+                    elif kind == "sum":
+                        value = total
+                    elif kind == "min":
+                        value = minimum
+                    elif kind == "max":
+                        value = maximum
+                    else:  # avg
+                        value = total / count
+                    row = dict(zip(group_by, key))
+                    row[out_attr] = value
+                    yield row
+
+            for batch in self._emit(component.id, emit()):
+                begun = time.perf_counter()
+                self._record(metric, 0, len(batch), time.perf_counter() - begun)
+                yield batch
+        finally:
+            self.ledger.release(component.id, len(groups))
+
+    def _distinct(
+        self, component: Activity, upstream: BatchIterator
+    ) -> BatchIterator:
+        metric = self.metric(component)
+        keys = tuple(component.params["group_by"])
+        best: dict[tuple, tuple] = {}
+        survivors: dict[tuple, Row] = {}
+        try:
+            for batch in upstream:
+                begun = time.perf_counter()
+                for row in batch:
+                    group = tuple(row[k] for k in keys)
+                    frozen = freeze_row(row)
+                    current = best.get(group)
+                    if current is None:
+                        self.ledger.acquire(component.id, 1)
+                    if current is None or frozen < current:
+                        best[group] = frozen
+                        survivors[group] = row
+                self._record(
+                    metric, len(batch), 0, time.perf_counter() - begun
+                )
+            emitted = (
+                survivors[group] for group in sorted(best, key=repr)
+            )
+            for batch in self._emit(component.id, emitted):
+                self._record(metric, 0, len(batch), 0.0)
+                yield batch
+        finally:
+            self.ledger.release(component.id, len(best))
+
+    def _union(
+        self, component: Activity, input_iters: tuple[BatchIterator, ...]
+    ) -> BatchIterator:
+        metric = self.metric(component)
+        for upstream in input_iters:
+            for batch in upstream:
+                self._record(metric, len(batch), len(batch), 0.0)
+                yield batch
+
+    def _join(
+        self, component: Activity, input_iters: tuple[BatchIterator, ...]
+    ) -> BatchIterator:
+        metric = self.metric(component)
+        on = tuple(component.params["on"])
+        left, right = input_iters
+        buffer = self._make_buffer(component.id)
+        try:
+            for batch in right:
+                begun = time.perf_counter()
+                buffer.extend(batch)
+                self._record(metric, len(batch), 0, time.perf_counter() - begun)
+            if not buffer.spilled:
+                # Build side fits the budget: classic hash join (mirrors
+                # the `hash_join` feasibility rule in physical/).
+                index: dict[tuple, list[Row]] = {}
+                for row in buffer.rows():
+                    index.setdefault(
+                        tuple(row[a] for a in on), []
+                    ).append(row)
+                for batch in left:
+                    begun = time.perf_counter()
+                    out: list[Row] = []
+                    for row in batch:
+                        for match in index.get(
+                            tuple(row[a] for a in on), ()
+                        ):
+                            merged = dict(match)
+                            merged.update(row)
+                            out.append(merged)
+                    self._record(
+                        metric, len(batch), len(out),
+                        time.perf_counter() - begun,
+                    )
+                    if out:
+                        yield out
+            else:
+                # Build side spilled: block nested-loop probe — one scan
+                # of the spilled build side per probe batch, preserving
+                # the hash join's (left-major, right-arrival) output
+                # order exactly.
+                for batch in left:
+                    begun = time.perf_counter()
+                    probe_keys = [
+                        tuple(row[a] for a in on) for row in batch
+                    ]
+                    matches: list[list[Row]] = [[] for _ in batch]
+                    for build_row in buffer.rows():
+                        build_key = tuple(build_row[a] for a in on)
+                        for position, probe_key in enumerate(probe_keys):
+                            if probe_key == build_key:
+                                merged = dict(build_row)
+                                merged.update(batch[position])
+                                matches[position].append(merged)
+                    out = [row for rows in matches for row in rows]
+                    self._record(
+                        metric, len(batch), len(out),
+                        time.perf_counter() - begun,
+                    )
+                    if out:
+                        yield out
+        finally:
+            buffer.close()
+
+    def _semi_anti(
+        self,
+        component: Activity,
+        input_iters: tuple[BatchIterator, ...],
+        keep: bool,
+    ) -> BatchIterator:
+        """difference (``keep=False``) / intersection (``keep=True``)."""
+        metric = self.metric(component)
+        left, right = input_iters
+        counter: Counter = Counter()
+        acquired = 0
+        try:
+            for batch in right:
+                begun = time.perf_counter()
+                for row in batch:
+                    frozen = freeze_row(row)
+                    if counter[frozen] == 0:
+                        self.ledger.acquire(component.id, 1)
+                        acquired += 1
+                    counter[frozen] += 1
+                self._record(metric, len(batch), 0, time.perf_counter() - begun)
+            for batch in left:
+                begun = time.perf_counter()
+                out: list[Row] = []
+                for row in batch:
+                    frozen = freeze_row(row)
+                    if counter[frozen] > 0:
+                        counter[frozen] -= 1
+                        if keep:
+                            out.append(row)
+                    elif not keep:
+                        out.append(row)
+                self._record(
+                    metric, len(batch), len(out), time.perf_counter() - begun
+                )
+                if out:
+                    yield out
+        finally:
+            self.ledger.release(component.id, acquired)
+
+    def _fallback(
+        self, component: Activity, input_iters: tuple[BatchIterator, ...]
+    ) -> BatchIterator:
+        """Custom blocking/binary template: accumulate, apply, emit.
+
+        Correct for any registered operator, but the accumulate phase is
+        unbounded — an opaque operator gives the engine nothing to fold
+        incrementally.
+        """
+        operator = self.registry.get(component.template.name)
+        metric = self.metric(component)
+        inputs: list[list[Row]] = []
+        accumulated = 0
+        try:
+            for upstream in input_iters:
+                flow: list[Row] = []
+                for batch in upstream:
+                    begun = time.perf_counter()
+                    flow.extend(batch)
+                    self.ledger.acquire(component.id, len(batch))
+                    accumulated += len(batch)
+                    self._record(
+                        metric, len(batch), 0, time.perf_counter() - begun
+                    )
+                inputs.append(flow)
+            begun = time.perf_counter()
+            produced = operator(component, tuple(inputs), self.context)
+            self._record(
+                metric, 0, len(produced), time.perf_counter() - begun
+            )
+            yield from self._emit(component.id, iter(produced))
+        finally:
+            self.ledger.release(component.id, accumulated)
+
+
+def execute_streaming(
+    executor,
+    workflow: ETLWorkflow,
+    source_data: Mapping[str, list[Row]],
+    budget: ExecutionBudget,
+    check_schemas: bool = True,
+    collect_rejects: bool = False,
+) -> ExecutionResult:
+    """Run ``workflow`` through the streaming pipeline under ``budget``."""
+    run = _StreamRun(
+        executor,
+        workflow,
+        source_data,
+        budget,
+        check_schemas=check_schemas,
+        collect_rejects=collect_rejects,
+    )
+    return run.execute()

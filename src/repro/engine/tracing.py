@@ -6,6 +6,13 @@ measurements — rows in/out, per-activity duration, empirical selectivity
 model against real behaviour (which activity actually dominates?) and for
 the kind of night-window capacity planning the paper's introduction
 motivates.
+
+Tracing composes with both execution paths.  On the materializing path
+each component is timed around its operator call; on the streaming path
+(run with an :class:`~repro.engine.batches.ExecutionBudget`) the trace
+additionally reports how many batches each component processed and its
+peak resident rows, taken from the run's
+:class:`~repro.engine.batches.ResidentLedger`.
 """
 
 from __future__ import annotations
@@ -14,8 +21,9 @@ import time
 from collections.abc import Mapping
 from dataclasses import dataclass
 
-from repro.core.activity import Activity, CompositeActivity
+from repro.core.activity import Activity
 from repro.core.workflow import ETLWorkflow
+from repro.engine.batches import ExecutionBudget, ResidentLedger
 from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
 from repro.engine.rows import Row
 
@@ -24,7 +32,11 @@ __all__ = ["ActivityTrace", "TraceReport", "TracingExecutor"]
 
 @dataclass(frozen=True)
 class ActivityTrace:
-    """Measurements for one activity in one run."""
+    """Measurements for one activity in one run.
+
+    ``batches`` is 1 on the materializing path (the whole flow is one
+    chunk); ``peak_resident_rows`` is only known for streaming runs.
+    """
 
     activity_id: str
     name: str
@@ -32,6 +44,8 @@ class ActivityTrace:
     rows_in: int
     rows_out: int
     seconds: float
+    batches: int = 1
+    peak_resident_rows: int | None = None
 
     @property
     def selectivity(self) -> float | None:
@@ -53,7 +67,7 @@ class TraceReport:
     def render(self, top: int | None = None) -> str:
         lines = [
             f"{'activity':<10}{'template':<16}{'rows in':>9}{'rows out':>9}"
-            f"{'sel':>7}{'ms':>9}{'%time':>7}"
+            f"{'sel':>7}{'batches':>9}{'res.peak':>9}{'ms':>9}{'%time':>7}"
         ]
         rows = self.by_cost()
         if top is not None:
@@ -61,6 +75,11 @@ class TraceReport:
         for trace in rows:
             selectivity = (
                 f"{trace.selectivity:.2f}" if trace.selectivity is not None else "—"
+            )
+            peak = (
+                str(trace.peak_resident_rows)
+                if trace.peak_resident_rows is not None
+                else "—"
             )
             share = (
                 100.0 * trace.seconds / self.total_seconds
@@ -70,6 +89,7 @@ class TraceReport:
             lines.append(
                 f"{trace.activity_id:<10}{trace.template:<16}"
                 f"{trace.rows_in:>9}{trace.rows_out:>9}{selectivity:>7}"
+                f"{trace.batches:>9}{peak:>9}"
                 f"{1000 * trace.seconds:>9.2f}{share:>7.1f}"
             )
         return "\n".join(lines)
@@ -92,11 +112,19 @@ class TracingExecutor(Executor):
         workflow: ETLWorkflow,
         source_data: Mapping[str, list[Row]],
         check_schemas: bool = True,
+        collect_rejects: bool = False,
+        budget: ExecutionBudget | None = None,
     ) -> ExecutionResult:
         self._current = []
         started = time.perf_counter()
         try:
-            result = super().run(workflow, source_data, check_schemas)
+            result = super().run(
+                workflow,
+                source_data,
+                check_schemas=check_schemas,
+                collect_rejects=collect_rejects,
+                budget=budget,
+            )
         finally:
             elapsed = time.perf_counter() - started
             self.last_trace = TraceReport(
@@ -105,27 +133,44 @@ class TracingExecutor(Executor):
             self._current = None
         return result
 
-    def _run_activity(
+    def _run_component(
         self,
-        activity: Activity,
+        component: Activity,
         inputs: tuple[list[Row], ...],
         stats: ExecutionStats,
     ) -> list[Row]:
-        if isinstance(activity, CompositeActivity):
-            # Components are traced individually by the recursive calls.
-            return super()._run_activity(activity, inputs, stats)
         started = time.perf_counter()
-        produced = super()._run_activity(activity, inputs, stats)
+        produced = super()._run_component(component, inputs, stats)
         elapsed = time.perf_counter() - started
         if self._current is not None:
             self._current.append(
                 ActivityTrace(
-                    activity_id=activity.id,
-                    name=activity.name,
-                    template=activity.template.name,
+                    activity_id=component.id,
+                    name=component.name,
+                    template=component.template.name,
                     rows_in=sum(len(flow) for flow in inputs),
                     rows_out=len(produced),
                     seconds=elapsed,
                 )
             )
         return produced
+
+    def _streaming_finished(
+        self, metrics, ledger: ResidentLedger, total_seconds: float
+    ) -> None:
+        """Turn a streaming run's per-component metrics into traces."""
+        if self._current is None:
+            return
+        for component_id, entry in metrics.items():
+            self._current.append(
+                ActivityTrace(
+                    activity_id=component_id,
+                    name=entry.activity.name,
+                    template=entry.activity.template.name,
+                    rows_in=entry.rows_in,
+                    rows_out=entry.rows_out,
+                    seconds=entry.seconds,
+                    batches=entry.batches,
+                    peak_resident_rows=ledger.peak_for(component_id),
+                )
+            )

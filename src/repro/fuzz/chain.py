@@ -30,6 +30,7 @@ from repro.core.transitions import candidate_transitions
 from repro.core.transitions.base import Transition
 from repro.core.transitions.merge import Merge, Split
 from repro.core.workflow import ETLWorkflow
+from repro.engine.batches import ExecutionBudget
 from repro.engine.executor import Executor
 from repro.exceptions import ReproError
 from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
@@ -65,6 +66,10 @@ class FuzzConfig:
     #: walk degenerates into merge ping-pong.
     packaging_probability: float = 0.3
     oracle: OracleConfig = field(default_factory=OracleConfig)
+    #: When set, every oracle execution streams under this budget, so the
+    #: fuzzer differentially tests the streaming engine against the same
+    #: equivalence and cost-conformance checks.
+    execution_budget: ExecutionBudget | None = None
 
     def __post_init__(self) -> None:
         if not self.categories:
@@ -179,7 +184,9 @@ def fuzz_seed(
     oracle = ConformanceOracle(
         workload.workflow,
         data,
-        executor=Executor(context=workload.context),
+        executor=Executor(
+            context=workload.context, budget=config.execution_budget
+        ),
         model=model,
         config=config.oracle,
     )

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.core.cost.model import CostModel
 from repro.fuzz.chain import FuzzConfig, fuzz_seed
 from repro.fuzz.shrink import save_artifact, shrink_failure
+from repro.io.atomic import atomic_write_json
 
 __all__ = ["FuzzReport", "run_fuzz", "load_known_failures"]
 
@@ -111,14 +112,11 @@ def _record_failure(corpus_dir: str, category: str, seed: int) -> None:
     if (category, seed) not in known:
         known.append((category, seed))
     path = os.path.join(corpus_dir, _FAILURES_FILE)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(
-            [{"category": c, "seed": s} for c, s in known],
-            handle,
-            indent=2,
-            sort_keys=True,
-        )
-        handle.write("\n")
+    # Atomic: a crash mid-write must not corrupt the regression-seed list
+    # that every later run replays first.
+    atomic_write_json(
+        path, [{"category": c, "seed": s} for c, s in known]
+    )
 
 
 def _failure_summary(shrunk, failure) -> dict:
@@ -213,7 +211,5 @@ def run_fuzz(
 
     if corpus_dir is not None:
         summary_path = os.path.join(corpus_dir, _SUMMARY_FILE)
-        with open(summary_path, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(summary_path, report.to_dict())
     return report

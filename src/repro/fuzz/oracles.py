@@ -27,13 +27,13 @@ from collections import Counter
 from collections.abc import Mapping
 from dataclasses import dataclass, replace
 
-from repro.core.activity import Activity, CompositeActivity
+from repro.core.activity import CompositeActivity
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
 from repro.core.equivalence import symbolically_equivalent
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow
 from repro.engine.calibrate import apply_selectivities
-from repro.engine.executor import ExecutionStats, Executor
+from repro.engine.executor import ExecutionStats, Executor, iter_components
 from repro.engine.rows import Row, as_multiset
 
 __all__ = [
@@ -84,22 +84,13 @@ class OracleConfig:
     abs_tol: float = 2.0
 
 
-def _flatten(activity: Activity) -> tuple[Activity, ...]:
-    if isinstance(activity, CompositeActivity):
-        parts: list[Activity] = []
-        for component in activity.components:
-            parts.extend(_flatten(component))
-        return tuple(parts)
-    return (activity,)
-
-
 def _measured_selectivities(
     workflow: ETLWorkflow, stats: ExecutionStats
 ) -> dict[str, float]:
     """Output/input ratio per unary activity id, from an existing run."""
     measured: dict[str, float] = {}
     for activity in workflow.activities():
-        for component in _flatten(activity):
+        for component in iter_components(activity):
             if not component.is_unary:
                 continue
             processed = stats.rows_processed.get(component.id)
@@ -134,7 +125,7 @@ def predicted_processed_rows(
         input_cards = tuple(cards[p] for p in workflow.providers(node))
         if isinstance(node, CompositeActivity):
             card = input_cards[0]
-            for component in _flatten(node):
+            for component in iter_components(node):
                 predicted[component.id] = card
                 card = model.output_cardinality(component, (card,))
             cards[node] = card

@@ -25,6 +25,7 @@ from repro.core.workflow import ETLWorkflow
 from repro.engine.executor import Executor
 from repro.fuzz.chain import FuzzFailure, replay_chain
 from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
+from repro.io.atomic import atomic_write_text
 from repro.io.json_io import workflow_to_dict
 from repro.workloads import generate_workload
 
@@ -199,5 +200,4 @@ def dump_artifact(shrunk: ShrunkRepro) -> str:
 
 
 def save_artifact(shrunk: ShrunkRepro, path: str) -> None:
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dump_artifact(shrunk) + "\n")
+    atomic_write_text(path, dump_artifact(shrunk) + "\n")

@@ -1,0 +1,49 @@
+"""Atomic file writes: never leave a half-written file behind.
+
+A plain ``open(path, "w")`` + write is torn by a crash mid-write, leaving
+a truncated file that poisons the next reader (a corrupted
+``failures.json`` kills every later corpus replay run).  These helpers
+write to a same-directory temp file and ``os.replace`` it into place —
+the pattern the transposition cache already uses — so readers observe
+either the old complete content or the new complete content, never a
+prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{os.path.basename(path)}.", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str,
+    payload: Any,
+    indent: int | None = 2,
+    sort_keys: bool = True,
+) -> None:
+    """Serialize ``payload`` and write it to ``path`` atomically."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n"
+    )

@@ -160,9 +160,10 @@ def loads(text: str, library: TemplateLibrary | None = None) -> ETLWorkflow:
 
 
 def save(workflow: ETLWorkflow, path: str) -> None:
-    """Write a workflow to a JSON file."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(dumps(workflow))
+    """Write a workflow to a JSON file (atomically)."""
+    from repro.io.atomic import atomic_write_text
+
+    atomic_write_text(path, dumps(workflow))
 
 
 def load(path: str, library: TemplateLibrary | None = None) -> ETLWorkflow:

@@ -17,6 +17,8 @@ from repro.core.activity import Activity, CompositeActivity
 from repro.core.cost.model import ProcessedRowsCostModel
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow, Node
+from repro.engine.batches import ExecutionBudget
+from repro.engine.executor import iter_components
 from repro.exceptions import ReproError
 from repro.physical.implementations import (
     PhysicalImplementation,
@@ -85,12 +87,21 @@ def plan_physical(
     workflow: ETLWorkflow,
     memory_rows: float = UNLIMITED_MEMORY,
     cardinality_model: ProcessedRowsCostModel | None = None,
+    budget: ExecutionBudget | None = None,
 ) -> PhysicalPlan:
     """Pick the cheapest feasible implementation for every activity.
 
     Composite (merged) activities are planned component-wise; their plan
     entries are keyed by the components.
+
+    An :class:`ExecutionBudget` may be passed instead of ``memory_rows``:
+    its ``max_resident_rows`` becomes the planner's memory budget, so the
+    same object that bounds the streaming engine also drives the
+    feasibility split (hash join vs. nested loop, hash vs. sort
+    aggregation) the engine's spill behaviour mirrors.
     """
+    if budget is not None and budget.max_resident_rows is not None:
+        memory_rows = float(budget.max_resident_rows)
     model = (
         cardinality_model
         if cardinality_model is not None
@@ -109,7 +120,7 @@ def plan_physical(
         input_cards = tuple(cards[p] for p in workflow.providers(node))
         if isinstance(node, CompositeActivity):
             card = input_cards[0]
-            for component in node.components:
+            for component in iter_components(node):
                 implementation, cost = _cheapest_feasible(
                     component, (card,), memory_rows
                 )

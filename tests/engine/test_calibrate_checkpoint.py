@@ -141,3 +141,130 @@ class TestCheckpointing:
         assert store.completed_nodes
         store.clear()
         assert not store.completed_nodes
+
+
+class TestBatchGranularCheckpointing:
+    """Failures injected after the n-th output batch of a node; resume
+    recomputes only the unfinished suffix (row-wise) or the node (blocking)."""
+
+    def _budget(self, batch_size=10):
+        from repro.engine import ExecutionBudget
+
+        return ExecutionBudget(batch_size=batch_size)
+
+    def test_fail_after_requires_budget(self, fig1):
+        from repro.exceptions import ExecutionError
+
+        data = fig1.make_data(seed=3)
+        executor = CheckpointingExecutor(context=fig1.context)
+        with pytest.raises(ExecutionError):
+            executor.run(fig1.workflow, data, fail_after=("7", 1))
+
+    def test_fail_after_every_activity_then_resume(self, fig1):
+        from repro.core.activity import Activity
+
+        data = fig1.make_data(seed=3)
+        executor = CheckpointingExecutor(context=fig1.context)
+        reference = executor.run(fig1.workflow, data)
+        activities = [
+            n for n in fig1.workflow.topological_order()
+            if isinstance(n, Activity)
+        ]
+        tested = 0
+        for node in activities:
+            for batches in (1, 2):
+                store = CheckpointStore()
+                try:
+                    executor.run(
+                        fig1.workflow, data, checkpoints=store,
+                        fail_after=(node.id, batches),
+                        budget=self._budget(),
+                    )
+                    continue  # node emitted fewer batches: no injection
+                except SimulatedFailure as failure:
+                    assert failure.node_id == node.id
+                    assert node.id in store.partials
+                resumed = executor.run(
+                    fig1.workflow, data, checkpoints=store,
+                    budget=self._budget(),
+                )
+                assert resumed.targets == reference.targets
+                assert node.id not in store.partials  # promoted to complete
+                tested += 1
+        assert tested > 0
+
+    def test_rowwise_resume_recomputes_only_the_suffix(self, fig1):
+        """Fig 1's '3' is a row-wise filter: after failing 2 batches in, the
+        resume must start from the consumed offset, not row 0."""
+        data = fig1.make_data(seed=3)
+        executor = CheckpointingExecutor(context=fig1.context)
+        full = executor.run(fig1.workflow, data)
+        total = full.stats.rows_processed["3"]
+
+        store = CheckpointStore()
+        with pytest.raises(SimulatedFailure):
+            executor.run(
+                fig1.workflow, data, checkpoints=store,
+                fail_after=("3", 2), budget=self._budget(batch_size=10),
+            )
+        partial = store.partials["3"]
+        assert partial.consumed_rows == 20
+        resumed = executor.run(
+            fig1.workflow, data, checkpoints=store, budget=self._budget(10)
+        )
+        assert resumed.stats.rows_processed["3"] == total - 20
+        assert resumed.targets == full.targets
+
+    def test_partial_checkpoint_rows_concatenate(self):
+        from repro.engine import PartialCheckpoint
+
+        partial = PartialCheckpoint()
+        partial.batches.append([{"a": 1}])
+        partial.batches.append([{"a": 2}, {"a": 3}])
+        assert partial.rows == [{"a": 1}, {"a": 2}, {"a": 3}]
+
+
+class TestCalibrationRegressions:
+    def test_ratio_handles_missing_output_count(self, fig1):
+        """Partial stats (processed recorded, output missing) used to raise
+        TypeError: unsupported operand None / int."""
+        from repro.engine import ExecutionStats
+        from repro.engine.calibrate import _ratio
+
+        activity = next(iter(fig1.workflow.activities()))
+        stats = ExecutionStats()
+        stats.rows_processed[activity.id] = 50  # no rows_output entry
+        assert _ratio(stats, activity) is None
+
+    def test_zero_row_activity_warns_and_keeps_declared(self, fig1):
+        import warnings
+
+        from repro.engine import CalibrationWarning
+
+        # Empty sources: every activity processes zero rows.
+        empty = {name: [] for name in fig1.make_data(seed=1)}
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            measured = measure_selectivities(
+                fig1.workflow, empty, Executor(context=fig1.context)
+            )
+        assert measured == {}
+        calibration_warnings = [
+            w for w in caught if issubclass(w.category, CalibrationWarning)
+        ]
+        assert calibration_warnings
+        assert "declared selectivity" in str(calibration_warnings[0].message)
+
+    def test_clean_sample_does_not_warn(self, fig1, fig1_executor):
+        import warnings
+
+        from repro.engine import CalibrationWarning
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            measure_selectivities(
+                fig1.workflow, fig1.make_data(seed=1), fig1_executor
+            )
+        assert not [
+            w for w in caught if issubclass(w.category, CalibrationWarning)
+        ]

@@ -1,0 +1,63 @@
+"""Durability of corpus files: atomic writes survive mid-write crashes."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz.corpus import _record_failure, load_known_failures
+from repro.io.atomic import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"b": 2, "a": 1})
+        assert json.load(open(path)) == {"a": 1, "b": 2}
+
+    def test_replaces_existing(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "old")
+        atomic_write_text(path, "new")
+        assert open(path).read() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "out.txt")
+        atomic_write_text(path, "content")
+        assert os.listdir(tmp_path) == ["out.txt"]
+
+    def test_crash_during_serialization_keeps_old_content(self, tmp_path):
+        """A failure before the replace leaves the previous file intact —
+        the regression the old open(..., 'w') pattern could not give."""
+        path = str(tmp_path / "out.json")
+        atomic_write_json(path, {"generation": 1})
+
+        class Unserializable:
+            pass
+
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": Unserializable()})
+        assert json.load(open(path)) == {"generation": 1}
+        assert os.listdir(tmp_path) == ["out.json"]  # temp cleaned up
+
+
+class TestCorpusFailureFile:
+    def test_record_and_load_roundtrip(self, tmp_path):
+        corpus = str(tmp_path)
+        _record_failure(corpus, "tiny", 7)
+        _record_failure(corpus, "small", 3)
+        _record_failure(corpus, "tiny", 7)  # deduplicated
+        assert load_known_failures(corpus) == [("tiny", 7), ("small", 3)]
+
+    def test_failures_file_is_valid_json_after_every_write(self, tmp_path):
+        corpus = str(tmp_path)
+        for seed in range(5):
+            _record_failure(corpus, "tiny", seed)
+            with open(os.path.join(corpus, "failures.json")) as handle:
+                entries = json.load(handle)  # must never be torn
+            assert len(entries) == seed + 1
+
+    def test_no_temp_residue_in_corpus_dir(self, tmp_path):
+        corpus = str(tmp_path)
+        _record_failure(corpus, "tiny", 1)
+        assert os.listdir(corpus) == ["failures.json"]

@@ -85,3 +85,33 @@ def test_fifty_seed_conformance_run():
     report = run_fuzz(FuzzConfig(), seeds=50)
     assert report.ok, report.summary()
     assert report.seeds_run == 50
+
+
+class TestStreamingFuzz:
+    """Differential fuzzing with the oracle executor streaming: the full
+    transition chain must stay equivalence- and cost-conformant when every
+    execution goes through the batch pipeline."""
+
+    def test_streaming_budget_keeps_seeds_clean(self):
+        from repro.engine import ExecutionBudget
+
+        config = dataclasses.replace(
+            CONFIG, execution_budget=ExecutionBudget(batch_size=13)
+        )
+        for seed in range(8):
+            result = fuzz_seed(config, seed)
+            assert result.ok, result.failure
+
+    def test_streaming_matches_plain_fuzz_outcome(self):
+        from repro.engine import ExecutionBudget
+
+        streaming_config = dataclasses.replace(
+            CONFIG, execution_budget=ExecutionBudget(batch_size=7)
+        )
+        for seed in range(4):
+            plain = fuzz_seed(CONFIG, seed)
+            streamed = fuzz_seed(streaming_config, seed)
+            assert [s.transition for s in plain.steps_applied] == [
+                s.transition for s in streamed.steps_applied
+            ]
+            assert plain.ok == streamed.ok

@@ -183,3 +183,115 @@ def test_broken_pipe_is_not_an_error(fig1_json):
         os.close(write_end)
     assert proc.returncode == 0, proc.stderr.decode()
     assert b"Traceback" not in proc.stderr
+
+
+@pytest.fixture
+def runnable_flow(tmp_path):
+    """A workflow + data file executable with the default engine context."""
+    import json
+
+    from repro.core.activity import Activity
+    from repro.core.recordset import RecordSet, RecordSetKind
+    from repro.core.schema import Schema
+    from repro.core.workflow import ETLWorkflow
+    from repro.templates import default_library
+
+    library = default_library()
+    workflow = ETLWorkflow()
+    source = RecordSet(
+        "S", "S", Schema(("K", "V")), kind=RecordSetKind.SOURCE, cardinality=100
+    )
+    target = RecordSet("T", "T", Schema(("K", "V")), kind=RecordSetKind.TARGET)
+    select = Activity(
+        "a1",
+        library.get("selection"),
+        {"attr": "V", "op": ">", "value": 10},
+        selectivity=0.5,
+    )
+    aggregate = Activity(
+        "a2",
+        library.get("aggregation"),
+        {"group_by": ("K",), "measure": "V", "output": "V", "agg": "sum"},
+        selectivity=0.3,
+    )
+    for node in (source, target, select, aggregate):
+        workflow.add_node(node)
+    workflow.add_edge(source, select)
+    workflow.add_edge(select, aggregate)
+    workflow.add_edge(aggregate, target)
+
+    flow_path = str(tmp_path / "flow.json")
+    save(workflow, flow_path)
+    data_path = str(tmp_path / "data.json")
+    with open(data_path, "w", encoding="utf-8") as handle:
+        json.dump({"S": [{"K": i % 5, "V": i} for i in range(100)]}, handle)
+    return flow_path, data_path
+
+
+class TestRunCommand:
+    def test_materializing_run(self, runnable_flow, capsys):
+        flow, data = runnable_flow
+        assert main(["run", flow, "--data", data]) == 0
+        out = capsys.readouterr().out
+        assert "target T: 5 row(s)" in out
+        assert "streaming" not in out
+
+    def test_streaming_run_reports_budget(self, runnable_flow, capsys):
+        flow, data = runnable_flow
+        assert main(
+            ["run", flow, "--data", data,
+             "--batch-size", "16", "--max-resident-rows", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "target T: 5 row(s)" in out
+        assert "batch size 16" in out
+        assert "(budget 64)" in out
+
+    def test_stream_flag_alone_uses_default_batch_size(
+        self, runnable_flow, capsys
+    ):
+        flow, data = runnable_flow
+        assert main(["run", flow, "--data", data, "--stream"]) == 0
+        assert "batch size 4096" in capsys.readouterr().out
+
+    def test_trace_and_output(self, runnable_flow, tmp_path, capsys):
+        import json
+
+        flow, data = runnable_flow
+        out_path = str(tmp_path / "targets.json")
+        assert main(
+            ["run", flow, "--data", data, "--stream", "--trace",
+             "-o", out_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "res.peak" in out  # trace table rendered
+        targets = json.load(open(out_path))
+        assert len(targets["T"]) == 5
+
+    def test_streaming_matches_materializing_targets(
+        self, runnable_flow, tmp_path, capsys
+    ):
+        import json
+
+        flow, data = runnable_flow
+        plain_path = str(tmp_path / "plain.json")
+        stream_path = str(tmp_path / "stream.json")
+        assert main(["run", flow, "--data", data, "-o", plain_path]) == 0
+        assert main(
+            ["run", flow, "--data", data, "--batch-size", "7",
+             "-o", stream_path]
+        ) == 0
+        assert json.load(open(plain_path)) == json.load(open(stream_path))
+
+    def test_missing_data_file_exits_2(self, runnable_flow):
+        flow, _ = runnable_flow
+        assert main(["run", flow, "--data", "/nonexistent/data.json"]) == 2
+
+
+class TestFuzzStreamingFlags:
+    def test_fuzz_with_batch_size_streams(self, capsys):
+        assert main(
+            ["fuzz", "--seeds", "2", "--chain-length", "2",
+             "--rows", "20", "--batch-size", "16", "--no-shrink"]
+        ) == 0
+        assert "no equivalence" in capsys.readouterr().out
