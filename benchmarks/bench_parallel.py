@@ -34,13 +34,15 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import SearchBudget, heuristic_search  # noqa: E402
+from repro.obs import Recorder, summarize, use_recorder  # noqa: E402
 from repro.workloads import generate_workload  # noqa: E402
 
 
-def _run(category: str, seed: int, budget: SearchBudget):
+def _run(category: str, seed: int, budget: SearchBudget, recorder=None):
     workload = generate_workload(category, seed=seed)
     started = time.perf_counter()
-    result = heuristic_search(workload.workflow.copy(), budget=budget)
+    with use_recorder(recorder):
+        result = heuristic_search(workload.workflow.copy(), budget=budget)
     return time.perf_counter() - started, result
 
 
@@ -61,7 +63,12 @@ def main(argv: list[str] | None = None) -> int:
     probe.propagate_schemas()
     local_groups = [g for g in probe.local_groups() if len(g) >= 2]
 
-    serial_seconds, serial = _run(args.category, args.seed, SearchBudget())
+    # Telemetry rides along on the serial run; its per-phase summary is
+    # embedded in the payload so a perf run carries its own breakdown.
+    recorder = Recorder()
+    serial_seconds, serial = _run(
+        args.category, args.seed, SearchBudget(), recorder=recorder
+    )
     print(f"{args.category} seed {args.seed}: "
           f"{workload.activity_count} activities, "
           f"{len(local_groups)} local groups")
@@ -126,6 +133,7 @@ def main(argv: list[str] | None = None) -> int:
             "warm_cache_hits": warm.cache_hits,
             "identical_to_cold": warm_identical,
         },
+        "telemetry": summarize(recorder.events()),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

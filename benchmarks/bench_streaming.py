@@ -33,6 +33,8 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.engine import ExecutionBudget, Executor  # noqa: E402
+from repro.engine.tracing import TracingExecutor  # noqa: E402
+from repro.obs import Recorder, summarize, use_recorder  # noqa: E402
 from repro.workloads import generate_workload  # noqa: E402
 
 
@@ -128,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.max_resident_rows is not None
         else max(1024, materializing_rows // 2)
     )
+    # The budgeted run doubles as the telemetry run: a tracing executor
+    # records per-operator spans and resident-row gauges, and the summary
+    # is embedded in the payload.
+    recorder = Recorder()
+    traced = TracingExecutor(context=workload.context)
     with tempfile.TemporaryDirectory(prefix="bench-spill-") as spill_dir:
         budget = ExecutionBudget(
             batch_size=min(batch_sizes),
@@ -135,7 +142,8 @@ def main(argv: list[str] | None = None) -> int:
             spill_dir=spill_dir,
         )
         started = time.perf_counter()
-        bounded = executor.run(workload.workflow, data, budget=budget)
+        with use_recorder(recorder):
+            bounded = traced.run(workload.workflow, data, budget=budget)
         seconds = time.perf_counter() - started
     identical = (
         bounded.targets == base.targets
@@ -151,6 +159,7 @@ def main(argv: list[str] | None = None) -> int:
         "seconds": round(seconds, 4),
         "identical_to_materializing": identical,
     }
+    payload["telemetry"] = summarize(recorder.events())
 
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -8,14 +8,21 @@ Usage::
     python -m repro impact flow.json --source SRC1 --attribute V2
     python -m repro run flow.json --data rows.json --max-resident-rows 10000
     python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
+    python -m repro optimize flow.json --telemetry spans.jsonl
+    python -m repro report spans.jsonl
 
 Workflows are exchanged in the JSON format of :mod:`repro.io.json_io`;
 custom templates are not resolvable from the command line (use the
 library API for those).
 
+Every subcommand accepts ``--telemetry PATH``: the run records structured
+spans/counters/gauges (see :mod:`repro.obs`) and writes them as JSONL to
+``PATH`` on the way out; ``repro report PATH`` renders the file as
+per-phase / per-operator summary tables.
+
 Exit codes: 0 on success, 1 when a check reports findings (lint/impact
-diagnostics, fuzz violations), 2 on bad input (unreadable file, invalid
-JSON, unknown category, ...).
+diagnostics, fuzz violations, a telemetry file with no spans), 2 on bad
+input (unreadable file, invalid JSON, unknown category, ...).
 """
 
 from __future__ import annotations
@@ -30,6 +37,15 @@ from repro.core.lint import lint_workflow
 from repro.core.impact import impact_of_attribute_removal
 from repro.exceptions import ReproError
 from repro.io import dumps, load, to_dot, to_text
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    get_recorder,
+    load_events,
+    render_summary,
+    summarize,
+    use_recorder,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -219,6 +235,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="resident-row budget for streaming fuzz runs",
     )
+
+    cmd_report = commands.add_parser(
+        "report", help="summarize a telemetry JSONL file as tables"
+    )
+    cmd_report.add_argument(
+        "jsonl", help="telemetry file written by --telemetry"
+    )
+    cmd_report.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of tables",
+    )
+
+    # Every subcommand records telemetry the same way.
+    for subcommand in commands.choices.values():
+        subcommand.add_argument(
+            "--telemetry",
+            metavar="PATH",
+            default=None,
+            help="record spans/counters/gauges and write them as JSONL here",
+        )
     return parser
 
 
@@ -305,7 +342,9 @@ def _cmd_run(args) -> int:
     with open(args.data, encoding="utf-8") as handle:
         source_data = json.load(handle)
     budget = _budget_from_args(args, force=args.stream)
-    executor = TracingExecutor() if args.trace else Executor()
+    # Telemetry wants the per-operator spans only TracingExecutor records.
+    tracing = args.trace or get_recorder().active
+    executor = TracingExecutor() if tracing else Executor()
     result = executor.run(workflow, source_data, budget=budget)
     for name in sorted(result.targets):
         print(f"target {name}: {len(result.targets[name])} row(s)")
@@ -359,6 +398,16 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_report(args) -> int:
+    events = load_events(args.jsonl)
+    summary = summarize(events)
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_summary(summary))
+    return 0 if summary["span_events"] else 1
+
+
 _HANDLERS = {
     "optimize": _cmd_optimize,
     "render": _cmd_render,
@@ -366,13 +415,22 @@ _HANDLERS = {
     "impact": _cmd_impact,
     "run": _cmd_run,
     "fuzz": _cmd_fuzz,
+    "report": _cmd_report,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    telemetry_path = getattr(args, "telemetry", None)
+    recorder = Recorder() if telemetry_path else NULL_RECORDER
     try:
-        code = _HANDLERS[args.command](args)
+        try:
+            with use_recorder(recorder):
+                with recorder.span(f"cli.{args.command}"):
+                    code = _HANDLERS[args.command](args)
+        finally:
+            if telemetry_path:
+                recorder.flush_jsonl(telemetry_path)
         # Flush inside the try so an EPIPE from buffered output surfaces
         # here (where it is handled) instead of at interpreter shutdown
         # (where it would turn into exit code 120 and stderr noise).

@@ -131,17 +131,25 @@ def _lint_partial_branch_transforms(
 ) -> list[LintFinding]:
     """Warn when only some converging branches transform a grouped attr."""
     findings: list[LintFinding] = []
+    # Flatten composites the way the transforms/groupers scans do: a
+    # convergence point packaged inside a CompositeActivity still merges
+    # branches, so it must not escape the scan.  Graph navigation uses the
+    # top-level container node; the finding reports the inner binary's id.
     binaries = [
-        a for a in workflow.activities() if isinstance(a, Activity) and a.is_binary
+        (component, container)
+        for container in workflow.activities()
+        if isinstance(container, Activity)
+        for component in _components(container)
+        if component.is_binary
     ]
     for attr, transformers in transforms.items():
         grouping_activities = groupers.get(attr, [])
         if not grouping_activities:
             continue
-        for binary in binaries:
+        for binary, container in binaries:
             # Mixing only matters when some grouper on this attribute sits
             # downstream of the convergence point.
-            downstream = workflow.downstream(binary)
+            downstream = workflow.downstream(container)
             flattened_downstream = {
                 component
                 for node in downstream
@@ -153,10 +161,10 @@ def _lint_partial_branch_transforms(
             # Which branches (provider subtrees, looked at upstream) hold a
             # transformer of this attribute?
             branch_has = []
-            for provider in workflow.providers(binary):
+            for provider in workflow.providers(container):
                 ancestors = {
                     component
-                    for node in _ancestors(workflow, binary, via=provider)
+                    for node in _ancestors(workflow, container, via=provider)
                     if isinstance(node, Activity)
                     for component in _components(node)
                 }
@@ -181,8 +189,19 @@ def _lint_partial_branch_transforms(
 
 
 def _ancestors(workflow: ETLWorkflow, node, via) -> set:
-    """All nodes feeding ``node`` through the provider ``via``."""
+    """Nodes feeding ``node`` *only* through the provider ``via``.
+
+    In a diamond-shaped flow a node in the shared region upstream of the
+    fork reaches ``node`` through every provider; attributing it to each
+    branch would make a partial-branch transform look total and suppress
+    the warning.  Branch membership therefore excludes any node that also
+    reaches ``node`` through a different provider.
+    """
     import networkx as nx
 
     ancestors = nx.ancestors(workflow.graph, via) | {via}
+    for other in workflow.providers(node):
+        if other is via:
+            continue
+        ancestors -= nx.ancestors(workflow.graph, other) | {other}
     return ancestors

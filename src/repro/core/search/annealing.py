@@ -25,6 +25,7 @@ from repro.core.search.state import SearchState
 from repro.core.search.transposition import TranspositionCache
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
+from repro.obs import get_recorder
 
 __all__ = ["annealing_search"]
 
@@ -78,6 +79,7 @@ def annealing_search(
 
     cache, owned_cache = TranspositionCache.resolve(budget.cache)
     hits_before = cache.hits
+    recorder = get_recorder()
     rng = random.Random(seed)
     started = time.perf_counter()
 
@@ -116,7 +118,17 @@ def annealing_search(
             for transition in candidates:
                 successor_workflow = transition.try_apply(current.workflow)
                 if successor_workflow is None:
+                    recorder.counter(
+                        "search.transitions",
+                        mnemonic=transition.mnemonic,
+                        outcome="rejected",
+                    ).add()
                     continue
+                recorder.counter(
+                    "search.transitions",
+                    mnemonic=transition.mnemonic,
+                    outcome="applied",
+                ).add()
                 successor = current.successor(transition, successor_workflow, model)
                 seen.add(successor.signature)
                 ns.put_cost(successor.signature, successor.cost)
@@ -124,21 +136,29 @@ def annealing_search(
                 if delta <= 0 or rng.random() < math.exp(
                     -delta / max(temperature, 1e-9)
                 ):
+                    recorder.counter(
+                        "search.sa.moves", outcome="accepted"
+                    ).add()
                     current = successor
                     if successor.cost < best.cost:
                         best = successor
                     moved = True
                     break
+                recorder.counter("search.sa.moves", outcome="rejected").add()
             if not moved:
                 break  # local minimum with no acceptable uphill move proposed
             temperature *= cooling
 
+        elapsed = time.perf_counter() - started
+        recorder.record_span(
+            "search.sa.chain", elapsed, chain=seed, algorithm="SA"
+        )
         return OptimizationResult(
             algorithm="SA",
             initial=initial,
             best=best,
             visited_states=len(seen),
-            elapsed_seconds=time.perf_counter() - started,
+            elapsed_seconds=elapsed,
             completed=completed,
             cache_hits=cache.hits - hits_before,
             jobs=1,

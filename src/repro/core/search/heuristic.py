@@ -58,6 +58,7 @@ from repro.core.search.budget import SearchBudget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
 from repro.core.search.transposition import CacheNamespace, TranspositionCache
+from repro.obs import NULL_RECORDER, Recorder, get_recorder, use_recorder
 from repro.core.signature import state_signature
 from repro.core.transitions.factorize import Distribute, Factorize
 from repro.core.transitions.merge import Merge, split_fully
@@ -224,30 +225,40 @@ def heuristic_search(
         homologous_pairs = _find_homologous(initial.workflow)
         distributable = _find_distributable(initial.workflow)
 
+        algorithm = "HS-Greedy" if greedy else "HS"
+        recorder = get_recorder()
         completed = True
         visited_list: list[SearchState] = []
         try:
             # Phase I (lines 9-13): swap-optimize every local group.
-            smin = _optimize_all_groups(initial, session, greedy)
+            with recorder.span("search.phase", algorithm=algorithm, phase="I"):
+                smin = _optimize_all_groups(initial, session, greedy)
             visited_list = [smin]
 
             # Phase II (lines 14-20): factorize homologous pairs.
-            visited_list = _phase_factorize(
-                visited_list, homologous_pairs, session
-            )
+            with recorder.span("search.phase", algorithm=algorithm, phase="II"):
+                visited_list = _phase_factorize(
+                    visited_list, homologous_pairs, session
+                )
 
             # Phase III (lines 21-28): distribute the initial state's
             # distributable activities over each recorded state.
-            visited_list = _phase_distribute(
-                visited_list, distributable, session
-            )
+            with recorder.span(
+                "search.phase", algorithm=algorithm, phase="III"
+            ):
+                visited_list = _phase_distribute(
+                    visited_list, distributable, session
+                )
 
             # Phase IV (lines 29-35): re-optimize the groups of the most
             # promising recorded states (the factorized/distributed designs
             # changed their local groups, so new orderings may now win).
-            ranked = sorted(visited_list, key=lambda s: (s.cost, s.signature))
-            for state in ranked[: config.phase_iv_cap]:
-                _optimize_all_groups(state, session, greedy)
+            with recorder.span("search.phase", algorithm=algorithm, phase="IV"):
+                ranked = sorted(
+                    visited_list, key=lambda s: (s.cost, s.signature)
+                )
+                for state in ranked[: config.phase_iv_cap]:
+                    _optimize_all_groups(state, session, greedy)
         except SearchBudgetExceeded:
             completed = False
 
@@ -256,7 +267,7 @@ def heuristic_search(
         best = _split_all(best, session)
 
         return OptimizationResult(
-            algorithm="HS-Greedy" if greedy else "HS",
+            algorithm=algorithm,
             initial=reported_initial,
             best=best,
             visited_states=len(session.seen),
@@ -429,7 +440,13 @@ def _shift_forward_state(
         swap = Swap(activity, consumer)
         shifted = swap.try_apply(current.workflow)
         if shifted is None:
+            get_recorder().counter(
+                "search.transitions", mnemonic="SWA", outcome="rejected"
+            ).add()
             return None
+        get_recorder().counter(
+            "search.transitions", mnemonic="SWA", outcome="applied"
+        ).add()
         current = current.successor(swap, shifted, session.model)
         session.record(current)
     return None
@@ -451,7 +468,13 @@ def _shift_backward_state(
         swap = Swap(provider, activity)
         shifted = swap.try_apply(current.workflow)
         if shifted is None:
+            get_recorder().counter(
+                "search.transitions", mnemonic="SWA", outcome="rejected"
+            ).add()
             return None
+        get_recorder().counter(
+            "search.transitions", mnemonic="SWA", outcome="applied"
+        ).add()
         current = current.successor(swap, shifted, session.model)
         session.record(current)
     return None
@@ -475,25 +498,42 @@ def _group_memo_key(
 
 
 def _group_task(
-    args: tuple[ETLWorkflow, list[str], bool, int, CostModel],
-) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
+    args: tuple[ETLWorkflow, list[str], bool, int, CostModel, bool],
+) -> tuple[list[tuple[str, str]], list[tuple[str, float]], list[dict]]:
     """Explore one local group's orderings from a base workflow (pure).
 
-    Returns ``(path, explored)``: ``path`` is the swap sequence (pairs of
-    activity ids) leading from the base ordering to the best one found;
-    ``explored`` is every locally-new state as ``(signature, cost)`` in
-    generation order.  Runs unchanged in-process or on a worker.
+    Returns ``(path, explored, events)``: ``path`` is the swap sequence
+    (pairs of activity ids) leading from the base ordering to the best one
+    found; ``explored`` is every locally-new state as ``(signature, cost)``
+    in generation order; ``events`` is the task's telemetry buffer (empty
+    when ``telemetry`` is off), shipped back through the result-merge path
+    so worker-side spans land in the parent's recorder.  Runs unchanged
+    in-process or on a worker — a worker records into a private local
+    recorder either way, so serial and parallel runs produce the same
+    telemetry shape and byte-identical search outcomes.
     """
-    workflow, member_ids, greedy, group_cap, model = args
+    workflow, member_ids, greedy, group_cap, model, telemetry = args
     members = {workflow.node_by_id(member_id) for member_id in member_ids}
-    base = SearchState(
-        workflow=workflow,
-        signature=state_signature(workflow),
-        report=estimate(workflow, model),
-    )
-    if greedy:
-        return _hill_climb_hermetic(base, members, model)
-    return _explore_hermetic(base, members, model, group_cap)
+    local = Recorder() if telemetry else NULL_RECORDER
+    with use_recorder(local):
+        with local.span(
+            "search.group",
+            members=len(member_ids),
+            mode="greedy" if greedy else "best_first",
+        ):
+            base = SearchState(
+                workflow=workflow,
+                signature=state_signature(workflow),
+                report=estimate(workflow, model),
+            )
+            if greedy:
+                path, explored = _hill_climb_hermetic(base, members, model)
+            else:
+                path, explored = _explore_hermetic(
+                    base, members, model, group_cap
+                )
+            local.counter("search.group.states_explored").add(len(explored))
+    return path, explored, local.events()
 
 
 def _explore_hermetic(
@@ -515,7 +555,13 @@ def _explore_hermetic(
         for swap in _group_swaps(expanding.workflow, members):
             shifted = swap.try_apply(expanding.workflow)
             if shifted is None:
+                get_recorder().counter(
+                    "search.transitions", mnemonic="SWA", outcome="rejected"
+                ).add()
                 continue
+            get_recorder().counter(
+                "search.transitions", mnemonic="SWA", outcome="applied"
+            ).add()
             successor = expanding.successor(swap, shifted, model)
             if successor.signature in local_seen:
                 continue
@@ -544,7 +590,13 @@ def _hill_climb_hermetic(
         for swap in _group_swaps(current.workflow, members):
             shifted = swap.try_apply(current.workflow)
             if shifted is None:
+                get_recorder().counter(
+                    "search.transitions", mnemonic="SWA", outcome="rejected"
+                ).add()
                 continue
+            get_recorder().counter(
+                "search.transitions", mnemonic="SWA", outcome="applied"
+            ).add()
             successor = current.successor(swap, shifted, model)
             explored.append((successor.signature, successor.cost))
             if successor.cost < current.cost:
@@ -577,6 +629,7 @@ def _optimize_all_groups(
         session.record(state)
         return state
     group_cap = session.config.group_cap
+    recorder = get_recorder()
 
     keys = [
         _group_memo_key(state.signature, ids, greedy, group_cap)
@@ -599,17 +652,26 @@ def _optimize_all_groups(
 
     if pending:
         tasks = [
-            (state.workflow, groups[index], greedy, group_cap, session.model)
+            (
+                state.workflow,
+                groups[index],
+                greedy,
+                group_cap,
+                session.model,
+                recorder.active,
+            )
             for index in pending
         ]
         if session.pool is not None and len(pending) > 1:
             results = session.pool.map(_group_task, tasks)
         else:
             results = [_group_task(task) for task in tasks]
-        for index, result in zip(pending, results):
-            outcomes[index] = result
+        for index, (path, explored, events) in zip(pending, results):
+            outcomes[index] = (path, explored)
+            # Worker span buffers merge here, in deterministic dispatch
+            # order, alongside the search outcomes themselves.
+            recorder.absorb(events)
             if session.ns is not None:
-                path, explored = result
                 session.ns.put_group(
                     keys[index],
                     {
@@ -678,7 +740,13 @@ def _phase_factorize(
             try:
                 new_workflow = factorize.apply(shifted_both.workflow)
             except TransitionError:
+                get_recorder().counter(
+                    "search.transitions", mnemonic="FAC", outcome="rejected"
+                ).add()
                 continue
+            get_recorder().counter(
+                "search.transitions", mnemonic="FAC", outcome="applied"
+            ).add()
             new_state = shifted_both.successor(
                 factorize, new_workflow, session.model
             )
@@ -713,7 +781,13 @@ def _phase_distribute(
             try:
                 new_workflow = distribute.apply(shifted.workflow)
             except TransitionError:
+                get_recorder().counter(
+                    "search.transitions", mnemonic="DIS", outcome="rejected"
+                ).add()
                 continue
+            get_recorder().counter(
+                "search.transitions", mnemonic="DIS", outcome="applied"
+            ).add()
             new_state = shifted.successor(distribute, new_workflow, session.model)
             if session.record(new_state) and len(produced) < session.config.phase_state_cap:
                 produced.append(new_state)

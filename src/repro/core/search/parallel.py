@@ -46,6 +46,7 @@ from repro.core.search.transposition import TranspositionCache
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 from repro.exceptions import ReproError
+from repro.obs import NULL_RECORDER, Recorder, get_recorder, use_recorder
 
 __all__ = ["WorkerPool", "ALGORITHMS", "run_search", "optimize_many"]
 
@@ -115,17 +116,37 @@ class WorkerPool:
 
 
 def _expand_task(
-    args: tuple[SearchState, CostModel],
-) -> list[SearchState]:
-    """Generate and cost every successor of one state (pure)."""
-    state, model = args
+    args: tuple[SearchState, CostModel, bool],
+) -> tuple[list[SearchState], list[dict]]:
+    """Generate and cost every successor of one state (pure).
+
+    Returns the successors plus the task's telemetry buffer — workers ship
+    their span/counter events back with the expansion so the parent merges
+    them in deterministic pop order.
+    """
+    state, model, telemetry = args
+    local = Recorder() if telemetry else NULL_RECORDER
     successors: list[SearchState] = []
-    for transition in candidate_transitions(state.workflow):
-        successor_workflow = transition.try_apply(state.workflow)
-        if successor_workflow is None:
-            continue
-        successors.append(state.successor(transition, successor_workflow, model))
-    return successors
+    with use_recorder(local):
+        with local.span("search.es.expand"):
+            for transition in candidate_transitions(state.workflow):
+                successor_workflow = transition.try_apply(state.workflow)
+                if successor_workflow is None:
+                    local.counter(
+                        "search.transitions",
+                        mnemonic=transition.mnemonic,
+                        outcome="rejected",
+                    ).add()
+                    continue
+                local.counter(
+                    "search.transitions",
+                    mnemonic=transition.mnemonic,
+                    outcome="applied",
+                ).add()
+                successors.append(
+                    state.successor(transition, successor_workflow, model)
+                )
+    return successors, local.events()
 
 
 def parallel_exhaustive(
@@ -166,15 +187,22 @@ def parallel_exhaustive(
                 return time.perf_counter() - started > budget.max_seconds
             return False
 
+        recorder = get_recorder()
         while heap:
             if budget_tripped():
                 completed = False
                 break
             wave = [heapq.heappop(heap) for _ in range(min(_WAVE, len(heap)))]
-            expansions = pool.map(
-                _expand_task, [(state, model) for _, _, state in wave]
-            )
-            for successors in expansions:
+            with recorder.span(
+                "search.es.wave", states=len(wave), algorithm="ES"
+            ):
+                expansions = pool.map(
+                    _expand_task,
+                    [(state, model, recorder.active) for _, _, state in wave],
+                )
+                for _, events in expansions:
+                    recorder.absorb(events)
+            for successors, _ in expansions:
                 for successor in successors:
                     if successor.signature in seen:
                         continue
@@ -217,10 +245,16 @@ def parallel_exhaustive(
 
 
 def _anneal_chain(
-    args: tuple[ETLWorkflow, CostModel | None, dict],
-) -> OptimizationResult:
-    workflow, model, kwargs = args
-    return annealing_search(workflow, model=model, **kwargs)
+    args: tuple[ETLWorkflow, CostModel | None, dict, bool],
+) -> tuple[OptimizationResult, list[dict]]:
+    """One annealing chain plus its telemetry buffer (worker-safe)."""
+    workflow, model, kwargs, telemetry = args
+    local = Recorder() if telemetry else NULL_RECORDER
+    with use_recorder(local):
+        # The per-chain span is recorded inside annealing_search itself, so
+        # serial and pooled chains produce identical telemetry shapes.
+        result = annealing_search(workflow, model=model, **kwargs)
+    return result, local.events()
 
 
 def annealing_multi_chain(
@@ -241,6 +275,7 @@ def annealing_multi_chain(
     not share a dedup set).
     """
     jobs = budget.resolved_jobs()
+    recorder = get_recorder()
     chain_budget = SearchBudget(
         max_states=budget.max_states, max_seconds=budget.max_seconds
     )
@@ -255,6 +290,7 @@ def annealing_multi_chain(
                 "cooling": cooling,
                 "budget": chain_budget,
             },
+            recorder.active,
         )
         for chain in range(jobs)
     ]
@@ -263,10 +299,13 @@ def annealing_multi_chain(
         pool = WorkerPool(jobs)
     started = time.perf_counter()
     try:
-        chains = pool.map(_anneal_chain, tasks)
+        outcomes = pool.map(_anneal_chain, tasks)
     finally:
         if owned_pool:
             pool.close()
+    chains = [result for result, _ in outcomes]
+    for _, events in outcomes:
+        recorder.absorb(events)
     winner_index = min(
         range(len(chains)), key=lambda i: (chains[i].best.cost, i)
     )

@@ -40,6 +40,7 @@ from repro.core.cost.estimator import CostReport, estimate, estimate_incremental
 from repro.core.cost.model import CostModel
 from repro.core.signature import state_signature, workflow_fingerprint
 from repro.core.workflow import ETLWorkflow, Node
+from repro.obs import get_recorder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.search.state import SearchState
@@ -127,6 +128,9 @@ class CacheNamespace:
         self.costs: dict[str, float] = {}
         self.groups: dict[str, dict[str, Any]] = {}
         self.dirty = False
+        # Group keys dropped this run: excluded from merge-on-write so a
+        # concurrent writer's copy does not resurrect them.
+        self._dropped_groups: set[str] = set()
         self._load()
 
     # -- persistence ------------------------------------------------------------
@@ -136,39 +140,77 @@ class CacheNamespace:
             return None
         return self._cache.directory / f"{self.key}.json"
 
+    @staticmethod
+    def _read_file(path: Path) -> tuple[dict[str, float], dict[str, Any]]:
+        """Best-effort read of an on-disk layer; empty when absent/corrupt."""
+        try:
+            with open(path, encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            # A corrupt or unreadable cache file is a cold cache, not an
+            # error: the search recomputes everything it needs.
+            return {}, {}
+        if data.get("format_version") != _FORMAT_VERSION:
+            return {}, {}
+        return data.get("costs", {}), data.get("groups", {})
+
     def _load(self) -> None:
         path = self._path()
         if path is None or not path.exists():
             return
-        try:
-            with open(path, encoding="utf-8") as handle:
-                data = json.load(handle)
-            if data.get("format_version") != _FORMAT_VERSION:
-                return
-            self.costs.update(data.get("costs", {}))
-            self.groups.update(data.get("groups", {}))
-        except (OSError, ValueError):
-            # A corrupt or unreadable cache file is a cold cache, not an
-            # error: the search recomputes everything it needs.
-            return
+        costs, groups = self._read_file(path)
+        self.costs.update(costs)
+        self.groups.update(groups)
 
     def flush(self) -> None:
         path = self._path()
         if path is None or not self.dirty:
             return
-        payload = {
-            "format_version": _FORMAT_VERSION,
-            "costs": self.costs,
-            "groups": self.groups,
-        }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
                 prefix=f".{self.key}.", suffix=".tmp", dir=path.parent
             )
+            # Merge-on-write: a concurrent run may have replaced the file
+            # since we loaded it.  Re-read under the temp file and union
+            # its entries with ours (ours win on divergence, which is
+            # counted — entries are deterministic, so genuine conflicts
+            # indicate cost-model drift, not racing writers).  os.replace
+            # then publishes the union atomically instead of clobbering
+            # the other writer's entries.
+            disk_costs, disk_groups = (
+                self._read_file(path) if path.exists() else ({}, {})
+            )
+            conflicts = 0
+            merged_costs = dict(disk_costs)
+            for signature, total in self.costs.items():
+                if signature in merged_costs and merged_costs[signature] != total:
+                    conflicts += 1
+                merged_costs[signature] = total
+            merged_groups = {
+                key: entry
+                for key, entry in disk_groups.items()
+                if key not in self._dropped_groups
+            }
+            for key, entry in self.groups.items():
+                if key in merged_groups and merged_groups[key] != entry:
+                    conflicts += 1
+                merged_groups[key] = entry
+            payload = {
+                "format_version": _FORMAT_VERSION,
+                "costs": merged_costs,
+                "groups": merged_groups,
+            }
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
-            os.replace(tmp, path)  # atomic: concurrent runs last-writer-win
+            os.replace(tmp, path)
+            self.costs = merged_costs
+            self.groups = merged_groups
+            if conflicts:
+                self._cache.merge_conflicts += conflicts
+                get_recorder().counter(
+                    "search.transposition.merge_conflicts"
+                ).add(conflicts)
             self.dirty = False
         except OSError:
             return
@@ -179,8 +221,14 @@ class CacheNamespace:
         total = self.costs.get(signature)
         if total is None:
             self._cache.misses += 1
+            get_recorder().counter(
+                "search.transposition", kind="cost", outcome="miss"
+            ).add()
             return None
         self._cache.hits += 1
+        get_recorder().counter(
+            "search.transposition", kind="cost", outcome="hit"
+        ).add()
         return total
 
     def put_cost(self, signature: str, total: float) -> None:
@@ -194,16 +242,24 @@ class CacheNamespace:
         entry = self.groups.get(key)
         if entry is None:
             self._cache.misses += 1
+            get_recorder().counter(
+                "search.transposition", kind="group", outcome="miss"
+            ).add()
             return None
         self._cache.hits += 1
+        get_recorder().counter(
+            "search.transposition", kind="group", outcome="hit"
+        ).add()
         return entry
 
     def put_group(self, key: str, entry: dict[str, Any]) -> None:
         self.groups[key] = entry
+        self._dropped_groups.discard(key)
         self.dirty = True
 
     def drop_group(self, key: str) -> None:
         if self.groups.pop(key, None) is not None:
+            self._dropped_groups.add(key)
             self.dirty = True
 
     # -- successor construction ----------------------------------------------------
@@ -256,6 +312,9 @@ class TranspositionCache:
         self.directory = Path(directory).expanduser() if directory else None
         self.hits = 0
         self.misses = 0
+        #: Entries whose value diverged from a concurrent writer's during a
+        #: merge-on-write flush (ours won; see :meth:`CacheNamespace.flush`).
+        self.merge_conflicts = 0
         self._namespaces: dict[str, CacheNamespace] = {}
 
     @classmethod

@@ -26,6 +26,7 @@ from repro.core.workflow import ETLWorkflow
 from repro.engine.batches import ExecutionBudget, ResidentLedger
 from repro.engine.executor import ExecutionResult, ExecutionStats, Executor
 from repro.engine.rows import Row
+from repro.obs import get_recorder
 
 __all__ = ["ActivityTrace", "TraceReport", "TracingExecutor"]
 
@@ -118,13 +119,16 @@ class TracingExecutor(Executor):
         self._current = []
         started = time.perf_counter()
         try:
-            result = super().run(
-                workflow,
-                source_data,
-                check_schemas=check_schemas,
-                collect_rejects=collect_rejects,
-                budget=budget,
-            )
+            with get_recorder().span(
+                "engine.run", mode="streaming" if budget is not None else "batch"
+            ):
+                result = super().run(
+                    workflow,
+                    source_data,
+                    check_schemas=check_schemas,
+                    collect_rejects=collect_rejects,
+                    budget=budget,
+                )
         finally:
             elapsed = time.perf_counter() - started
             self.last_trace = TraceReport(
@@ -142,6 +146,14 @@ class TracingExecutor(Executor):
         started = time.perf_counter()
         produced = super()._run_component(component, inputs, stats)
         elapsed = time.perf_counter() - started
+        get_recorder().record_span(
+            "engine.operator",
+            elapsed,
+            activity=component.id,
+            operator=component.template.name,
+            rows_in=sum(len(flow) for flow in inputs),
+            rows_out=len(produced),
+        )
         if self._current is not None:
             self._current.append(
                 ActivityTrace(
@@ -161,7 +173,20 @@ class TracingExecutor(Executor):
         """Turn a streaming run's per-component metrics into traces."""
         if self._current is None:
             return
+        recorder = get_recorder()
         for component_id, entry in metrics.items():
+            recorder.record_span(
+                "engine.operator",
+                entry.seconds,
+                activity=component_id,
+                operator=entry.activity.template.name,
+                rows_in=entry.rows_in,
+                rows_out=entry.rows_out,
+                batches=entry.batches,
+            )
+            recorder.gauge(
+                "engine.resident_rows", activity=component_id
+            ).set(ledger.peak_for(component_id))
             self._current.append(
                 ActivityTrace(
                     activity_id=component_id,
@@ -174,3 +199,6 @@ class TracingExecutor(Executor):
                     peak_resident_rows=ledger.peak_for(component_id),
                 )
             )
+        recorder.gauge("engine.resident_rows.peak").set(ledger.peak)
+        if ledger.spilled_rows:
+            recorder.counter("engine.spilled_rows").add(ledger.spilled_rows)

@@ -21,6 +21,7 @@ transition after earlier steps were removed (see
 from __future__ import annotations
 
 import random
+import time
 from collections import Counter
 from dataclasses import dataclass, field
 
@@ -129,6 +130,11 @@ class SeedResult:
     transition_counts: Counter
     states_checked: int
     failure: FuzzFailure | None
+    #: Wall-clock of the whole seed and of its oracle checks alone.  Plain
+    #: numbers (not spans) so pooled seed tasks stay picklable; run_fuzz
+    #: turns them into ``fuzz.seed`` / ``fuzz.oracle`` telemetry spans.
+    seconds: float = 0.0
+    oracle_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -192,10 +198,12 @@ def fuzz_seed(
     )
     rng = random.Random(0x5EED ^ (seed * 1_000_003) ^ config.data_seed)
 
+    started = time.perf_counter()
     current = workload.workflow
     steps: list[ChainStep] = []
     counts: Counter = Counter()
     states_checked = 0
+    oracle_seconds = 0.0
     failure: FuzzFailure | None = None
 
     for _ in range(config.chain_length):
@@ -235,7 +243,9 @@ def fuzz_seed(
         steps.append(ChainStep(index, transition.describe(), transition.mnemonic))
         counts[transition.mnemonic] += 1
         states_checked += 1
+        check_started = time.perf_counter()
         violations = oracle.check(successor)
+        oracle_seconds += time.perf_counter() - check_started
         if violations:
             step_no = len(steps)
             failure = FuzzFailure(
@@ -259,6 +269,8 @@ def fuzz_seed(
         transition_counts=counts,
         states_checked=states_checked,
         failure=failure,
+        seconds=time.perf_counter() - started,
+        oracle_seconds=oracle_seconds,
     )
 
 

@@ -25,6 +25,7 @@ from repro.core.cost.model import CostModel
 from repro.fuzz.chain import FuzzConfig, fuzz_seed
 from repro.fuzz.shrink import save_artifact, shrink_failure
 from repro.io.atomic import atomic_write_json
+from repro.obs import get_recorder
 
 __all__ = ["FuzzReport", "run_fuzz", "load_known_failures"]
 
@@ -173,7 +174,19 @@ def run_fuzz(
         results = [_seed_task(task) for task in tasks]
 
     report = FuzzReport(config=config)
+    recorder = get_recorder()
     for (category, seed), result in zip(schedule, results):
+        recorder.record_span(
+            "fuzz.seed", result.seconds, category=category, seed=seed
+        )
+        recorder.record_span(
+            "fuzz.oracle",
+            result.oracle_seconds,
+            category=category,
+            seed=seed,
+        )
+        for mnemonic, count in sorted(result.transition_counts.items()):
+            recorder.counter("fuzz.transitions", mnemonic=mnemonic).add(count)
         report.seeds_run += 1
         report.states_checked += result.states_checked
         report.transitions_applied.update(result.transition_counts)

@@ -1,0 +1,47 @@
+"""Observability: structured telemetry for search, engine, and fuzz runs.
+
+The subsystem has two halves:
+
+* :mod:`repro.obs.telemetry` — :class:`Span` / :class:`Counter` /
+  :class:`Gauge` primitives, the thread- and process-safe
+  :class:`Recorder`, and the process-wide active-recorder slot
+  (:func:`get_recorder` / :func:`use_recorder`) instrumented call sites
+  read from;
+* :mod:`repro.obs.report` — aggregation of a recorded JSONL file into
+  the per-phase / per-operator summary ``repro report`` renders and the
+  benchmarks embed.
+
+Telemetry is opt-in: until a :class:`Recorder` is installed, every
+instrumented call site talks to the :data:`NULL_RECORDER` and the
+overhead is a few attribute lookups.  Enabling it never changes any
+optimizer or engine *output* — parallel runs ship their span buffers back
+alongside their results, so ``jobs=N`` stays byte-identical to serial.
+"""
+
+from repro.obs.report import load_events, render_summary, summarize
+from repro.obs.telemetry import (
+    FORMAT_VERSION,
+    NULL_RECORDER,
+    Counter,
+    Gauge,
+    Recorder,
+    Span,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "NULL_RECORDER",
+    "Counter",
+    "Gauge",
+    "Recorder",
+    "Span",
+    "get_recorder",
+    "load_events",
+    "render_summary",
+    "set_recorder",
+    "summarize",
+    "use_recorder",
+]

@@ -1,0 +1,144 @@
+"""Turn a telemetry JSONL file into a per-phase / per-operator summary.
+
+``repro report telemetry.jsonl`` renders the tables; the benchmarks embed
+the same :func:`summarize` dict into their ``BENCH_*.json`` payloads so a
+perf run carries its own span/counter breakdown.
+
+Spans are aggregated by ``(name, detail)`` where the detail is the first
+identifying tag present (phase, activity/operator id, chain, category,
+...) — this groups the hot rows the way a human reads them: HS phases
+line up as four rows, engine operators as one row per activity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = ["load_events", "summarize", "render_summary"]
+
+#: Tag keys that identify a span row in the summary, in priority order.
+_DETAIL_TAGS = (
+    "phase",
+    "activity",
+    "operator",
+    "component",
+    "chain",
+    "category",
+    "algorithm",
+)
+
+
+def load_events(path: str) -> list[dict[str, Any]]:
+    """Parse a telemetry JSONL file (meta lines included)."""
+    events: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            events.append(json.loads(line))
+    return events
+
+
+def _span_detail(tags: dict[str, Any]) -> str:
+    for key in _DETAIL_TAGS:
+        if key in tags:
+            return f"{key}={tags[key]}"
+    return ""
+
+
+def _label(name: str, tags: dict[str, Any], detail: str = "") -> str:
+    if detail:
+        return f"{name}[{detail}]"
+    if tags:
+        parts = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+        return f"{name}[{parts}]"
+    return name
+
+
+def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate events into a JSON-able summary dict."""
+    span_rows: dict[str, dict[str, Any]] = {}
+    counter_rows: dict[str, int] = {}
+    gauge_rows: dict[str, dict[str, Any]] = {}
+    span_count = 0
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            span_count += 1
+            tags = event.get("tags", {})
+            label = _label(event["name"], tags, _span_detail(tags))
+            row = span_rows.setdefault(
+                label,
+                {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0},
+            )
+            seconds = float(event.get("seconds", 0.0))
+            row["count"] += 1
+            row["total_seconds"] += seconds
+            row["max_seconds"] = max(row["max_seconds"], seconds)
+        elif kind == "counter":
+            label = _label(event["name"], event.get("tags", {}))
+            counter_rows[label] = counter_rows.get(label, 0) + int(
+                event.get("value", 0)
+            )
+        elif kind == "gauge":
+            label = _label(event["name"], event.get("tags", {}))
+            row = gauge_rows.setdefault(label, {"value": None, "max": None})
+            for key in ("value", "max"):
+                value = event.get(key)
+                if value is not None and (
+                    row[key] is None or value > row[key]
+                ):
+                    row[key] = value
+    for row in span_rows.values():
+        row["mean_seconds"] = (
+            row["total_seconds"] / row["count"] if row["count"] else 0.0
+        )
+        for key in ("total_seconds", "max_seconds", "mean_seconds"):
+            row[key] = round(row[key], 6)
+    return {
+        "span_events": span_count,
+        "spans": dict(sorted(span_rows.items())),
+        "counters": dict(sorted(counter_rows.items())),
+        "gauges": dict(sorted(gauge_rows.items())),
+    }
+
+
+def render_summary(summary: dict[str, Any]) -> str:
+    """Render a :func:`summarize` dict as fixed-width tables."""
+    lines: list[str] = []
+    spans = summary.get("spans", {})
+    if spans:
+        width = max(len(label) for label in spans)
+        width = max(width, len("span"))
+        lines.append(
+            f"{'span':<{width}}  {'count':>7}  {'total ms':>10}  "
+            f"{'mean ms':>10}  {'max ms':>10}"
+        )
+        for label, row in spans.items():
+            lines.append(
+                f"{label:<{width}}  {row['count']:>7}  "
+                f"{1000 * row['total_seconds']:>10.2f}  "
+                f"{1000 * row['mean_seconds']:>10.2f}  "
+                f"{1000 * row['max_seconds']:>10.2f}"
+            )
+    else:
+        lines.append("no spans recorded")
+    counters = summary.get("counters", {})
+    if counters:
+        width = max(max(len(label) for label in counters), len("counter"))
+        lines.append("")
+        lines.append(f"{'counter':<{width}}  {'value':>12}")
+        for label, value in counters.items():
+            lines.append(f"{label:<{width}}  {value:>12}")
+    gauges = summary.get("gauges", {})
+    if gauges:
+        width = max(max(len(label) for label in gauges), len("gauge"))
+        lines.append("")
+        lines.append(f"{'gauge':<{width}}  {'last':>12}  {'max':>12}")
+        for label, row in gauges.items():
+            last = row["value"] if row["value"] is not None else "—"
+            peak = row["max"] if row["max"] is not None else "—"
+            lines.append(f"{label:<{width}}  {last:>12}  {peak:>12}")
+    return "\n".join(lines)

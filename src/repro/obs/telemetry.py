@@ -1,0 +1,356 @@
+"""Structured telemetry: spans, counters, gauges, and the recorder.
+
+The optimizer is a state-space search whose behaviour — states visited,
+transitions fired, local-group phases, cost-model evaluations — was
+previously invisible except for a handful of aggregate fields on
+:class:`~repro.core.search.result.OptimizationResult`.  This module is the
+measurement substrate every perf-facing subsystem reports through:
+
+* :class:`Span` — one nested, monotonic-clocked, tagged measurement;
+  spans form a tree via ``parent_id`` (per-thread stacks keep nesting
+  correct under concurrent use);
+* :class:`Counter` / :class:`Gauge` — named, tagged registries for event
+  counts (transition applicability, transposition hits/misses) and level
+  measurements (ledger peak-resident rows);
+* :class:`Recorder` — the thread-safe sink.  Worker processes record
+  into a private :class:`Recorder` and ship ``events()`` back with their
+  results; the parent :meth:`Recorder.absorb`\\ s the buffer, so one JSONL
+  file describes the whole run regardless of ``jobs``.
+
+Everything is stdlib-only.  Instrumented call sites obtain the active
+recorder with :func:`get_recorder`; when telemetry is off that returns
+the :data:`NULL_RECORDER`, whose every operation is a no-op, so
+instrumentation costs almost nothing when disabled.
+
+Serialization is JSON-lines through :func:`repro.io.atomic.atomic_write_text`
+(temp file + ``os.replace``), so a crash mid-flush never leaves a torn
+telemetry file behind.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.io.atomic import atomic_write_text
+
+__all__ = [
+    "FORMAT_VERSION",
+    "Counter",
+    "Gauge",
+    "Span",
+    "Recorder",
+    "NULL_RECORDER",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+]
+
+FORMAT_VERSION = 1
+
+#: Tags are flattened to ``(key, value)`` tuples sorted by key — the
+#: registry identity of a counter or gauge.
+_TagKey = tuple[tuple[str, Any], ...]
+
+
+def _tag_key(tags: dict[str, Any]) -> _TagKey:
+    return tuple(sorted(tags.items()))
+
+
+class Counter:
+    """A monotonically increasing event count (e.g. transposition hits)."""
+
+    __slots__ = ("name", "tags", "value")
+
+    def __init__(self, name: str, tags: dict[str, Any]):
+        self.name = name
+        self.tags = tags
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def to_event(self) -> dict[str, Any]:
+        return {
+            "type": "counter",
+            "name": self.name,
+            "value": self.value,
+            "tags": dict(self.tags),
+        }
+
+
+class Gauge:
+    """A level measurement; remembers the last and the maximum value set."""
+
+    __slots__ = ("name", "tags", "value", "max")
+
+    def __init__(self, name: str, tags: dict[str, Any]):
+        self.name = name
+        self.tags = tags
+        self.value: float | None = None
+        self.max: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def to_event(self) -> dict[str, Any]:
+        return {
+            "type": "gauge",
+            "name": self.name,
+            "value": self.value,
+            "max": self.max,
+            "tags": dict(self.tags),
+        }
+
+
+@dataclass
+class Span:
+    """One finished measurement in the span tree."""
+
+    name: str
+    seconds: float
+    span_id: str
+    parent_id: str | None = None
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    def to_event(self) -> dict[str, Any]:
+        return {
+            "type": "span",
+            "name": self.name,
+            "seconds": self.seconds,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tags": dict(self.tags),
+        }
+
+
+class Recorder:
+    """Thread-safe telemetry sink: spans, counters, gauges, JSONL export.
+
+    Span ids embed the recording process's pid, so buffers absorbed from
+    worker processes never collide with the parent's ids and the span
+    tree stays well-formed across process boundaries.
+    """
+
+    #: Instrumented call sites may branch on this to skip building tags.
+    active = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._spans: list[dict[str, Any]] = []
+        self._counters: dict[tuple[str, _TagKey], Counter] = {}
+        self._gauges: dict[tuple[str, _TagKey], Gauge] = {}
+        self._local = threading.local()
+        self._ids = itertools.count(1)
+        self._origin = os.getpid()
+
+    # -- span tree --------------------------------------------------------------
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _next_span_id(self) -> str:
+        with self._lock:
+            return f"{self._origin}-{next(self._ids)}"
+
+    def current_span_id(self) -> str | None:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[None]:
+        """Measure the enclosed block on the monotonic clock."""
+        span_id = self._next_span_id()
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(span_id)
+        started = self._clock()
+        try:
+            yield
+        finally:
+            seconds = self._clock() - started
+            stack.pop()
+            event = Span(
+                name=name,
+                seconds=seconds,
+                span_id=span_id,
+                parent_id=parent,
+                tags=tags,
+            ).to_event()
+            with self._lock:
+                self._spans.append(event)
+
+    def record_span(self, name: str, seconds: float, **tags: Any) -> None:
+        """Record an externally measured span (e.g. a worker-side timing)."""
+        event = Span(
+            name=name,
+            seconds=seconds,
+            span_id=self._next_span_id(),
+            parent_id=self.current_span_id(),
+            tags=tags,
+        ).to_event()
+        with self._lock:
+            self._spans.append(event)
+
+    # -- registries -------------------------------------------------------------
+
+    def counter(self, name: str, **tags: Any) -> Counter:
+        key = (name, _tag_key(tags))
+        with self._lock:
+            found = self._counters.get(key)
+            if found is None:
+                found = Counter(name, tags)
+                self._counters[key] = found
+            return found
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        key = (name, _tag_key(tags))
+        with self._lock:
+            found = self._gauges.get(key)
+            if found is None:
+                found = Gauge(name, tags)
+                self._gauges[key] = found
+            return found
+
+    # -- merge + export ---------------------------------------------------------
+
+    def events(self) -> list[dict[str, Any]]:
+        """A snapshot of everything recorded so far, as JSON-able dicts."""
+        with self._lock:
+            events = list(self._spans)
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+        events.extend(c.to_event() for c in counters)
+        events.extend(g.to_event() for g in gauges)
+        return events
+
+    def absorb(self, events: list[dict[str, Any]] | None) -> None:
+        """Merge a buffer shipped back from a worker (or another recorder).
+
+        Span events are appended (parentless roots are re-parented under
+        the caller's current span, so worker work nests under the phase
+        that dispatched it); counter values are summed and gauges maxed
+        into this recorder's registries.
+        """
+        if not events:
+            return
+        parent = self.current_span_id()
+        for event in events:
+            kind = event.get("type")
+            if kind == "span":
+                merged = dict(event)
+                if merged.get("parent_id") is None:
+                    merged["parent_id"] = parent
+                with self._lock:
+                    self._spans.append(merged)
+            elif kind == "counter":
+                self.counter(event["name"], **event.get("tags", {})).add(
+                    event.get("value", 0)
+                )
+            elif kind == "gauge":
+                gauge = self.gauge(event["name"], **event.get("tags", {}))
+                for value in (event.get("value"), event.get("max")):
+                    if value is not None:
+                        gauge.set(value)
+
+    def flush_jsonl(self, path: str | os.PathLike) -> None:
+        """Write all events as JSON lines, atomically (never a torn file)."""
+        lines = [
+            json.dumps(
+                {"type": "meta", "format_version": FORMAT_VERSION},
+                sort_keys=True,
+            )
+        ]
+        lines.extend(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in self.events()
+        )
+        atomic_write_text(os.fspath(path), "\n".join(lines) + "\n")
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def add(self, amount: int = 1) -> None:
+        return None
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = None
+    max = None
+
+    def set(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+
+
+class _NullRecorder(Recorder):
+    """The disabled recorder: every operation is a cheap no-op."""
+
+    active = False
+
+    @contextmanager
+    def span(self, name: str, **tags: Any) -> Iterator[None]:
+        yield
+
+    def record_span(self, name: str, seconds: float, **tags: Any) -> None:
+        return None
+
+    def counter(self, name: str, **tags: Any) -> Counter:
+        return _NULL_COUNTER  # type: ignore[return-value]
+
+    def gauge(self, name: str, **tags: Any) -> Gauge:
+        return _NULL_GAUGE  # type: ignore[return-value]
+
+    def absorb(self, events: list[dict[str, Any]] | None) -> None:
+        return None
+
+    def events(self) -> list[dict[str, Any]]:
+        return []
+
+
+NULL_RECORDER = _NullRecorder()
+
+_active: Recorder = NULL_RECORDER
+
+
+def get_recorder() -> Recorder:
+    """The process-wide active recorder (:data:`NULL_RECORDER` when off)."""
+    return _active
+
+
+def set_recorder(recorder: Recorder | None) -> Recorder:
+    """Install ``recorder`` (``None`` disables); returns the previous one."""
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NULL_RECORDER
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder: Recorder | None) -> Iterator[Recorder]:
+    """Temporarily install ``recorder`` as the active recorder."""
+    previous = set_recorder(recorder)
+    try:
+        yield get_recorder()
+    finally:
+        set_recorder(previous)

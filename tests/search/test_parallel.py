@@ -20,6 +20,7 @@ from repro import (
 )
 from repro.core.search.parallel import WorkerPool
 from repro.fuzz import FuzzConfig, run_fuzz
+from repro.obs import Recorder, use_recorder
 from repro.workloads import fig1_workflow, generate_workload
 
 
@@ -99,6 +100,63 @@ class TestSAMultiChain:
         assert portfolio.best.cost <= serial.best.cost
         assert portfolio.jobs == 3
         assert portfolio.visited_states >= serial.visited_states
+
+
+class TestTelemetryDeterminism:
+    """Telemetry is side-band only: jobs=N stays byte-identical to serial
+    with a recorder installed, and recorded aggregates agree across runs."""
+
+    @staticmethod
+    def _run(jobs: int, recorder):
+        workload = generate_workload("small", seed=0)
+        with use_recorder(recorder):
+            return heuristic_search(
+                workload.workflow.copy(), budget=SearchBudget(jobs=jobs)
+            )
+
+    def test_jobs2_matches_jobs1_with_telemetry_enabled(self):
+        plain = self._run(1, None)
+        serial_recorder, parallel_recorder = Recorder(), Recorder()
+        serial = self._run(1, serial_recorder)
+        parallel = self._run(2, parallel_recorder)
+
+        # Optimizer output is identical across jobs and telemetry on/off.
+        for result in (serial, parallel):
+            assert result.best.signature == plain.best.signature
+            assert result.best.cost == plain.best.cost
+            assert result.visited_states == plain.visited_states
+
+        def spans(recorder):
+            return [e for e in recorder.events() if e["type"] == "span"]
+
+        def counters(recorder):
+            return {
+                (e["name"], tuple(sorted(e["tags"].items()))): e["value"]
+                for e in recorder.events()
+                if e["type"] == "counter"
+            }
+
+        assert spans(serial_recorder) and spans(parallel_recorder)
+        # Worker span buffers are shipped back, so parallel runs record the
+        # same phase/group structure and the same deterministic counts.
+        def names(recorder):
+            return sorted(s["name"] for s in spans(recorder))
+
+        assert names(parallel_recorder) == names(serial_recorder)
+        assert counters(parallel_recorder) == counters(serial_recorder)
+
+    def test_es_waves_record_spans_with_identical_output(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            traced = exhaustive_search(
+                fig1_workflow().workflow, budget=SearchBudget(jobs=2)
+            )
+        plain = exhaustive_search(fig1_workflow().workflow)
+        assert traced.best.signature == plain.best.signature
+        assert traced.visited_states == plain.visited_states
+        names = {e["name"] for e in recorder.events() if e["type"] == "span"}
+        assert "search.es.wave" in names
+        assert "search.es.expand" in names
 
 
 class TestWarmCache:

@@ -14,6 +14,7 @@ from repro.core.search.transposition import (
     default_cache_dir,
 )
 from repro.core.signature import workflow_fingerprint
+from repro.obs import Recorder, use_recorder
 from repro.workloads import fig1_workflow, two_branch_scenario
 
 
@@ -141,6 +142,73 @@ class TestDiskLayer:
         cache = TranspositionCache()
         cache.namespace(workflow, ProcessedRowsCostModel()).put_cost("s", 1.0)
         cache.flush()  # must not raise or write anywhere
+
+
+class TestMergeOnWrite:
+    """Concurrent writers union their entries instead of clobbering."""
+
+    def _pair(self, tmp_path, workflow):
+        model = ProcessedRowsCostModel()
+        first = TranspositionCache(tmp_path)
+        second = TranspositionCache(tmp_path)
+        # Both load before either flushes — the racing-writers shape.
+        return first.namespace(workflow, model), second.namespace(
+            workflow, model
+        ), model
+
+    def test_second_writer_keeps_first_writers_entries(
+        self, tmp_path, workflow
+    ):
+        ns1, ns2, model = self._pair(tmp_path, workflow)
+        ns1.put_cost("sig-a", 1.0)
+        ns1.put_group("gk-a", {"path": [], "explored": []})
+        ns2.put_cost("sig-b", 2.0)
+        ns1._cache.flush()
+        ns2._cache.flush()  # last writer: must merge, not clobber
+
+        reloaded = TranspositionCache(tmp_path).namespace(workflow, model)
+        assert reloaded.get_cost("sig-a") == 1.0
+        assert reloaded.get_cost("sig-b") == 2.0
+        assert reloaded.get_group("gk-a") is not None
+        assert ns2._cache.merge_conflicts == 0
+
+    def test_divergent_value_counts_conflict_ours_win(
+        self, tmp_path, workflow
+    ):
+        ns1, ns2, model = self._pair(tmp_path, workflow)
+        ns1.put_cost("sig", 1.0)
+        ns2.put_cost("sig", 2.0)
+        ns1._cache.flush()
+        recorder = Recorder()
+        with use_recorder(recorder):
+            ns2._cache.flush()
+        assert ns2._cache.merge_conflicts == 1
+        counters = [
+            e for e in recorder.events()
+            if e["type"] == "counter"
+            and e["name"] == "search.transposition.merge_conflicts"
+        ]
+        assert counters and counters[0]["value"] == 1
+        reloaded = TranspositionCache(tmp_path).namespace(workflow, model)
+        assert reloaded.get_cost("sig") == 2.0  # the flusher's value won
+
+    def test_dropped_group_is_not_resurrected_by_merge(
+        self, tmp_path, workflow
+    ):
+        model = ProcessedRowsCostModel()
+        first = TranspositionCache(tmp_path)
+        ns1 = first.namespace(workflow, model)
+        ns1.put_group("gk", {"path": [], "explored": []})
+        first.flush()
+
+        second = TranspositionCache(tmp_path)
+        ns2 = second.namespace(workflow, model)
+        assert ns2.get_group("gk") is not None
+        ns2.drop_group("gk")
+        second.flush()
+
+        reloaded = TranspositionCache(tmp_path).namespace(workflow, model)
+        assert reloaded.get_group("gk") is None
 
 
 class TestDeferredCostReport:

@@ -295,3 +295,90 @@ class TestFuzzStreamingFlags:
              "--rows", "20", "--batch-size", "16", "--no-shrink"]
         ) == 0
         assert "no equivalence" in capsys.readouterr().out
+
+
+class TestTelemetry:
+    def test_optimize_writes_jsonl_and_report_renders(
+        self, fig1_json, tmp_path, capsys
+    ):
+        import json
+
+        jsonl = str(tmp_path / "spans.jsonl")
+        assert main(["optimize", fig1_json, "--telemetry", jsonl]) == 0
+        capsys.readouterr()
+        lines = open(jsonl, encoding="utf-8").read().splitlines()
+        assert json.loads(lines[0])["type"] == "meta"
+        kinds = {json.loads(line)["type"] for line in lines}
+        assert "span" in kinds and "counter" in kinds
+
+        assert main(["report", jsonl]) == 0
+        out = capsys.readouterr().out
+        # Per-phase HS spans render as one row per phase.
+        assert "search.phase[phase=I]" in out
+        assert "search.phase[phase=IV]" in out
+        assert "cli.optimize" in out
+        assert "search.transitions" in out
+
+    def test_run_telemetry_records_per_operator_spans(
+        self, runnable_flow, tmp_path, capsys
+    ):
+        flow, data = runnable_flow
+        jsonl = str(tmp_path / "run.jsonl")
+        assert main(
+            ["run", flow, "--data", data, "--batch-size", "16",
+             "--telemetry", jsonl]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert "engine.run[mode=streaming]" in out
+        assert "engine.operator[activity=a1]" in out
+        assert "engine.resident_rows.peak" in out
+
+    def test_fuzz_telemetry_records_per_seed_spans(self, tmp_path, capsys):
+        jsonl = str(tmp_path / "fuzz.jsonl")
+        assert main(
+            ["fuzz", "--seeds", "2", "--chain-length", "2", "--rows", "20",
+             "--categories", "tiny", "--telemetry", jsonl]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", jsonl]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz.seed[category=tiny]" in out
+        assert "fuzz.oracle[category=tiny]" in out
+
+    def test_report_json_mode(self, fig1_json, tmp_path, capsys):
+        import json
+
+        jsonl = str(tmp_path / "spans.jsonl")
+        assert main(["optimize", fig1_json, "--telemetry", jsonl]) == 0
+        capsys.readouterr()
+        assert main(["report", jsonl, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["span_events"] > 0
+        assert any(
+            label.startswith("search.phase") for label in summary["spans"]
+        )
+
+    def test_report_without_spans_exits_one(self, tmp_path, capsys):
+        jsonl = tmp_path / "empty.jsonl"
+        jsonl.write_text(
+            '{"type": "meta", "format_version": 1}\n', encoding="utf-8"
+        )
+        assert main(["report", str(jsonl)]) == 1
+        assert "no spans recorded" in capsys.readouterr().out
+
+    def test_report_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_telemetry_written_even_when_command_finds_issues(
+        self, fig1_json, tmp_path, capsys
+    ):
+        jsonl = str(tmp_path / "impact.jsonl")
+        assert main(
+            ["impact", fig1_json, "--source", "PARTS2",
+             "--attribute", "DCOST", "--telemetry", jsonl]
+        ) == 1
+        capsys.readouterr()
+        assert main(["report", jsonl]) == 0  # the cli span is always there

@@ -1,6 +1,6 @@
 """Unit tests for the naming-discipline linter."""
 
-from repro.core.activity import Activity
+from repro.core.activity import Activity, CompositeActivity
 from repro.core.lint import LintLevel, lint_workflow
 from repro.core.recordset import RecordSet, RecordSetKind
 from repro.core.schema import Schema
@@ -152,6 +152,141 @@ class TestMixedFormatBranches:
             self._union_state(transform_both=False, gamma_downstream=False)
         )
         assert findings == []
+
+    def test_diamond_shared_transformer_does_not_mask_partial_branch(self):
+        """Branch attribution must exclude the diamond's shared region.
+
+        A transformer upstream of the fork reaches the union through every
+        provider; counting it as a member of each branch made the partial
+        (branch-only) transform look total, suppressing the warning.
+        """
+        wf = ETLWorkflow()
+        schema = Schema(["K", "DATE", "V"])
+        src = wf.add_node(RecordSet("1", "S", schema, RecordSetKind.SOURCE, 10))
+        shared = wf.add_node(
+            Activity(
+                "2",
+                t.FUNCTION_APPLY,
+                {
+                    "function": "date_us_to_eu",
+                    "inputs": ("DATE",),
+                    "output": "DATE",
+                    "injective": True,
+                },
+            )
+        )
+        wf.add_edge(src, shared)
+        # Fork: branch A re-transforms DATE, branch B does not.
+        branch_only = wf.add_node(
+            Activity(
+                "3",
+                t.FUNCTION_APPLY,
+                {
+                    "function": "shift_up",
+                    "inputs": ("DATE",),
+                    "output": "DATE",
+                },
+            )
+        )
+        passthrough = wf.add_node(
+            Activity("4", t.NOT_NULL, {"attr": "K"}, selectivity=0.9)
+        )
+        wf.add_edge(shared, branch_only)
+        wf.add_edge(shared, passthrough)
+        union = wf.add_node(Activity("5", t.UNION, {}))
+        wf.add_edge(branch_only, union, port=0)
+        wf.add_edge(passthrough, union, port=1)
+        gamma = wf.add_node(
+            Activity(
+                "6",
+                t.AGGREGATION,
+                {
+                    "group_by": ("K", "DATE"),
+                    "measure": "V",
+                    "agg": "sum",
+                    "output": "VM",
+                },
+                selectivity=0.4,
+            )
+        )
+        wf.add_edge(union, gamma)
+        dw = wf.add_node(
+            RecordSet(
+                "9", "DW", Schema(["K", "DATE", "VM"]), RecordSetKind.TARGET
+            )
+        )
+        wf.add_edge(gamma, dw)
+
+        findings = lint_workflow(wf)
+        assert [f.rule for f in findings] == ["mixed-format-branches"]
+        assert findings[0].attribute == "DATE"
+        assert "3" in findings[0].activity_ids
+
+    def test_convergence_packaged_in_composite_still_scanned(self):
+        """A binary hidden inside a CompositeActivity must not escape.
+
+        The binaries scan used to inspect only top-level activities; a MER
+        package wrapping the union (is_binary False on the container) made
+        the convergence point invisible.
+        """
+        wf = ETLWorkflow()
+        schema = Schema(["K", "DATE", "V"])
+        s1 = wf.add_node(RecordSet("1", "S1", schema, RecordSetKind.SOURCE, 10))
+        s2 = wf.add_node(RecordSet("2", "S2", schema, RecordSetKind.SOURCE, 10))
+        transform = wf.add_node(
+            Activity(
+                "3",
+                t.FUNCTION_APPLY,
+                {
+                    "function": "date_us_to_eu",
+                    "inputs": ("DATE",),
+                    "output": "DATE",
+                    "injective": True,
+                },
+            )
+        )
+        wf.add_edge(s1, transform)
+        union = Activity("5", t.UNION, {})
+        follower = Activity("6", t.NOT_NULL, {"attr": "K"}, selectivity=0.9)
+        # The real MERGE transition only packages unary chains; build the
+        # (hypothetical, but representable) binary-headed package directly.
+        packaged = object.__new__(CompositeActivity)
+        packaged.components = (union, follower)
+        packaged.id = "5+6"
+        packaged.template = union.template
+        packaged.params = {}
+        packaged.selectivity = union.selectivity * follower.selectivity
+        packaged.name = "5+6"
+        packaged._plan = follower._plan
+        packaged._derive_cache = {}
+        wf.add_node(packaged)
+        wf.add_edge(transform, packaged, port=0)
+        wf.add_edge(s2, packaged, port=1)
+        gamma = wf.add_node(
+            Activity(
+                "7",
+                t.AGGREGATION,
+                {
+                    "group_by": ("K", "DATE"),
+                    "measure": "V",
+                    "agg": "sum",
+                    "output": "VM",
+                },
+                selectivity=0.4,
+            )
+        )
+        wf.add_edge(packaged, gamma)
+        dw = wf.add_node(
+            RecordSet(
+                "9", "DW", Schema(["K", "DATE", "VM"]), RecordSetKind.TARGET
+            )
+        )
+        wf.add_edge(gamma, dw)
+
+        findings = lint_workflow(wf)
+        assert [f.rule for f in findings] == ["mixed-format-branches"]
+        # The finding names the inner binary, not the composite container.
+        assert "5" in findings[0].message
 
 
 class TestRealScenarios:

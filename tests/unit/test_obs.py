@@ -1,0 +1,189 @@
+"""Unit tests for the observability layer (spans, counters, reports)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    get_recorder,
+    load_events,
+    render_summary,
+    set_recorder,
+    summarize,
+    use_recorder,
+)
+
+
+def _spans(recorder):
+    return [e for e in recorder.events() if e["type"] == "span"]
+
+
+class TestSpans:
+    def test_span_measures_and_tags(self):
+        recorder = Recorder()
+        with recorder.span("work", phase="I"):
+            pass
+        (span,) = _spans(recorder)
+        assert span["name"] == "work"
+        assert span["tags"] == {"phase": "I"}
+        assert span["seconds"] >= 0.0
+        assert span["parent_id"] is None
+
+    def test_nesting_sets_parent_ids(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        outer, inner = sorted(_spans(recorder), key=lambda s: s["name"])[::-1]
+        assert outer["parent_id"] is None
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_record_span_parents_under_current(self):
+        recorder = Recorder()
+        with recorder.span("outer"):
+            recorder.record_span("measured", 0.5, chain=3)
+        by_name = {s["name"]: s for s in _spans(recorder)}
+        assert by_name["measured"]["seconds"] == 0.5
+        assert by_name["measured"]["parent_id"] == by_name["outer"]["span_id"]
+
+    def test_span_recorded_even_when_body_raises(self):
+        recorder = Recorder()
+        with pytest.raises(ValueError):
+            with recorder.span("doomed"):
+                raise ValueError("boom")
+        assert [s["name"] for s in _spans(recorder)] == ["doomed"]
+
+
+class TestRegistries:
+    def test_counter_accumulates_per_tag_set(self):
+        recorder = Recorder()
+        recorder.counter("hits", kind="cost").add()
+        recorder.counter("hits", kind="cost").add(2)
+        recorder.counter("hits", kind="group").add()
+        events = {
+            tuple(sorted(e["tags"].items())): e["value"]
+            for e in recorder.events()
+            if e["type"] == "counter"
+        }
+        assert events[(("kind", "cost"),)] == 3
+        assert events[(("kind", "group"),)] == 1
+
+    def test_gauge_tracks_last_and_max(self):
+        recorder = Recorder()
+        gauge = recorder.gauge("resident")
+        gauge.set(10)
+        gauge.set(50)
+        gauge.set(20)
+        (event,) = [e for e in recorder.events() if e["type"] == "gauge"]
+        assert event["value"] == 20
+        assert event["max"] == 50
+
+
+class TestAbsorb:
+    def test_worker_buffer_merges_into_parent(self):
+        worker = Recorder()
+        with worker.span("search.group", members=3):
+            worker.counter("explored").add(7)
+        worker.gauge("peak").set(42)
+
+        parent = Recorder()
+        parent.counter("explored").add(1)
+        parent.gauge("peak").set(10)
+        with parent.span("search.phase", phase="I"):
+            parent.absorb(worker.events())
+
+        by_name = {s["name"]: s for s in _spans(parent)}
+        assert (
+            by_name["search.group"]["parent_id"]
+            == by_name["search.phase"]["span_id"]
+        )
+        counters = [e for e in parent.events() if e["type"] == "counter"]
+        assert counters[0]["value"] == 8  # summed
+        gauges = [e for e in parent.events() if e["type"] == "gauge"]
+        assert gauges[0]["max"] == 42  # maxed
+
+    def test_absorb_none_and_empty_are_noops(self):
+        recorder = Recorder()
+        recorder.absorb(None)
+        recorder.absorb([])
+        assert recorder.events() == []
+
+
+class TestFlushAndLoad:
+    def test_jsonl_round_trip(self, tmp_path):
+        recorder = Recorder()
+        with recorder.span("phase", phase="II"):
+            pass
+        recorder.counter("transitions", mnemonic="SWA").add(5)
+        path = tmp_path / "t.jsonl"
+        recorder.flush_jsonl(path)
+
+        events = load_events(str(path))
+        assert events[0] == {"type": "meta", "format_version": 1}
+        kinds = {e["type"] for e in events}
+        assert kinds == {"meta", "span", "counter"}
+        # Every line is standalone JSON (the JSONL contract).
+        for line in path.read_text(encoding="utf-8").splitlines():
+            json.loads(line)
+
+
+class TestActiveRecorder:
+    def test_default_is_null_recorder(self):
+        assert get_recorder() is NULL_RECORDER
+        assert not get_recorder().active
+
+    def test_use_recorder_installs_and_restores(self):
+        recorder = Recorder()
+        with use_recorder(recorder) as active:
+            assert active is recorder
+            assert get_recorder() is recorder
+        assert get_recorder() is NULL_RECORDER
+
+    def test_set_recorder_none_disables(self):
+        previous = set_recorder(Recorder())
+        assert previous is NULL_RECORDER
+        set_recorder(None)
+        assert get_recorder() is NULL_RECORDER
+
+    def test_null_recorder_records_nothing(self):
+        with NULL_RECORDER.span("ignored", tag=1):
+            NULL_RECORDER.counter("ignored").add(5)
+            NULL_RECORDER.gauge("ignored").set(5)
+            NULL_RECORDER.record_span("ignored", 1.0)
+        assert NULL_RECORDER.events() == []
+
+
+class TestSummarize:
+    def _events(self):
+        recorder = Recorder()
+        with recorder.span("search.phase", phase="I"):
+            pass
+        with recorder.span("search.phase", phase="I"):
+            pass
+        recorder.record_span("engine.operator", 0.25, activity="7")
+        recorder.counter("search.transitions", mnemonic="SWA").add(3)
+        recorder.gauge("engine.resident_rows.peak").set(128)
+        return recorder.events()
+
+    def test_spans_grouped_by_identifying_tag(self):
+        summary = summarize(self._events())
+        assert summary["span_events"] == 3
+        assert summary["spans"]["search.phase[phase=I]"]["count"] == 2
+        row = summary["spans"]["engine.operator[activity=7]"]
+        assert row["total_seconds"] == 0.25
+        assert summary["counters"]["search.transitions[mnemonic=SWA]"] == 3
+        assert summary["gauges"]["engine.resident_rows.peak"]["max"] == 128
+
+    def test_render_contains_all_tables(self):
+        rendered = render_summary(summarize(self._events()))
+        assert "search.phase[phase=I]" in rendered
+        assert "engine.operator[activity=7]" in rendered
+        assert "search.transitions[mnemonic=SWA]" in rendered
+        assert "engine.resident_rows.peak" in rendered
+
+    def test_render_empty_summary(self):
+        assert "no spans recorded" in render_summary(summarize([]))
