@@ -34,7 +34,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import SearchBudget, heuristic_search  # noqa: E402
-from repro.obs import Recorder, summarize, use_recorder  # noqa: E402
+from repro.obs import (  # noqa: E402
+    Recorder,
+    summarize,
+    use_recorder,
+    verify_lineage,
+)
 from repro.workloads import generate_workload  # noqa: E402
 
 
@@ -115,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
         print("error: warm cache run must hit and agree", file=sys.stderr)
         return 1
 
+    # Provenance check: the winning lineage must replay to the reported
+    # best state, and the payload records its shape for the diff gate.
+    replay = verify_lineage(serial)
+    print(f"  lineage {len(serial.lineage)} step(s) replays to "
+          f"cost {replay.cost:.0f}")
+
     payload = {
         "benchmark": "parallel",
         "category": args.category,
@@ -125,6 +136,11 @@ def main(argv: list[str] | None = None) -> int:
         "serial_seconds": round(serial_seconds, 4),
         "visited_states": serial.visited_states,
         "best_cost": serial.best.cost,
+        "lineage": {
+            "steps": len(serial.lineage),
+            "transition_mix": serial.transition_mix(),
+            "replay_ok": True,
+        },
         "runs": runs,
         "cache": {
             "cold_seconds": round(cold_seconds, 4),

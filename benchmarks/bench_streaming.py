@@ -86,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     payload: dict = {
+        "benchmark": "streaming",
         "category": args.category,
         "seed": args.seed,
         "rows_per_source": args.rows,

@@ -10,6 +10,9 @@ Usage::
     python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
     python -m repro optimize flow.json --telemetry spans.jsonl
     python -m repro report spans.jsonl
+    python -m repro explain flow.json --diff
+    python -m repro explain flow.json --dot > plan.dot
+    python -m repro report BENCH.json --compare benchmarks/baselines/BENCH.json
 
 Workflows are exchanged in the JSON format of :mod:`repro.io.json_io`;
 custom templates are not resolvable from the command line (use the
@@ -18,11 +21,16 @@ library API for those).
 Every subcommand accepts ``--telemetry PATH``: the run records structured
 spans/counters/gauges (see :mod:`repro.obs`) and writes them as JSONL to
 ``PATH`` on the way out; ``repro report PATH`` renders the file as
-per-phase / per-operator summary tables.
+per-phase / per-operator summary tables.  ``repro explain --diff`` shows
+the initial and optimized plans side by side with per-node cost deltas
+attributed to the winning lineage steps; ``repro report --compare
+BASELINE`` diffs two telemetry/bench files under per-metric regression
+thresholds.
 
 Exit codes: 0 on success, 1 when a check reports findings (lint/impact
 diagnostics, fuzz violations, a telemetry file with no spans), 2 on bad
-input (unreadable file, invalid JSON, unknown category, ...).
+input (unreadable file, invalid JSON, unknown category, ...), 3 when
+``report --compare`` detects a metric regression.
 """
 
 from __future__ import annotations
@@ -101,6 +109,49 @@ def build_parser() -> argparse.ArgumentParser:
         "-o",
         default=None,
         help="write the optimized workflow JSON here",
+    )
+
+    cmd_explain = commands.add_parser(
+        "explain",
+        help="cost-annotated plan; --diff/--dot explain the optimization",
+    )
+    cmd_explain.add_argument("workflow", help="path to a workflow JSON file")
+    cmd_explain.add_argument(
+        "--algorithm",
+        default="hs",
+        choices=["es", "hs", "greedy", "sa", "annealing"],
+        help="search algorithm for --diff/--dot (default: hs)",
+    )
+    cmd_explain.add_argument(
+        "--max-states", type=int, default=None, help="state budget"
+    )
+    cmd_explain.add_argument(
+        "--max-seconds", type=float, default=None, help="wall-clock budget"
+    )
+    cmd_explain.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (default: 1 = serial; 0 = one per CPU)",
+    )
+    cmd_explain.add_argument(
+        "--cache-dir", default=None, help="transposition-cache directory"
+    )
+    cmd_explain.add_argument(
+        "--diff",
+        action="store_true",
+        help=(
+            "optimize, then show initial and best plans side by side with "
+            "per-node cost deltas attributed to lineage steps"
+        ),
+    )
+    cmd_explain.add_argument(
+        "--dot",
+        action="store_true",
+        help=(
+            "optimize, then emit Graphviz DOT of the best plan annotated "
+            "with costs plus the winning search trace"
+        ),
     )
 
     cmd_render = commands.add_parser(
@@ -237,15 +288,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cmd_report = commands.add_parser(
-        "report", help="summarize a telemetry JSONL file as tables"
+        "report",
+        help="summarize a telemetry file, or diff it against a baseline",
     )
     cmd_report.add_argument(
-        "jsonl", help="telemetry file written by --telemetry"
+        "jsonl", help="telemetry JSONL (or bench JSON with --compare)"
     )
     cmd_report.add_argument(
         "--json",
         action="store_true",
-        help="emit the summary as JSON instead of tables",
+        help="emit the summary (or diff) as JSON instead of tables",
+    )
+    cmd_report.add_argument(
+        "--compare",
+        metavar="BASELINE",
+        default=None,
+        help=(
+            "diff the file against this baseline telemetry/bench file "
+            "under per-metric regression thresholds; exit 3 on regression"
+        ),
+    )
+    cmd_report.add_argument(
+        "--fail-on-regress",
+        metavar="PCT",
+        type=float,
+        default=None,
+        help=(
+            "override the gated metrics' regression threshold (percent); "
+            "only meaningful with --compare"
+        ),
+    )
+    cmd_report.add_argument(
+        "--include-info",
+        action="store_true",
+        help="with --compare, also list informational (ungated) metrics",
     )
 
     # Every subcommand records telemetry the same way.
@@ -275,6 +351,41 @@ def _cmd_optimize(args) -> int:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(dumps(result.best.workflow))
         print(f"optimized workflow written to {args.output}")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    from repro.io.explain import explain, explain_diff, explain_dot
+
+    workflow = load(args.workflow)
+    if not args.diff and not args.dot:
+        print(explain(workflow))
+        return 0
+    budget = SearchBudget(
+        max_states=args.max_states,
+        max_seconds=args.max_seconds,
+        jobs=args.jobs,
+        cache=args.cache_dir,
+    )
+    result = optimize(workflow, algorithm=args.algorithm, budget=budget)
+    if args.diff:
+        print(result.summary())
+        print()
+        print(
+            explain_diff(
+                result.initial.workflow,
+                result.best.workflow,
+                lineage=result.lineage,
+            )
+        )
+    if args.dot:
+        print(
+            explain_dot(
+                result.best.workflow,
+                lineage=result.lineage,
+                title=f"{result.algorithm}: best plan",
+            )
+        )
     return 0
 
 
@@ -399,6 +510,17 @@ def _cmd_fuzz(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.compare is not None:
+        from repro.obs.diff import compare_files
+
+        diff = compare_files(
+            args.compare, args.jsonl, fail_threshold=args.fail_on_regress
+        )
+        if args.json:
+            print(json.dumps(diff.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(diff.render(include_info=args.include_info))
+        return 0 if diff.ok else 3
     events = load_events(args.jsonl)
     summary = summarize(events)
     if args.json:
@@ -410,6 +532,7 @@ def _cmd_report(args) -> int:
 
 _HANDLERS = {
     "optimize": _cmd_optimize,
+    "explain": _cmd_explain,
     "render": _cmd_render,
     "lint": _cmd_lint,
     "impact": _cmd_impact,

@@ -25,7 +25,7 @@ from repro.core.search.state import SearchState
 from repro.core.search.transposition import TranspositionCache
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
-from repro.obs import get_recorder
+from repro.obs import get_recorder, record_transition, rejection_reason
 
 __all__ = ["annealing_search"]
 
@@ -118,24 +118,39 @@ def annealing_search(
             for transition in candidates:
                 successor_workflow = transition.try_apply(current.workflow)
                 if successor_workflow is None:
-                    recorder.counter(
-                        "search.transitions",
-                        mnemonic=transition.mnemonic,
-                        outcome="rejected",
-                    ).add()
+                    record_transition(
+                        algorithm="SA",
+                        transition=transition,
+                        cost_before=current.cost,
+                        accepted=False,
+                        reason=rejection_reason(transition, current.workflow),
+                    )
                     continue
-                recorder.counter(
-                    "search.transitions",
-                    mnemonic=transition.mnemonic,
-                    outcome="applied",
-                ).add()
                 successor = current.successor(transition, successor_workflow, model)
                 seen.add(successor.signature)
                 ns.put_cost(successor.signature, successor.cost)
                 delta = successor.cost - current.cost
-                if delta <= 0 or rng.random() < math.exp(
+                accepted = delta <= 0 or rng.random() < math.exp(
                     -delta / max(temperature, 1e-9)
-                ):
+                )
+                # counter_outcome stays "applied" either way: the move was
+                # applicable; acceptance is the separate Metropolis verdict
+                # tracked by search.sa.moves.
+                record_transition(
+                    algorithm="SA",
+                    transition=transition,
+                    cost_before=current.cost,
+                    cost_after=successor.cost,
+                    accepted=accepted,
+                    reason=(
+                        None
+                        if accepted
+                        else f"Metropolis rejection (delta={delta:.6g}, "
+                        f"temperature={temperature:.6g})"
+                    ),
+                    counter_outcome="applied",
+                )
+                if accepted:
                     recorder.counter(
                         "search.sa.moves", outcome="accepted"
                     ).add()
@@ -162,6 +177,7 @@ def annealing_search(
             completed=completed,
             cache_hits=cache.hits - hits_before,
             jobs=1,
+            lineage=best.lineage,
         )
     finally:
         if owned_cache:

@@ -26,6 +26,7 @@ from repro.core.signature import state_signature
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 from repro.exceptions import ReproError
+from repro.obs import record_transition, rejection_reason
 
 __all__ = ["exhaustive_search"]
 
@@ -113,15 +114,37 @@ def exhaustive_search(
             for transition in candidate_transitions(state.workflow):
                 successor_workflow = transition.try_apply(state.workflow)
                 if successor_workflow is None:
+                    record_transition(
+                        algorithm="ES",
+                        transition=transition,
+                        cost_before=state.cost,
+                        accepted=False,
+                        reason=rejection_reason(transition, state.workflow),
+                    )
                     continue
                 # Signature-first dedup: re-derived states are skipped
                 # before any costing work happens.
                 signature = state_signature(successor_workflow)
                 if signature in seen:
+                    record_transition(
+                        algorithm="ES",
+                        transition=transition,
+                        cost_before=state.cost,
+                        accepted=False,
+                        reason="duplicate state (signature already visited)",
+                        counter_outcome="duplicate",
+                    )
                     continue
                 seen.add(signature)
                 successor = ns.successor(
                     state, transition, successor_workflow, model, signature
+                )
+                record_transition(
+                    algorithm="ES",
+                    transition=transition,
+                    cost_before=state.cost,
+                    cost_after=successor.cost,
+                    accepted=True,
                 )
                 if best_first:
                     heapq.heappush(
@@ -147,6 +170,7 @@ def exhaustive_search(
             completed=completed,
             cache_hits=cache.hits - hits_before,
             jobs=1,
+            lineage=best.lineage,
         )
     finally:
         if owned_cache:

@@ -58,10 +58,17 @@ from repro.core.search.budget import SearchBudget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
 from repro.core.search.transposition import CacheNamespace, TranspositionCache
-from repro.obs import NULL_RECORDER, Recorder, get_recorder, use_recorder
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    get_recorder,
+    record_transition,
+    rejection_reason,
+    use_recorder,
+)
 from repro.core.signature import state_signature
 from repro.core.transitions.factorize import Distribute, Factorize
-from repro.core.transitions.merge import Merge, split_fully
+from repro.core.transitions.merge import Merge, Split
 from repro.core.transitions.swap import Swap
 from repro.core.workflow import ETLWorkflow, Node
 from repro.exceptions import SearchBudgetExceeded, TransitionError, WorkflowError
@@ -106,10 +113,12 @@ class _Session:
         budget: SearchBudget,
         ns: CacheNamespace | None = None,
         pool=None,
+        algorithm: str = "HS",
     ):
         self.model = model
         self.config = config
         self.budget = budget
+        self.algorithm = algorithm
         self.max_seconds = (
             budget.max_seconds
             if budget.max_seconds is not None
@@ -203,29 +212,33 @@ def heuristic_search(
         pool = WorkerPool(jobs)
         owned_pool = True
 
+    algorithm = "HS-Greedy" if greedy else "HS"
     try:
-        # Pre-processing (Fig. 7 lines 4-8): apply MER per constraints.
-        prepared = _apply_merge_constraints(workflow, merge_constraints)
-        initial = SearchState.initial(prepared, model)
+        # Results are reported against the *unmerged* S0 for comparability;
+        # merging never changes the state cost (components are priced as-is).
+        reported_initial = SearchState.initial(workflow.copy(), model)
+        # Pre-processing (Fig. 7 lines 4-8): apply MER per constraints —
+        # as successor steps from S0, so the constraint merges are part of
+        # the winning lineage and the whole chain replays from S0.
+        initial = _apply_merge_constraints(
+            reported_initial, merge_constraints, model, algorithm
+        )
         session = _Session(
             model,
             config,
             budget,
             ns=cache.namespace(initial.workflow, model),
             pool=pool,
+            algorithm=algorithm,
         )
         # Register S0 directly: the budget clock must not trip before the
         # search proper starts.
         session.seen.add(initial.signature)
         session.best = initial
-        # Results are reported against the *unmerged* S0 for comparability;
-        # merging never changes the state cost (components are priced as-is).
-        reported_initial = SearchState.initial(workflow.copy(), model)
 
         homologous_pairs = _find_homologous(initial.workflow)
         distributable = _find_distributable(initial.workflow)
 
-        algorithm = "HS-Greedy" if greedy else "HS"
         recorder = get_recorder()
         completed = True
         visited_list: list[SearchState] = []
@@ -275,6 +288,7 @@ def heuristic_search(
             completed=completed,
             cache_hits=cache.hits - hits_before,
             jobs=jobs,
+            lineage=best.lineage,
         )
     finally:
         if owned_pool:
@@ -287,29 +301,75 @@ def heuristic_search(
 
 
 def _apply_merge_constraints(
-    workflow: ETLWorkflow, merge_constraints: tuple[tuple[str, str], ...]
-) -> ETLWorkflow:
-    current = workflow.copy()
+    state: SearchState,
+    merge_constraints: tuple[tuple[str, str], ...],
+    model: CostModel,
+    algorithm: str,
+) -> SearchState:
+    """Apply constraint merges as MER successor steps from S0.
+
+    Building the merged initial through :meth:`SearchState.successor`
+    (with a full re-estimate, matching the old direct estimate of the
+    merged workflow) keeps the constraint merges in the lineage, so the
+    winning chain replays from the *unmerged* reported initial.
+    """
+    current = state
     for first_id, second_id in merge_constraints:
-        first = current.node_by_id(first_id)
-        second = current.node_by_id(second_id)
+        first = current.workflow.node_by_id(first_id)
+        second = current.workflow.node_by_id(second_id)
         if not isinstance(first, Activity) or not isinstance(second, Activity):
             raise WorkflowError(
                 f"merge constraint ({first_id},{second_id}) names a recordset"
             )
-        current = Merge(first, second).apply(current)
+        merge = Merge(first, second)
+        merged = current.successor(
+            merge, merge.apply(current.workflow), model, incremental=False
+        )
+        record_transition(
+            algorithm=algorithm,
+            transition=merge,
+            cost_before=current.cost,
+            cost_after=merged.cost,
+            accepted=True,
+            reason="merge constraint (pre-processing)",
+        )
+        current = merged
     return current
 
 
 def _split_all(state: SearchState, session: _Session) -> SearchState:
-    has_composites = any(
-        isinstance(a, CompositeActivity) for a in state.workflow.activities()
-    )
-    if not has_composites:
-        return state
-    split_workflow = split_fully(state.workflow)
-    final = SearchState.initial(split_workflow, session.model)
-    return final
+    """Post-processing (Fig. 7 line 36): SPL until no composites remain.
+
+    Each split is a successor step (full re-estimate, as the old direct
+    re-wrap did), so the post-processing splits extend the lineage and the
+    returned state's chain replays end-to-end.
+    """
+    current = state
+    while True:
+        merged = next(
+            (
+                node
+                for node in current.workflow.activities()
+                if isinstance(node, CompositeActivity)
+            ),
+            None,
+        )
+        if merged is None:
+            return current
+        split = Split(merged)
+        after = current.successor(
+            split, split.apply(current.workflow), session.model,
+            incremental=False,
+        )
+        record_transition(
+            algorithm=session.algorithm,
+            transition=split,
+            cost_before=current.cost,
+            cost_after=after.cost,
+            accepted=True,
+            reason="post-processing split",
+        )
+        current = after
 
 
 # -- homologous / distributable discovery (Fig. 7 lines 6-7) ---------------------------
@@ -440,14 +500,23 @@ def _shift_forward_state(
         swap = Swap(activity, consumer)
         shifted = swap.try_apply(current.workflow)
         if shifted is None:
-            get_recorder().counter(
-                "search.transitions", mnemonic="SWA", outcome="rejected"
-            ).add()
+            record_transition(
+                algorithm=session.algorithm,
+                transition=swap,
+                cost_before=current.cost,
+                accepted=False,
+                reason=rejection_reason(swap, current.workflow),
+            )
             return None
-        get_recorder().counter(
-            "search.transitions", mnemonic="SWA", outcome="applied"
-        ).add()
+        before = current.cost
         current = current.successor(swap, shifted, session.model)
+        record_transition(
+            algorithm=session.algorithm,
+            transition=swap,
+            cost_before=before,
+            cost_after=current.cost,
+            accepted=True,
+        )
         session.record(current)
     return None
 
@@ -468,14 +537,23 @@ def _shift_backward_state(
         swap = Swap(provider, activity)
         shifted = swap.try_apply(current.workflow)
         if shifted is None:
-            get_recorder().counter(
-                "search.transitions", mnemonic="SWA", outcome="rejected"
-            ).add()
+            record_transition(
+                algorithm=session.algorithm,
+                transition=swap,
+                cost_before=current.cost,
+                accepted=False,
+                reason=rejection_reason(swap, current.workflow),
+            )
             return None
-        get_recorder().counter(
-            "search.transitions", mnemonic="SWA", outcome="applied"
-        ).add()
+        before = current.cost
         current = current.successor(swap, shifted, session.model)
+        record_transition(
+            algorithm=session.algorithm,
+            transition=swap,
+            cost_before=before,
+            cost_after=current.cost,
+            accepted=True,
+        )
         session.record(current)
     return None
 
@@ -514,6 +592,7 @@ def _group_task(
     """
     workflow, member_ids, greedy, group_cap, model, telemetry = args
     members = {workflow.node_by_id(member_id) for member_id in member_ids}
+    algorithm = "HS-Greedy" if greedy else "HS"
     local = Recorder() if telemetry else NULL_RECORDER
     with use_recorder(local):
         with local.span(
@@ -527,17 +606,23 @@ def _group_task(
                 report=estimate(workflow, model),
             )
             if greedy:
-                path, explored = _hill_climb_hermetic(base, members, model)
+                path, explored = _hill_climb_hermetic(
+                    base, members, model, algorithm
+                )
             else:
                 path, explored = _explore_hermetic(
-                    base, members, model, group_cap
+                    base, members, model, group_cap, algorithm
                 )
             local.counter("search.group.states_explored").add(len(explored))
     return path, explored, local.events()
 
 
 def _explore_hermetic(
-    base: SearchState, members: set[Activity], model: CostModel, group_cap: int
+    base: SearchState,
+    members: set[Activity],
+    model: CostModel,
+    group_cap: int,
+    algorithm: str = "HS",
 ) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
     """Best-first exploration of a group's reachable orderings (HS)."""
     best_cost = base.cost
@@ -555,14 +640,22 @@ def _explore_hermetic(
         for swap in _group_swaps(expanding.workflow, members):
             shifted = swap.try_apply(expanding.workflow)
             if shifted is None:
-                get_recorder().counter(
-                    "search.transitions", mnemonic="SWA", outcome="rejected"
-                ).add()
+                record_transition(
+                    algorithm=algorithm,
+                    transition=swap,
+                    cost_before=expanding.cost,
+                    accepted=False,
+                    reason=rejection_reason(swap, expanding.workflow),
+                )
                 continue
-            get_recorder().counter(
-                "search.transitions", mnemonic="SWA", outcome="applied"
-            ).add()
             successor = expanding.successor(swap, shifted, model)
+            record_transition(
+                algorithm=algorithm,
+                transition=swap,
+                cost_before=expanding.cost,
+                cost_after=successor.cost,
+                accepted=True,
+            )
             if successor.signature in local_seen:
                 continue
             local_seen.add(successor.signature)
@@ -578,7 +671,10 @@ def _explore_hermetic(
 
 
 def _hill_climb_hermetic(
-    base: SearchState, members: set[Activity], model: CostModel
+    base: SearchState,
+    members: set[Activity],
+    model: CostModel,
+    algorithm: str = "HS-Greedy",
 ) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
     """First-improvement hill climbing over a group's ordering (HS-Greedy)."""
     current = base
@@ -590,14 +686,22 @@ def _hill_climb_hermetic(
         for swap in _group_swaps(current.workflow, members):
             shifted = swap.try_apply(current.workflow)
             if shifted is None:
-                get_recorder().counter(
-                    "search.transitions", mnemonic="SWA", outcome="rejected"
-                ).add()
+                record_transition(
+                    algorithm=algorithm,
+                    transition=swap,
+                    cost_before=current.cost,
+                    accepted=False,
+                    reason=rejection_reason(swap, current.workflow),
+                )
                 continue
-            get_recorder().counter(
-                "search.transitions", mnemonic="SWA", outcome="applied"
-            ).add()
             successor = current.successor(swap, shifted, model)
+            record_transition(
+                algorithm=algorithm,
+                transition=swap,
+                cost_before=current.cost,
+                cost_after=successor.cost,
+                accepted=True,
+            )
             explored.append((successor.signature, successor.cost))
             if successor.cost < current.cost:
                 current = successor
@@ -739,16 +843,24 @@ def _phase_factorize(
             factorize = Factorize(binary, first, second)
             try:
                 new_workflow = factorize.apply(shifted_both.workflow)
-            except TransitionError:
-                get_recorder().counter(
-                    "search.transitions", mnemonic="FAC", outcome="rejected"
-                ).add()
+            except TransitionError as exc:
+                record_transition(
+                    algorithm=session.algorithm,
+                    transition=factorize,
+                    cost_before=shifted_both.cost,
+                    accepted=False,
+                    reason=str(exc),
+                )
                 continue
-            get_recorder().counter(
-                "search.transitions", mnemonic="FAC", outcome="applied"
-            ).add()
             new_state = shifted_both.successor(
                 factorize, new_workflow, session.model
+            )
+            record_transition(
+                algorithm=session.algorithm,
+                transition=factorize,
+                cost_before=shifted_both.cost,
+                cost_after=new_state.cost,
+                accepted=True,
             )
             if session.record(new_state) and len(produced) < session.config.phase_state_cap:
                 produced.append(new_state)
@@ -780,15 +892,23 @@ def _phase_distribute(
             distribute = Distribute(binary, activity)
             try:
                 new_workflow = distribute.apply(shifted.workflow)
-            except TransitionError:
-                get_recorder().counter(
-                    "search.transitions", mnemonic="DIS", outcome="rejected"
-                ).add()
+            except TransitionError as exc:
+                record_transition(
+                    algorithm=session.algorithm,
+                    transition=distribute,
+                    cost_before=shifted.cost,
+                    accepted=False,
+                    reason=str(exc),
+                )
                 continue
-            get_recorder().counter(
-                "search.transitions", mnemonic="DIS", outcome="applied"
-            ).add()
             new_state = shifted.successor(distribute, new_workflow, session.model)
+            record_transition(
+                algorithm=session.algorithm,
+                transition=distribute,
+                cost_before=shifted.cost,
+                cost_after=new_state.cost,
+                accepted=True,
+            )
             if session.record(new_state) and len(produced) < session.config.phase_state_cap:
                 produced.append(new_state)
                 worklist.append(new_state)

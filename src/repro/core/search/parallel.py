@@ -46,7 +46,14 @@ from repro.core.search.transposition import TranspositionCache
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 from repro.exceptions import ReproError
-from repro.obs import NULL_RECORDER, Recorder, get_recorder, use_recorder
+from repro.obs import (
+    NULL_RECORDER,
+    Recorder,
+    get_recorder,
+    record_transition,
+    rejection_reason,
+    use_recorder,
+)
 
 __all__ = ["WorkerPool", "ALGORITHMS", "run_search", "optimize_many"]
 
@@ -132,20 +139,25 @@ def _expand_task(
             for transition in candidate_transitions(state.workflow):
                 successor_workflow = transition.try_apply(state.workflow)
                 if successor_workflow is None:
-                    local.counter(
-                        "search.transitions",
-                        mnemonic=transition.mnemonic,
-                        outcome="rejected",
-                    ).add()
+                    record_transition(
+                        algorithm="ES",
+                        transition=transition,
+                        cost_before=state.cost,
+                        accepted=False,
+                        reason=rejection_reason(transition, state.workflow),
+                    )
                     continue
-                local.counter(
-                    "search.transitions",
-                    mnemonic=transition.mnemonic,
-                    outcome="applied",
-                ).add()
-                successors.append(
-                    state.successor(transition, successor_workflow, model)
+                successor = state.successor(
+                    transition, successor_workflow, model
                 )
+                record_transition(
+                    algorithm="ES",
+                    transition=transition,
+                    cost_before=state.cost,
+                    cost_after=successor.cost,
+                    accepted=True,
+                )
+                successors.append(successor)
     return successors, local.events()
 
 
@@ -233,6 +245,7 @@ def parallel_exhaustive(
             completed=completed,
             cache_hits=cache.hits - hits_before,
             jobs=jobs,
+            lineage=best.lineage,
         )
     finally:
         if owned_pool:
@@ -310,6 +323,8 @@ def annealing_multi_chain(
         range(len(chains)), key=lambda i: (chains[i].best.cost, i)
     )
     winner = chains[winner_index]
+    # Every chain starts from the same S0, so the winner's lineage replays
+    # from chains[0].initial even though another chain produced it.
     return OptimizationResult(
         algorithm="SA",
         initial=chains[0].initial,
@@ -319,6 +334,7 @@ def annealing_multi_chain(
         completed=all(chain.completed for chain in chains),
         cache_hits=0,
         jobs=jobs,
+        lineage=winner.best.lineage,
     )
 
 

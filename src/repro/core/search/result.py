@@ -9,11 +9,15 @@ needed to reproduce those tables.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import dataclass, field
 
-from repro.core.search.state import SearchState
+from repro.core.search.state import LineageStep, SearchState
 
 __all__ = ["OptimizationResult"]
+
+#: Canonical mnemonic order for transition-mix reporting (the paper's).
+_MNEMONIC_ORDER = ("SWA", "FAC", "DIS", "MER", "SPL")
 
 
 @dataclass
@@ -32,6 +36,10 @@ class OptimizationResult:
     cache_hits: int = 0
     #: Worker processes the run actually used (1 = serial path).
     jobs: int = 1
+    #: The winning chain of transitions from ``initial`` to ``best`` —
+    #: replayable through the transition system (see
+    #: :func:`repro.obs.provenance.replay_lineage`).
+    lineage: tuple[LineageStep, ...] = field(default=())
 
     @property
     def visited(self) -> int:
@@ -69,13 +77,41 @@ class OptimizationResult:
             return 100.0
         return min(100.0, 100.0 * reference_cost / self.best.cost)
 
+    def transition_mix(self) -> dict[str, int]:
+        """Counts of applied transitions in the winning lineage, by mnemonic.
+
+        Keys follow the paper's order (SWA, FAC, DIS, MER, SPL); only
+        mnemonics that actually occur are present.
+        """
+        counts = Counter(step.mnemonic for step in self.lineage)
+        ordered = {m: counts.pop(m) for m in _MNEMONIC_ORDER if m in counts}
+        ordered.update(sorted(counts.items()))  # future/unknown mnemonics
+        return ordered
+
+    def lineage_dicts(self) -> list[dict[str, object]]:
+        """The lineage as JSON-able dicts (for artifacts and reports)."""
+        return [step.to_dict() for step in self.lineage]
+
     def summary(self) -> str:
-        """One-line human-readable report, uniform across algorithms."""
+        """Human-readable report, uniform across algorithms.
+
+        The first line carries the cost/volume/time measures of the
+        paper's tables; the second attributes the win to its transition
+        mix — the sequence provenance the paper discusses but never
+        reports.
+        """
         status = "" if self.completed else " (budget exhausted)"
+        mix = self.transition_mix()
+        mix_text = (
+            ", ".join(f"{m}:{count}" for m, count in mix.items())
+            if mix
+            else "none (initial state is optimal)"
+        )
         return (
             f"{self.algorithm}: cost {self.initial.cost:.0f} -> "
             f"{self.best.cost:.0f} ({self.improvement_percent:.1f}% better), "
             f"{self.visited_states} states visited in "
             f"{self.elapsed_seconds:.2f}s "
-            f"[jobs={self.jobs}, cache hits={self.cache_hits}]{status}"
+            f"[jobs={self.jobs}, cache hits={self.cache_hits}]{status}\n"
+            f"lineage: {len(self.lineage)} step(s), transition mix: {mix_text}"
         )

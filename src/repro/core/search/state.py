@@ -5,11 +5,18 @@ the memoized quantities every algorithm needs — total cost (with the full
 :class:`~repro.core.cost.estimator.CostReport` for semi-incremental
 re-costing of successors) and the canonical signature used to suppress
 duplicate states (section 4.1).
+
+Every state additionally carries its *lineage* — the chain of transitions
+that produced it from the initial state, as :class:`LineageStep` records.
+The lineage is the provenance the paper's tables leave implicit (which
+SWA/FAC/DIS/MER/SPL sequence found the winner); it is replayable through
+the transition system (:func:`repro.obs.provenance.replay_lineage`) to
+verify the reported best state really is reachable from S0.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.cost.estimator import (
     CostReport,
@@ -21,7 +28,29 @@ from repro.core.signature import state_signature
 from repro.core.transitions.base import Transition
 from repro.core.workflow import ETLWorkflow
 
-__all__ = ["SearchState"]
+__all__ = ["LineageStep", "SearchState"]
+
+
+@dataclass(frozen=True)
+class LineageStep:
+    """One applied transition in a state's provenance chain.
+
+    The ``transition`` description (``SWA(5,6)``-style) names concrete
+    node ids, so a lineage replays exactly on the initial workflow; the
+    ``cost_after`` recorded at application time lets reports attribute
+    cost deltas to individual steps without re-estimating.
+    """
+
+    mnemonic: str
+    transition: str
+    cost_after: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "mnemonic": self.mnemonic,
+            "transition": self.transition,
+            "cost_after": self.cost_after,
+        }
 
 
 @dataclass
@@ -35,6 +64,8 @@ class SearchState:
     produced_by: Transition | None = None
     #: Number of transitions from the initial state.
     depth: int = 0
+    #: Full transition chain from the initial state (provenance).
+    lineage: tuple[LineageStep, ...] = field(default=())
 
     @property
     def cost(self) -> float:
@@ -75,4 +106,12 @@ class SearchState:
             report=report,
             produced_by=transition,
             depth=self.depth + 1,
+            lineage=self.lineage
+            + (
+                LineageStep(
+                    mnemonic=transition.mnemonic,
+                    transition=transition.describe(),
+                    cost_after=report.total,
+                ),
+            ),
         )

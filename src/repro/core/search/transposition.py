@@ -277,7 +277,7 @@ class CacheNamespace:
         On a hit the successor carries a :class:`DeferredCostReport` — the
         per-node breakdown is only computed if the state is ever expanded.
         """
-        from repro.core.search.state import SearchState
+        from repro.core.search.state import LineageStep, SearchState
 
         if signature is None:
             signature = state_signature(workflow)
@@ -295,6 +295,14 @@ class CacheNamespace:
             report=report,
             produced_by=transition,
             depth=parent.depth + 1,
+            lineage=parent.lineage
+            + (
+                LineageStep(
+                    mnemonic=transition.mnemonic,
+                    transition=transition.describe(),
+                    cost_after=report.total,
+                ),
+            ),
         )
 
 

@@ -120,7 +120,7 @@ def _record_failure(corpus_dir: str, category: str, seed: int) -> None:
     )
 
 
-def _failure_summary(shrunk, failure) -> dict:
+def _failure_summary(shrunk, failure, transition_counts: Counter) -> dict:
     last_step = failure.steps[-1]
     return {
         "category": failure.category,
@@ -132,6 +132,7 @@ def _failure_summary(shrunk, failure) -> dict:
                         {v.kind for v in failure.violations}),
         "chain": list(shrunk.chain),
         "rows_per_source": shrunk.rows_per_source,
+        "transition_mix": dict(sorted(transition_counts.items())),
     }
 
 
@@ -200,7 +201,7 @@ def run_fuzz(
             else None
         )
         if shrunk is not None:
-            summary = _failure_summary(shrunk, failure)
+            summary = _failure_summary(shrunk, failure, result.transition_counts)
         else:
             summary = {
                 "category": failure.category,
@@ -211,6 +212,9 @@ def run_fuzz(
                 "kinds": sorted({v.kind for v in failure.violations}),
                 "chain": [s.transition for s in failure.steps],
                 "rows_per_source": failure.rows_per_source,
+                "transition_mix": dict(
+                    sorted(result.transition_counts.items())
+                ),
             }
         if corpus_dir is not None:
             _record_failure(corpus_dir, failure.category, failure.seed)

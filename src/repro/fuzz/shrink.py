@@ -27,6 +27,7 @@ from repro.fuzz.chain import FuzzFailure, replay_chain
 from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
 from repro.io.atomic import atomic_write_text
 from repro.io.json_io import workflow_to_dict
+from repro.obs import lineage_mix
 from repro.workloads import generate_workload
 
 __all__ = [
@@ -187,7 +188,9 @@ def repro_artifact(shrunk: ShrunkRepro) -> dict[str, object]:
             "shrunk_rows_per_source": shrunk.rows_per_source,
         },
         "original_chain": [step.to_dict() for step in failure.steps],
+        "transition_mix": lineage_mix(failure.steps),
         "chain": list(shrunk.chain),
+        "shrunk_transition_mix": lineage_mix(shrunk.chain),
         "violations": [v.to_dict() for v in shrunk.violations],
         "initial_workflow": workflow_to_dict(shrunk.initial),
         "failing_workflow": workflow_to_dict(shrunk.failing),

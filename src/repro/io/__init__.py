@@ -8,7 +8,7 @@ from repro.io.json_io import (
     workflow_from_dict,
     workflow_to_dict,
 )
-from repro.io.explain import explain
+from repro.io.explain import explain, explain_diff, explain_dot
 from repro.io.render import to_dot, to_text
 
 __all__ = [
@@ -20,5 +20,7 @@ __all__ = [
     "load",
     "to_dot",
     "explain",
+    "explain_diff",
+    "explain_dot",
     "to_text",
 ]

@@ -20,6 +20,11 @@ def _dot_escape(text: str) -> str:
     return text.replace("\\", "\\\\").replace('"', '\\"')
 
 
+def _dot_label(*lines: str) -> str:
+    """A multi-line DOT label: lines escaped, joined with DOT's ``\\n``."""
+    return "\\n".join(_dot_escape(line) for line in lines)
+
+
 def to_dot(workflow: ETLWorkflow, title: str = "ETL workflow") -> str:
     """A Graphviz DOT rendering of the workflow graph."""
     lines = [
@@ -32,7 +37,7 @@ def to_dot(workflow: ETLWorkflow, title: str = "ETL workflow") -> str:
         node_id = _dot_escape(node.id)
         if isinstance(node, RecordSet):
             shape = "box3d" if node.is_source or node.is_target else "box"
-            label = _dot_escape(f"{node.id}: {node.name}\\n{node.schema}")
+            label = _dot_label(f"{node.id}: {node.name}", str(node.schema))
             lines.append(f'  "{node_id}" [shape={shape}, label="{label}"];')
         else:
             label = _dot_escape(f"{node.id}: {node.name}")

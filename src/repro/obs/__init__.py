@@ -1,15 +1,23 @@
-"""Observability: structured telemetry for search, engine, and fuzz runs.
+"""Observability: telemetry, provenance, reporting, and regression diffing.
 
-The subsystem has two halves:
+The subsystem has four layers:
 
 * :mod:`repro.obs.telemetry` — :class:`Span` / :class:`Counter` /
-  :class:`Gauge` primitives, the thread- and process-safe
-  :class:`Recorder`, and the process-wide active-recorder slot
-  (:func:`get_recorder` / :func:`use_recorder`) instrumented call sites
-  read from;
+  :class:`Gauge` primitives, structured events, the thread- and
+  process-safe :class:`Recorder`, and the process-wide active-recorder
+  slot (:func:`get_recorder` / :func:`use_recorder`) instrumented call
+  sites read from;
+* :mod:`repro.obs.provenance` — the optimizer decision log (one
+  structured event per *considered* transition) and the replayable
+  lineage: :func:`replay_lineage` / :func:`verify_lineage` re-apply a
+  result's winning transition chain through the real transition system
+  and prove it lands on the reported best state;
 * :mod:`repro.obs.report` — aggregation of a recorded JSONL file into
   the per-phase / per-operator summary ``repro report`` renders and the
-  benchmarks embed.
+  benchmarks embed;
+* :mod:`repro.obs.diff` — the regression gate: compares two telemetry /
+  bench files metric-by-metric under per-metric threshold policies
+  (``repro report --compare BASELINE``, exit 3 on regression).
 
 Telemetry is opt-in: until a :class:`Recorder` is installed, every
 instrumented call site talks to the :data:`NULL_RECORDER` and the
@@ -18,7 +26,6 @@ optimizer or engine *output* — parallel runs ship their span buffers back
 alongside their results, so ``jobs=N`` stays byte-identical to serial.
 """
 
-from repro.obs.report import load_events, render_summary, summarize
 from repro.obs.telemetry import (
     FORMAT_VERSION,
     NULL_RECORDER,
@@ -30,18 +37,59 @@ from repro.obs.telemetry import (
     set_recorder,
     use_recorder,
 )
+from repro.obs.diff import (
+    DEFAULT_POLICIES,
+    DiffReport,
+    MetricDiff,
+    MetricPolicy,
+    compare_files,
+    compare_metrics,
+    flatten_metrics,
+    load_metrics,
+)
+from repro.obs.provenance import (
+    TRANSITION_EVENT,
+    LineageMismatch,
+    LineageReplay,
+    lineage_mix,
+    parse_transition,
+    record_transition,
+    rejection_reason,
+    replay_lineage,
+    transition_targets,
+    verify_lineage,
+)
+from repro.obs.report import load_events, render_summary, summarize
 
 __all__ = [
+    "DEFAULT_POLICIES",
     "FORMAT_VERSION",
     "NULL_RECORDER",
+    "TRANSITION_EVENT",
     "Counter",
+    "DiffReport",
     "Gauge",
+    "LineageMismatch",
+    "LineageReplay",
+    "MetricDiff",
+    "MetricPolicy",
     "Recorder",
     "Span",
+    "compare_files",
+    "compare_metrics",
+    "flatten_metrics",
     "get_recorder",
+    "lineage_mix",
     "load_events",
+    "load_metrics",
+    "parse_transition",
+    "record_transition",
+    "rejection_reason",
     "render_summary",
+    "replay_lineage",
     "set_recorder",
     "summarize",
+    "transition_targets",
     "use_recorder",
+    "verify_lineage",
 ]

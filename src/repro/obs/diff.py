@@ -1,0 +1,338 @@
+"""Telemetry / benchmark diffing: the perf-trajectory regression gate.
+
+``repro report CURRENT --compare BASELINE`` loads two files — telemetry
+JSONL written by ``--telemetry`` or bench JSON written by the benchmark
+scripts — flattens each into dotted-path numeric metrics, and compares the
+shared metrics under per-metric threshold policies.  CI runs the
+benchmarks in smoke mode and compares against the committed snapshots in
+``benchmarks/baselines/``, so a PR that regresses a gated metric fails
+with exit code 3 and the diff artifact attached (Liu's shared-caching ETL
+lesson: cache and parallel wins only stay won when every run is compared
+against a recorded baseline).
+
+Policy design: wall-clock metrics (``*seconds``, ``speedup``,
+``rows_per_second``) are machine-dependent, so they are *reported* but
+never *gated* — the gate rides on the deterministic metrics: costs,
+visited-state volumes, resident-row peaks, spill volumes, cache hits, and
+the boolean equivalence checks (``identical_to_*``, ``within_budget``),
+which fail on any flip to false.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.report import load_events, summarize
+
+__all__ = [
+    "MetricPolicy",
+    "MetricDiff",
+    "DiffReport",
+    "DEFAULT_POLICIES",
+    "DEFAULT_THRESHOLD_PCT",
+    "flatten_metrics",
+    "load_metrics",
+    "compare_metrics",
+    "compare_files",
+]
+
+DEFAULT_THRESHOLD_PCT = 10.0
+
+#: Direction spellings — how a metric's growth is judged.
+HIGHER_IS_WORSE = "higher_is_worse"
+LOWER_IS_WORSE = "lower_is_worse"
+INFO = "info"
+
+
+@dataclass(frozen=True)
+class MetricPolicy:
+    """How one family of metrics (substring-matched) is compared."""
+
+    pattern: str
+    direction: str
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT
+
+    def matches(self, metric: str) -> bool:
+        return self.pattern in metric
+
+
+#: First match wins; the trailing catch-all leaves unknown metrics
+#: informational so new payload fields never break the gate by accident.
+DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
+    # Machine-dependent: report, never gate.
+    MetricPolicy("rows_per_second", INFO),
+    MetricPolicy("seconds", INFO),
+    MetricPolicy("speedup", INFO),
+    MetricPolicy("cpu_count", INFO),
+    MetricPolicy("format_version", INFO),
+    MetricPolicy("span_events", INFO),
+    # Run-shape configuration, not outcomes.
+    MetricPolicy("seed", INFO),
+    MetricPolicy("jobs", INFO),
+    MetricPolicy("batch_size", INFO),
+    MetricPolicy("rows_per_source", INFO),
+    MetricPolicy("total_source_rows", INFO),
+    MetricPolicy("max_resident_rows", INFO),
+    MetricPolicy("chain_length", INFO),
+    MetricPolicy("activities", INFO),
+    MetricPolicy("local_groups", INFO),
+    # Boolean invariants: any flip to false is a regression.
+    MetricPolicy("identical", LOWER_IS_WORSE, 0.0),
+    MetricPolicy("within_budget", LOWER_IS_WORSE, 0.0),
+    # Deterministic outcomes: the actual perf trajectory.
+    MetricPolicy("best_cost", HIGHER_IS_WORSE),
+    MetricPolicy("visited_states", HIGHER_IS_WORSE),
+    MetricPolicy("peak_resident_rows", HIGHER_IS_WORSE),
+    MetricPolicy("resident_rows", HIGHER_IS_WORSE),
+    MetricPolicy("spilled_rows", HIGHER_IS_WORSE),
+    MetricPolicy("lineage.steps", HIGHER_IS_WORSE),
+    # Cache effectiveness: fewer hits is the regression.
+    MetricPolicy("cache_hits", LOWER_IS_WORSE),
+    MetricPolicy("outcome=hit", LOWER_IS_WORSE),
+    MetricPolicy("merge_conflicts", HIGHER_IS_WORSE),
+    # Telemetry counters measure work done; doing more of it is worse.
+    MetricPolicy("counters.", HIGHER_IS_WORSE),
+    # Everything else (span timing aggregates, gauges, new fields).
+    MetricPolicy("", INFO),
+)
+
+
+def _policy_for(
+    metric: str, policies: Iterable[MetricPolicy]
+) -> MetricPolicy:
+    for policy in policies:
+        if policy.matches(metric):
+            return policy
+    return MetricPolicy("", INFO)
+
+
+def flatten_metrics(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Flatten nested JSON into dotted-path numeric metrics.
+
+    Booleans become 1/0 (so invariant flags gate like any other metric);
+    strings and nulls are dropped — they carry no magnitude to compare.
+    """
+    metrics: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            metrics.update(flatten_metrics(value, path))
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            metrics.update(flatten_metrics(value, f"{prefix}[{index}]"))
+    elif isinstance(payload, bool):
+        metrics[prefix] = 1.0 if payload else 0.0
+    elif isinstance(payload, (int, float)):
+        metrics[prefix] = float(payload)
+    return metrics
+
+
+def load_metrics(path: str) -> dict[str, float]:
+    """Load a telemetry JSONL or bench/summary JSON file as flat metrics.
+
+    Telemetry files (JSON-lines led by a ``{"type": "meta", ...}`` record)
+    are aggregated through :func:`repro.obs.report.summarize` first, so a
+    raw span stream and an embedded ``"telemetry"`` summary compare on the
+    same metric paths.
+    """
+    with open(path, encoding="utf-8") as handle:
+        head = ""
+        for line in handle:
+            if line.strip():
+                head = line.strip()
+                break
+    is_jsonl = False
+    try:
+        first = json.loads(head) if head else None
+        is_jsonl = isinstance(first, dict) and first.get("type") == "meta"
+    except ValueError:
+        is_jsonl = False
+    if is_jsonl:
+        return flatten_metrics(summarize(load_events(path)))
+    with open(path, encoding="utf-8") as handle:
+        return flatten_metrics(json.load(handle))
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One metric's comparison outcome."""
+
+    metric: str
+    baseline: float | None
+    current: float | None
+    delta_pct: float | None
+    direction: str
+    threshold_pct: float
+    status: str  # ok | improved | regressed | added | removed | info
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "delta_pct": self.delta_pct,
+            "direction": self.direction,
+            "threshold_pct": self.threshold_pct,
+            "status": self.status,
+        }
+
+
+@dataclass
+class DiffReport:
+    """All compared metrics plus the verdict the CI gate acts on."""
+
+    baseline_path: str
+    current_path: str
+    rows: list[MetricDiff] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [row for row in self.rows if row.status == "regressed"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "baseline": self.baseline_path,
+            "current": self.current_path,
+            "ok": self.ok,
+            "regressions": [row.metric for row in self.regressions],
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    def render(self, include_info: bool = False) -> str:
+        """Fixed-width table; gated rows always, info rows on request."""
+        rows = [
+            row
+            for row in self.rows
+            if include_info or row.status != "info"
+        ]
+        lines = [
+            f"baseline: {self.baseline_path}",
+            f"current : {self.current_path}",
+        ]
+        if rows:
+            width = max(max(len(r.metric) for r in rows), len("metric"))
+            lines.append(
+                f"{'metric':<{width}}  {'baseline':>14}  {'current':>14}  "
+                f"{'delta %':>9}  status"
+            )
+            for row in rows:
+                base = "—" if row.baseline is None else f"{row.baseline:,.4g}"
+                cur = "—" if row.current is None else f"{row.current:,.4g}"
+                delta = (
+                    "—" if row.delta_pct is None else f"{row.delta_pct:+.1f}"
+                )
+                lines.append(
+                    f"{row.metric:<{width}}  {base:>14}  {cur:>14}  "
+                    f"{delta:>9}  {row.status}"
+                )
+        else:
+            lines.append("no gated metrics in common")
+        verdict = (
+            "no regressions"
+            if self.ok
+            else f"{len(self.regressions)} regression(s)"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def _diff_one(
+    metric: str,
+    baseline: float,
+    current: float,
+    policy: MetricPolicy,
+    fail_threshold: float | None,
+) -> MetricDiff:
+    if baseline == 0.0:
+        delta_pct = 0.0 if current == 0.0 else (100.0 if current > 0 else -100.0)
+    else:
+        delta_pct = 100.0 * (current - baseline) / abs(baseline)
+    threshold = (
+        fail_threshold
+        if fail_threshold is not None and policy.direction != INFO
+        else policy.threshold_pct
+    )
+    if policy.direction == INFO:
+        status = "info"
+    else:
+        worse = delta_pct if policy.direction == HIGHER_IS_WORSE else -delta_pct
+        if worse > threshold:
+            status = "regressed"
+        elif worse < -threshold and delta_pct != 0.0:
+            status = "improved"
+        else:
+            status = "ok"
+    return MetricDiff(
+        metric=metric,
+        baseline=baseline,
+        current=current,
+        delta_pct=round(delta_pct, 4),
+        direction=policy.direction,
+        threshold_pct=threshold,
+        status=status,
+    )
+
+
+def compare_metrics(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    policies: Iterable[MetricPolicy] = DEFAULT_POLICIES,
+    fail_threshold: float | None = None,
+    baseline_path: str = "<baseline>",
+    current_path: str = "<current>",
+) -> DiffReport:
+    """Compare two flat metric dicts under the policy table.
+
+    ``fail_threshold`` (the ``--fail-on-regress PCT`` spelling) overrides
+    every gated policy's threshold; zero-threshold boolean invariants stay
+    strict because a flipped flag exceeds any percentage.
+    """
+    policies = tuple(policies)
+    report = DiffReport(baseline_path=baseline_path, current_path=current_path)
+    for metric in sorted(set(baseline) | set(current)):
+        in_base = metric in baseline
+        in_cur = metric in current
+        policy = _policy_for(metric, policies)
+        if in_base and in_cur:
+            report.rows.append(
+                _diff_one(
+                    metric, baseline[metric], current[metric], policy,
+                    fail_threshold,
+                )
+            )
+        else:
+            report.rows.append(
+                MetricDiff(
+                    metric=metric,
+                    baseline=baseline.get(metric),
+                    current=current.get(metric),
+                    delta_pct=None,
+                    direction=policy.direction,
+                    threshold_pct=policy.threshold_pct,
+                    status="removed" if in_base else "added",
+                )
+            )
+    return report
+
+
+def compare_files(
+    baseline_path: str,
+    current_path: str,
+    policies: Iterable[MetricPolicy] = DEFAULT_POLICIES,
+    fail_threshold: float | None = None,
+) -> DiffReport:
+    """Load and compare two telemetry/bench files (see :func:`load_metrics`)."""
+    return compare_metrics(
+        load_metrics(baseline_path),
+        load_metrics(current_path),
+        policies=policies,
+        fail_threshold=fail_threshold,
+        baseline_path=baseline_path,
+        current_path=current_path,
+    )

@@ -57,15 +57,44 @@ def _label(name: str, tags: dict[str, Any], detail: str = "") -> str:
     return name
 
 
+def _event_detail(fields: dict[str, Any]) -> str:
+    """Aggregation key for structured events.
+
+    Provenance events (``search.transition``) group by the decision that
+    was made — algorithm × mnemonic × accepted — which reads as "HS
+    considered 214 SWAs and accepted 180"; other events group by name.
+    """
+    parts: list[str] = []
+    if "algorithm" in fields:
+        parts.append(f"algorithm={fields['algorithm']}")
+    if "mnemonic" in fields:
+        parts.append(f"mnemonic={fields['mnemonic']}")
+    if "accepted" in fields:
+        parts.append(
+            "accepted" if fields["accepted"] else "rejected"
+        )
+    return ",".join(parts)
+
+
 def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """Aggregate events into a JSON-able summary dict."""
     span_rows: dict[str, dict[str, Any]] = {}
     counter_rows: dict[str, int] = {}
     gauge_rows: dict[str, dict[str, Any]] = {}
+    event_rows: dict[str, int] = {}
     span_count = 0
+    event_count = 0
     for event in events:
         kind = event.get("type")
-        if kind == "span":
+        if kind == "event":
+            event_count += 1
+            fields = event.get("fields", {})
+            detail = _event_detail(fields)
+            label = (
+                f"{event['name']}[{detail}]" if detail else str(event["name"])
+            )
+            event_rows[label] = event_rows.get(label, 0) + 1
+        elif kind == "span":
             span_count += 1
             tags = event.get("tags", {})
             label = _label(event["name"], tags, _span_detail(tags))
@@ -99,9 +128,11 @@ def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
             row[key] = round(row[key], 6)
     return {
         "span_events": span_count,
+        "structured_events": event_count,
         "spans": dict(sorted(span_rows.items())),
         "counters": dict(sorted(counter_rows.items())),
         "gauges": dict(sorted(gauge_rows.items())),
+        "events": dict(sorted(event_rows.items())),
     }
 
 
@@ -141,4 +172,11 @@ def render_summary(summary: dict[str, Any]) -> str:
             last = row["value"] if row["value"] is not None else "—"
             peak = row["max"] if row["max"] is not None else "—"
             lines.append(f"{label:<{width}}  {last:>12}  {peak:>12}")
+    event_rows = summary.get("events", {})
+    if event_rows:
+        width = max(max(len(label) for label in event_rows), len("event"))
+        lines.append("")
+        lines.append(f"{'event':<{width}}  {'count':>12}")
+        for label, value in event_rows.items():
+            lines.append(f"{label:<{width}}  {value:>12}")
     return "\n".join(lines)

@@ -133,11 +133,14 @@ class Span:
 
 
 class Recorder:
-    """Thread-safe telemetry sink: spans, counters, gauges, JSONL export.
+    """Thread-safe telemetry sink: spans, events, counters, gauges, JSONL
+    export.
 
-    Span ids embed the recording process's pid, so buffers absorbed from
-    worker processes never collide with the parent's ids and the span
-    tree stays well-formed across process boundaries.
+    Span ids embed the recording process's pid; on top of that,
+    :meth:`absorb` namespaces every absorbed buffer's ids (``w{n}:{id}``)
+    so buffers from recycled pool workers — which restart their local id
+    counters per task — never collide with the parent's ids or with each
+    other, and the span tree stays well-formed across process boundaries.
     """
 
     #: Instrumented call sites may branch on this to skip building tags.
@@ -147,10 +150,12 @@ class Recorder:
         self._clock = clock
         self._lock = threading.Lock()
         self._spans: list[dict[str, Any]] = []
+        self._events: list[dict[str, Any]] = []
         self._counters: dict[tuple[str, _TagKey], Counter] = {}
         self._gauges: dict[tuple[str, _TagKey], Gauge] = {}
         self._local = threading.local()
         self._ids = itertools.count(1)
+        self._absorbed = itertools.count(1)
         self._origin = os.getpid()
 
     # -- span tree --------------------------------------------------------------
@@ -206,6 +211,18 @@ class Recorder:
         with self._lock:
             self._spans.append(event)
 
+    def record_event(self, name: str, **fields: Any) -> None:
+        """Record a structured point-in-time event (e.g. a considered
+        transition in the search provenance log).
+
+        Unlike counters, events keep every occurrence with its full
+        payload, so the JSONL file carries the decision log itself, not
+        just its aggregates.
+        """
+        event = {"type": "event", "name": name, "fields": fields}
+        with self._lock:
+            self._events.append(event)
+
     # -- registries -------------------------------------------------------------
 
     def counter(self, name: str, **tags: Any) -> Counter:
@@ -232,6 +249,7 @@ class Recorder:
         """A snapshot of everything recorded so far, as JSON-able dicts."""
         with self._lock:
             events = list(self._spans)
+            events.extend(dict(e) for e in self._events)
             counters = list(self._counters.values())
             gauges = list(self._gauges.values())
         events.extend(c.to_event() for c in counters)
@@ -243,20 +261,45 @@ class Recorder:
 
         Span events are appended (parentless roots are re-parented under
         the caller's current span, so worker work nests under the phase
-        that dispatched it); counter values are summed and gauges maxed
-        into this recorder's registries.
+        that dispatched it); structured events are appended as-is; counter
+        values are summed and gauges maxed into this recorder's registries.
+
+        Absorbed span ids are namespaced ``w{n}:{id}`` with ``n`` unique
+        per absorbed buffer: pool workers are recycled across tasks, so
+        two tasks that ran on the same worker (or on any two workers after
+        a fork) can ship buffers whose *local* span ids coincide — without
+        the namespace those ids would collide in the parent's span tree.
+        ``parent_id`` references internal to the buffer are remapped along
+        with the ids they point at; references to spans outside the buffer
+        (already-namespaced nested absorbs) are left untouched.
         """
         if not events:
             return
+        with self._lock:
+            namespace = f"w{next(self._absorbed)}"
+        local_ids = {
+            event["span_id"]
+            for event in events
+            if event.get("type") == "span" and event.get("span_id")
+        }
         parent = self.current_span_id()
         for event in events:
             kind = event.get("type")
             if kind == "span":
                 merged = dict(event)
-                if merged.get("parent_id") is None:
+                span_id = merged.get("span_id")
+                if span_id is not None:
+                    merged["span_id"] = f"{namespace}:{span_id}"
+                parent_id = merged.get("parent_id")
+                if parent_id is None:
                     merged["parent_id"] = parent
+                elif parent_id in local_ids:
+                    merged["parent_id"] = f"{namespace}:{parent_id}"
                 with self._lock:
                     self._spans.append(merged)
+            elif kind == "event":
+                with self._lock:
+                    self._events.append(dict(event))
             elif kind == "counter":
                 self.counter(event["name"], **event.get("tags", {})).add(
                     event.get("value", 0)
@@ -313,6 +356,9 @@ class _NullRecorder(Recorder):
         yield
 
     def record_span(self, name: str, seconds: float, **tags: Any) -> None:
+        return None
+
+    def record_event(self, name: str, **fields: Any) -> None:
         return None
 
     def counter(self, name: str, **tags: Any) -> Counter:

@@ -382,3 +382,90 @@ class TestTelemetry:
         ) == 1
         capsys.readouterr()
         assert main(["report", jsonl]) == 0  # the cli span is always there
+
+
+class TestExplainCommand:
+    def test_plain_explain_renders_cost_table(self, fig1_json, capsys):
+        assert main(["explain", fig1_json]) == 0
+        out = capsys.readouterr().out
+        assert "rows out" in out
+        assert "total" in out
+
+    def test_diff_shows_plans_and_lineage(self, fig1_json, capsys):
+        assert main(["explain", fig1_json, "--diff"]) == 0
+        out = capsys.readouterr().out
+        assert "initial plan" in out and "optimized plan" in out
+        assert "transition mix:" in out
+        assert "cost before" in out and "cost after" in out
+        assert "SWA(" in out  # fig1's winning chain swaps selections forward
+
+    def test_dot_exports_graph_and_trace(self, fig1_json, capsys):
+        assert main(["explain", fig1_json, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph etl {")
+        assert "cluster_trace" in out
+        assert '"trace_0" [label="S0"]' in out
+
+    def test_diff_with_es_algorithm(self, fig1_json, capsys):
+        assert main(
+            ["explain", fig1_json, "--diff", "--algorithm", "es",
+             "--max-states", "300"]
+        ) == 0
+        assert "ES:" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCompareGate:
+    def _write(self, path, payload):
+        import json
+
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", {"best_cost": 100.0, "visited_states": 50}
+        )
+        assert main(["report", base, "--compare", base]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_exits_three(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"best_cost": 100.0})
+        curr = self._write(tmp_path / "curr.json", {"best_cost": 125.0})
+        assert main(["report", curr, "--compare", base]) == 3
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "1 regression(s)" in out
+
+    def test_fail_on_regress_loosens_threshold(self, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"best_cost": 100.0})
+        curr = self._write(tmp_path / "curr.json", {"best_cost": 125.0})
+        assert main(
+            ["report", curr, "--compare", base, "--fail-on-regress", "50"]
+        ) == 0
+
+    def test_compare_json_mode_emits_machine_report(self, tmp_path, capsys):
+        import json
+
+        base = self._write(tmp_path / "base.json", {"best_cost": 100.0})
+        curr = self._write(tmp_path / "curr.json", {"best_cost": 130.0})
+        assert main(["report", curr, "--compare", base, "--json"]) == 3
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["regressions"] == ["best_cost"]
+
+    def test_compare_telemetry_jsonl(self, fig1_json, tmp_path, capsys):
+        jsonl = str(tmp_path / "spans.jsonl")
+        assert main(["optimize", fig1_json, "--telemetry", jsonl]) == 0
+        capsys.readouterr()
+        assert main(["report", jsonl, "--compare", jsonl]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_exits_two(self, fig1_json, tmp_path, capsys):
+        base = self._write(tmp_path / "base.json", {"best_cost": 100.0})
+        missing = str(tmp_path / "nope.json")
+        assert main(["report", base, "--compare", missing]) == 2
+        assert "error:" in capsys.readouterr().err

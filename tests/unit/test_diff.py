@@ -1,0 +1,139 @@
+"""Unit tests for the telemetry/benchmark regression diff (repro.obs.diff)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Recorder
+from repro.obs.diff import (
+    DEFAULT_POLICIES,
+    MetricPolicy,
+    compare_files,
+    compare_metrics,
+    flatten_metrics,
+    load_metrics,
+)
+
+
+def _write_json(path, payload):
+    path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+    return str(path)
+
+
+class TestFlatten:
+    def test_nested_dicts_become_dotted_paths(self):
+        flat = flatten_metrics(
+            {"cache": {"warm_cache_hits": 22}, "best_cost": 1100.0}
+        )
+        assert flat["cache.warm_cache_hits"] == 22
+        assert flat["best_cost"] == 1100.0
+
+    def test_lists_indexed_and_bools_numeric(self):
+        flat = flatten_metrics(
+            {"runs": [{"identical": True}, {"identical": False}]}
+        )
+        assert flat["runs[0].identical"] == 1
+        assert flat["runs[1].identical"] == 0
+
+    def test_strings_dropped(self):
+        assert flatten_metrics({"category": "large"}) == {}
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self):
+        metrics = {"best_cost": 1100.0, "visited_states": 1073}
+        report = compare_metrics(metrics, dict(metrics))
+        assert report.ok
+        assert report.regressions == []
+
+    def test_injected_cost_regression_fails(self):
+        report = compare_metrics(
+            {"best_cost": 100.0}, {"best_cost": 125.0}  # +25% > 10% gate
+        )
+        assert not report.ok
+        (diff,) = report.regressions
+        assert diff.metric == "best_cost"
+        assert diff.delta_pct == pytest.approx(25.0)
+
+    def test_cost_improvement_passes(self):
+        report = compare_metrics({"best_cost": 100.0}, {"best_cost": 80.0})
+        assert report.ok
+
+    def test_wall_clock_is_informational(self):
+        # A 10x slowdown in a seconds-like metric must not gate: CI
+        # machines vary, so time never fails the build.
+        report = compare_metrics(
+            {"serial_seconds": 1.0}, {"serial_seconds": 10.0}
+        )
+        assert report.ok
+
+    def test_cache_hit_drop_fails(self):
+        report = compare_metrics(
+            {"cache.warm_cache_hits": 22}, {"cache.warm_cache_hits": 10}
+        )
+        assert not report.ok
+
+    def test_boolean_invariant_gates_at_zero(self):
+        report = compare_metrics(
+            {"budgeted.within_budget": 1}, {"budgeted.within_budget": 0}
+        )
+        assert not report.ok
+
+    def test_fail_threshold_override_loosens_gate(self):
+        report = compare_metrics(
+            {"best_cost": 100.0}, {"best_cost": 125.0}, fail_threshold=50.0
+        )
+        assert report.ok
+
+    def test_custom_policy_first_match_wins(self):
+        policies = (
+            MetricPolicy("special", "info"),
+        ) + DEFAULT_POLICIES
+        report = compare_metrics(
+            {"special_best_cost": 1.0},
+            {"special_best_cost": 10.0},
+            policies=policies,
+        )
+        assert report.ok
+
+    def test_render_lists_regressions(self):
+        report = compare_metrics({"best_cost": 100.0}, {"best_cost": 130.0})
+        text = report.render()
+        assert "best_cost" in text
+        assert "regressed" in text
+
+
+class TestCompareFiles:
+    def test_bench_json_files(self, tmp_path):
+        baseline = _write_json(
+            tmp_path / "base.json", {"best_cost": 100.0, "spilled_rows": 0}
+        )
+        current = _write_json(
+            tmp_path / "curr.json", {"best_cost": 130.0, "spilled_rows": 0}
+        )
+        report = compare_files(baseline, current)
+        assert not report.ok
+        assert compare_files(baseline, baseline).ok
+
+    def test_telemetry_jsonl_files(self, tmp_path):
+        def jsonl(name, hits):
+            recorder = Recorder()
+            recorder.counter("cache", outcome="hit").add(hits)
+            path = tmp_path / name
+            recorder.flush_jsonl(path)
+            return str(path)
+
+        baseline = jsonl("base.jsonl", 20)
+        worse = jsonl("curr.jsonl", 5)
+        assert compare_files(baseline, baseline).ok
+        assert not compare_files(baseline, worse).ok
+
+    def test_to_dict_round_trips(self, tmp_path):
+        baseline = _write_json(tmp_path / "b.json", {"best_cost": 1.0})
+        report = compare_files(baseline, baseline)
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["regressions"] == []
+        assert isinstance(payload["rows"], list)

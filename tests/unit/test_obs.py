@@ -112,6 +112,76 @@ class TestAbsorb:
         recorder.absorb([])
         assert recorder.events() == []
 
+    def test_colliding_worker_span_ids_stay_distinct(self):
+        # Pool workers are recycled (and forked workers share id counters),
+        # so two shipped buffers can legitimately carry the *same* local
+        # span ids; absorb must namespace them apart per buffer.
+        def buffer():
+            worker = Recorder()
+            with worker.span("search.group"):
+                with worker.span("search.state"):
+                    pass
+            return worker.events()
+
+        first, second = buffer(), buffer()
+        local_ids = [e["span_id"] for e in first if e["type"] == "span"]
+        assert local_ids == [
+            e["span_id"] for e in second if e["type"] == "span"
+        ], "precondition: the two buffers collide on local span ids"
+
+        parent = Recorder()
+        parent.absorb(first)
+        parent.absorb(second)
+        spans = _spans(parent)
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids)) == 4  # no collisions survive
+        # Intra-buffer parent links are remapped into the same namespace.
+        for span in spans:
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in ids
+                namespace = span["span_id"].split(":", 1)[0]
+                assert span["parent_id"].startswith(f"{namespace}:")
+
+    def test_absorb_carries_structured_events(self):
+        worker = Recorder()
+        worker.record_event("search.transition", mnemonic="SWA", accepted=True)
+        parent = Recorder()
+        parent.absorb(worker.events())
+        (event,) = [e for e in parent.events() if e["type"] == "event"]
+        assert event["name"] == "search.transition"
+        assert event["fields"]["mnemonic"] == "SWA"
+
+
+class TestStructuredEvents:
+    def test_record_event_captures_fields(self):
+        recorder = Recorder()
+        recorder.record_event("search.transition", mnemonic="DIS", accepted=False)
+        (event,) = [e for e in recorder.events() if e["type"] == "event"]
+        assert event["fields"] == {"mnemonic": "DIS", "accepted": False}
+
+    def test_null_recorder_drops_events(self):
+        NULL_RECORDER.record_event("search.transition", mnemonic="SWA")
+        assert NULL_RECORDER.events() == []
+
+    def test_summarize_groups_by_decision(self):
+        recorder = Recorder()
+        for accepted in (True, True, False):
+            recorder.record_event(
+                "search.transition",
+                algorithm="HS",
+                mnemonic="SWA",
+                accepted=accepted,
+            )
+        summary = summarize(recorder.events())
+        assert summary["structured_events"] == 3
+        assert summary["events"] == {
+            "search.transition[algorithm=HS,mnemonic=SWA,accepted]": 2,
+            "search.transition[algorithm=HS,mnemonic=SWA,rejected]": 1,
+        }
+        assert "search.transition[algorithm=HS,mnemonic=SWA,accepted]" in (
+            render_summary(summary)
+        )
+
 
 class TestFlushAndLoad:
     def test_jsonl_round_trip(self, tmp_path):
