@@ -8,7 +8,13 @@ Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
   that every parallel run returns the byte-identical best signature, cost
   and visited count;
 * a cold-vs-warm on-disk cache pair, recording the warm run's ``cache_hits``
-  and time.
+  and time;
+* the incremental fast path against its ``REPRO_FULL_RECOST`` slow twin
+  (same budget, byte-identical result required) — the ISSUE 6 headline
+  speedup;
+* the pruned search modes (``beam_width=8``, branch-and-bound, dominance
+  pruning): visited volume and wall-clock per mode, with a hard check
+  that B&B and dominance preserve the unpruned best cost.
 
 The speedup column is only meaningful on multi-core machines — group
 exploration is CPU-bound, so on a single-core container ``jobs>1`` adds
@@ -34,6 +40,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import SearchBudget, heuristic_search  # noqa: E402
+from repro.core import flags  # noqa: E402
 from repro.obs import (  # noqa: E402
     Recorder,
     summarize,
@@ -59,6 +66,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", default="2,4",
                         help="comma-separated parallel worker counts")
     parser.add_argument("--output", default="BENCH_parallel.json")
+    parser.add_argument("--no-full-recost", action="store_true",
+                        help="skip the slow-twin comparison run")
     args = parser.parse_args(argv)
     job_counts = [int(part) for part in args.jobs.split(",") if part.strip()]
 
@@ -120,6 +129,64 @@ def main(argv: list[str] | None = None) -> int:
         print("error: warm cache run must hit and agree", file=sys.stderr)
         return 1
 
+    # Fast path vs its obviously-correct slow twin: same search, every
+    # transition forced through full copy/validation/recosting.  The twin
+    # must agree byte for byte — the speedup is the ISSUE 6 headline.
+    full_recost = None
+    if not args.no_full_recost:
+        previous = flags.set_full_recost(True)
+        try:
+            slow_seconds, slow = _run(
+                args.category, args.seed, SearchBudget()
+            )
+        finally:
+            flags.set_full_recost(previous)
+        twin_identical = (
+            slow.best.signature == serial.best.signature
+            and slow.best.cost == serial.best.cost
+            and slow.visited_states == serial.visited_states
+        )
+        full_recost = {
+            "slow_seconds": round(slow_seconds, 4),
+            "fast_seconds": round(serial_seconds, 4),
+            "fast_speedup": round(slow_seconds / serial_seconds, 3),
+            "identical_to_fast": twin_identical,
+        }
+        print(f"  twin    slow {slow_seconds:.2f}s -> fast "
+              f"{serial_seconds:.2f}s "
+              f"({slow_seconds / serial_seconds:.1f}x, "
+              f"identical={twin_identical})")
+        if not twin_identical:
+            print("error: full-recost twin diverged from fast path",
+                  file=sys.stderr)
+            return 1
+
+    # Pruned search modes.  B&B and dominance are required to keep the
+    # unpruned best cost; the beam is lossy by design, so its cost is
+    # recorded (and gated against its own baseline) but not checked here.
+    modes = {}
+    for name, kwargs, must_match in (
+        ("beam8", {"beam_width": 8}, False),
+        ("bound", {"bound": True}, True),
+        ("dominance", {"prune_dominated": True}, True),
+    ):
+        seconds, result = _run(
+            args.category, args.seed, SearchBudget(**kwargs)
+        )
+        preserved = result.best.cost == serial.best.cost
+        modes[name] = {
+            "seconds": round(seconds, 4),
+            "visited_states": result.visited_states,
+            "best_cost": result.best.cost,
+            "best_cost_identical": preserved,
+        }
+        print(f"  {name:<7} {seconds:7.2f}s  "
+              f"visited={result.visited_states}  "
+              f"best={result.best.cost:.0f}  identical={preserved}")
+        if must_match and not preserved:
+            print(f"error: {name} changed the best cost", file=sys.stderr)
+            return 1
+
     # Provenance check: the winning lineage must replay to the reported
     # best state, and the payload records its shape for the diff gate.
     replay = verify_lineage(serial)
@@ -142,6 +209,8 @@ def main(argv: list[str] | None = None) -> int:
             "replay_ok": True,
         },
         "runs": runs,
+        "full_recost": full_recost,
+        "modes": modes,
         "cache": {
             "cold_seconds": round(cold_seconds, 4),
             "warm_seconds": round(warm_seconds, 4),

@@ -105,6 +105,31 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     cmd_optimize.add_argument(
+        "--beam-width",
+        type=int,
+        default=None,
+        help=(
+            "HS only: keep at most this many frontier orderings per "
+            "local-group exploration (default: unbeamed)"
+        ),
+    )
+    cmd_optimize.add_argument(
+        "--prune-dominated",
+        action="store_true",
+        help=(
+            "drop states dominated by a cheaper already-seen state of "
+            "the same dominance class (HS phase worklists, ES frontier)"
+        ),
+    )
+    cmd_optimize.add_argument(
+        "--bound",
+        action="store_true",
+        help=(
+            "branch-and-bound: skip expanding states whose admissible "
+            "lower bound cannot beat the incumbent best"
+        ),
+    )
+    cmd_optimize.add_argument(
         "--output",
         "-o",
         default=None,
@@ -263,6 +288,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="report failures without minimizing them",
     )
     cmd_fuzz.add_argument(
+        "--no-delta-cost",
+        action="store_true",
+        help="skip the incremental-vs-full cost consistency oracle",
+    )
+    cmd_fuzz.add_argument(
         "--rel-tol",
         type=float,
         default=0.05,
@@ -342,6 +372,9 @@ def _cmd_optimize(args) -> int:
         max_seconds=args.max_seconds,
         jobs=args.jobs,
         cache=args.cache_dir,
+        beam_width=args.beam_width,
+        prune_dominated=args.prune_dominated,
+        bound=args.bound,
     )
     result = optimize(workflow, algorithm=args.algorithm, budget=budget)
     print(result.summary())
@@ -496,6 +529,7 @@ def _cmd_fuzz(args) -> int:
         include_packaging=not args.no_packaging,
         oracle=OracleConfig(rel_tol=args.rel_tol),
         execution_budget=_budget_from_args(args),
+        check_delta_cost=not args.no_delta_cost,
     )
     report = run_fuzz(
         config,

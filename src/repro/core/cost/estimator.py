@@ -15,7 +15,8 @@ because the product of selectivities downstream is unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from repro.core.activity import Activity
 from repro.core.cost.model import CostModel
@@ -24,17 +25,26 @@ from repro.core.workflow import ETLWorkflow, Node
 
 __all__ = ["CostReport", "estimate", "estimate_incremental"]
 
-#: Relative tolerance for deciding that a propagated cardinality changed.
-_REL_TOL = 1e-12
-
 
 @dataclass(frozen=True)
 class CostReport:
-    """Per-node cardinalities/costs and the resulting state cost."""
+    """Per-node cardinalities/costs and the resulting state cost.
+
+    ``total`` is always built with :func:`math.fsum`, which is exactly
+    rounded and therefore independent of summation order — an
+    incrementally maintained report and a from-scratch one agree to the
+    last bit, which is what lets the differential cost-oracle suite
+    assert ``==`` instead of an epsilon.
+    """
 
     total: float
     node_costs: dict[Node, float]
     cardinalities: dict[Node, float]
+    #: Number of nodes whose cost/cardinality was (re-)derived to build
+    #: this report — ``len(node_costs)`` for a full estimate, the dirty
+    #: set size for a delta-maintained one (telemetry:
+    #: ``search.delta_recost_nodes``).
+    recosted_nodes: int = field(default=0, compare=False)
 
     def cost_of(self, node: Node) -> float:
         return self.node_costs.get(node, 0.0)
@@ -69,7 +79,10 @@ def estimate(workflow: ETLWorkflow, model: CostModel) -> CostReport:
         if isinstance(node, Activity):
             costs[node] = cost
     return CostReport(
-        total=sum(costs.values()), node_costs=costs, cardinalities=cards
+        total=math.fsum(costs.values()),
+        node_costs=costs,
+        cardinalities=cards,
+        recosted_nodes=len(cards),
     )
 
 
@@ -91,15 +104,32 @@ def estimate_incremental(
     :func:`estimate` (asserted by property tests).
     """
     cards = dict(parent.cardinalities)
-    costs = {
-        node: cost
-        for node, cost in parent.node_costs.items()
-        if node in workflow
-    }
-    # Drop nodes that no longer exist (FAC/DIS remove activities).
-    cards = {node: card for node, card in cards.items() if node in workflow}
+    if len(cards) != len(workflow):
+        # Drop nodes that no longer exist (FAC/DIS/MER/SPL change the
+        # node population, and always change the node *count* — so an
+        # unchanged count means an unchanged population and the per-node
+        # membership filter can be skipped on the dominant SWA path).
+        cards = {node: card for node, card in cards.items() if node in workflow}
+        costs = {
+            node: cost
+            for node, cost in parent.node_costs.items()
+            if node in workflow
+        }
+    else:
+        costs = dict(parent.node_costs)
 
     dirty = {node for node in affected if node in workflow}
+    # Every transition rewires in-edges only of affected nodes, newly
+    # created nodes, or direct consumers of affected nodes — so seeding
+    # those consumers too means any node left clean kept its exact
+    # provider set, and the bitwise cutoff below is a sound induction.
+    # (A consumer's provider can change *identity* without the affected
+    # node's own cardinality changing; comparing against the wrong
+    # parent entry would let a stale float survive.)
+    for node in tuple(dirty):
+        for consumer in workflow.consumers(node):
+            dirty.add(consumer)
+    recosted = 0
     for node in workflow.topological_order():
         if node not in cards:
             dirty.add(node)  # newly created node (clone / merged activity)
@@ -107,16 +137,23 @@ def estimate_incremental(
             continue
         old_card = cards.get(node)
         cost, out = _node_outputs(workflow, model, node, cards)
+        recosted += 1
         cards[node] = out
         if isinstance(node, Activity):
             costs[node] = cost
-        card_changed = (
-            old_card is None
-            or abs(out - old_card) > _REL_TOL * max(1.0, abs(old_card))
-        )
-        if card_changed:
+        # Exact cutoff: propagation stops only on bit-identical
+        # cardinalities, so by induction every node carries the same float
+        # a from-scratch pass would compute and the delta-maintained
+        # report equals the full one exactly (not merely within an
+        # epsilon).  A last-ulp difference extends the dirty frontier a
+        # few nodes further; re-pricing a node is a handful of multiplies,
+        # so exactness costs next to nothing.
+        if old_card is None or out != old_card:
             for consumer in workflow.consumers(node):
                 dirty.add(consumer)
     return CostReport(
-        total=sum(costs.values()), node_costs=costs, cardinalities=cards
+        total=math.fsum(costs.values()),
+        node_costs=costs,
+        cardinalities=cards,
+        recosted_nodes=recosted,
     )

@@ -1,0 +1,64 @@
+"""Process-wide debug/compatibility switches for the search fast path.
+
+Two environment variables gate the incremental successor machinery:
+
+* ``REPRO_FULL_RECOST=1`` — force every transition onto the slow,
+  obviously-correct twin (full copy + full structural validation + full
+  schema propagation + from-scratch costing).  This is the baseline the
+  differential suite and ``benchmarks/bench_parallel.py`` compare the
+  fast path against.
+* ``REPRO_COST_ORACLE=1`` — run *both* paths for every transition and
+  assert they agree: same accept/reject verdict, same derived schemata,
+  and a valid patched topological order.  Combined with the exact
+  ``estimate_incremental == estimate`` guarantee this is the debug oracle
+  ISSUE 6 pins the optimization with; it is also wired into the fuzz
+  oracles (``repro fuzz`` cost-consistency check).
+
+Both are read once at import and can be toggled programmatically (tests,
+benchmarks) via the setters below.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "full_recost_enabled",
+    "set_full_recost",
+    "cost_oracle_enabled",
+    "set_cost_oracle",
+]
+
+
+def _env_flag(name: str) -> bool:
+    return os.environ.get(name, "").strip().lower() not in ("", "0", "false")
+
+
+_full_recost = _env_flag("REPRO_FULL_RECOST")
+_cost_oracle = _env_flag("REPRO_COST_ORACLE")
+
+
+def full_recost_enabled() -> bool:
+    """True when transitions must take the slow full-recost twin."""
+    return _full_recost
+
+
+def set_full_recost(enabled: bool) -> bool:
+    """Toggle the slow twin; returns the previous value."""
+    global _full_recost
+    previous = _full_recost
+    _full_recost = bool(enabled)
+    return previous
+
+
+def cost_oracle_enabled() -> bool:
+    """True when every fast-path transition is cross-checked."""
+    return _cost_oracle
+
+
+def set_cost_oracle(enabled: bool) -> bool:
+    """Toggle the differential oracle; returns the previous value."""
+    global _cost_oracle
+    previous = _cost_oracle
+    _cost_oracle = bool(enabled)
+    return previous

@@ -116,7 +116,7 @@ def annealing_search(
             rng.shuffle(candidates)
             moved = False
             for transition in candidates:
-                successor_workflow = transition.try_apply(current.workflow)
+                successor_workflow = transition.try_apply_fast(current.workflow)
                 if successor_workflow is None:
                     record_transition(
                         algorithm="SA",

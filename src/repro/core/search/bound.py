@@ -1,0 +1,216 @@
+"""Admissible lower bounds and dominance classes for pruned search.
+
+The unpruned algorithms compare *complete* states only; the two pruning
+modes of :class:`~repro.core.search.budget.SearchBudget` additionally
+reason about states not generated yet:
+
+* **Branch-and-bound** needs an *admissible lower bound* — a number no
+  descendant of a state can beat.  ``C(S) = Σ c(a_i)`` and every
+  per-shape cost formula (``n``, ``n·log2 n``, …) is monotone in its
+  input cardinality, so pricing each activity at the smallest input it
+  could ever see yields such a bound: an activity ``a`` inside a local
+  group with input cardinality ``n0`` can at best run after every other
+  member, i.e. on ``n0 · Π_{b≠a} min(sel_b, 1)`` rows.
+* **Dominance pruning** needs an equivalence relation coarser than the
+  signature: two states whose local groups contain the same activities
+  in different *orders* are mutually reachable by in-group swaps, so
+  the cheaper one dominates — exploring the dearer one cannot reach
+  orderings the cheaper one cannot.  :func:`dominance_class` renders a
+  signature-like string with each local group's member ids sorted;
+  crucially only ids *within one group* are sorted — group borders
+  (binaries, recordsets, fan-out points) stay fixed, so states that
+  differ by a factorization or distribution (not mere reordering) land
+  in different classes.
+
+Activities that can *leave* their group (FAC/DIS candidates and their
+clones — the "mobile" activities) are priced at zero and their
+selectivities are charged against every other group, since a descendant
+may have distributed them upstream of anything.  Binary and composite
+activities are priced at zero outright.  The bound assumes a mobile
+activity's selectivity shrinks the flow at most once along any
+source-to-target path (true for the shipped transition system, where
+DIS clones over a union split the *same* selectivity across branches);
+exotic custom templates that distribute a clone into both branches of a
+join would need a looser bound — the differential test suite pins the
+invariant ES best costs on the shipped templates.
+"""
+
+from __future__ import annotations
+
+from repro.core.activity import Activity, CompositeActivity, base_clone_id
+from repro.core.cost.model import CostModel
+from repro.core.search.state import SearchState
+from repro.core.signature import _is_commutative
+from repro.core.workflow import ETLWorkflow, Node
+
+__all__ = [
+    "bound_prunes",
+    "clone_root_id",
+    "dominance_class",
+    "group_lower_bound",
+    "mobile_root_ids",
+    "state_lower_bound",
+]
+
+
+def bound_prunes(lower_bound: float, incumbent: float) -> bool:
+    """True when the incumbent already matches/beats the lower bound.
+
+    Equality fires the cutoff: the dominant case is a group whose
+    members all have selectivity 1 — every ordering prices identically
+    and equals the bound, and that arithmetic involves no shrink
+    products, so the comparison is exact.  When selectivities differ
+    the bound sits strictly below every real ordering by construction;
+    the last-ulp gap between the bound's product order and the
+    estimator's sequential flow is pinned by the differential tests.
+    """
+    return incumbent <= lower_bound
+
+def clone_root_id(activity_id: str) -> str:
+    """Strip DIS clone suffixes recursively: ``8_1_2`` -> ``8``."""
+    current = activity_id
+    while True:
+        stripped = base_clone_id(current)
+        if stripped == current:
+            return current
+        current = stripped
+
+
+def dominance_class(workflow: ETLWorkflow) -> str:
+    """A signature-like string with each local group's member ids sorted.
+
+    States whose workflows differ only in the *order* of activities
+    inside local groups share a class: ``((1.3)//(2.6.4.5)).7.8`` and
+    ``((1.3)//(2.4.5.6)).7.8`` both render ``((1.3)//(2.4.5.6)).7.8``.
+    Group borders (binaries, recordsets, fan-out points) are never
+    sorted across, so states separated by a factorization or a
+    distribution — which move activities *between* groups — always land
+    in different classes.  Same class therefore means mutually
+    reachable by in-group swaps (on the shipped templates), and the
+    cheapest representative dominates.
+    """
+    # Each group renders as one sorted token at its *last* member;
+    # earlier members pass their upstream prefix through unchanged.
+    group_token: dict[Node, str | None] = {}
+    for group in workflow.local_groups():
+        if len(group) < 2:
+            continue
+        group_token[group[-1]] = ".".join(sorted(a.id for a in group))
+        for member in group[:-1]:
+            group_token[member] = None
+    memo: dict[Node, str] = {}
+    graph_pred = workflow.graph._pred
+    for node in workflow.topological_order():
+        pred = graph_pred[node]
+        if node in group_token:
+            (provider,) = pred
+            token = group_token[node]
+            if token is None:
+                memo[node] = memo[provider]  # swallowed mid-group member
+            else:
+                memo[node] = f"{memo[provider]}.{token}"
+        elif not pred:
+            memo[node] = str(node.id)
+        elif len(pred) == 1:
+            (provider,) = pred
+            memo[node] = f"{memo[provider]}.{node.id}"
+        else:
+            if _is_commutative(node):
+                branches = sorted(f"({memo[p]})" for p in pred)
+            else:
+                ordered = sorted(pred, key=lambda p: pred[p]["port"])
+                branches = [f"({memo[p]})" for p in ordered]
+            memo[node] = f"({'//'.join(branches)}).{node.id}"
+    targets = workflow.targets()
+    if len(targets) == 1:
+        return memo[targets[0]]
+    return "//".join(sorted(memo[target] for target in targets))
+
+
+def _shrink(activity: Activity) -> float:
+    """The factor by which ``activity`` can shrink the flow (never > 1)."""
+    return min(activity.selectivity, 1.0)
+
+
+def _is_mobile(activity: Activity, mobile_roots: frozenset[str]) -> bool:
+    root = clone_root_id(activity.id)
+    return root != activity.id or root in mobile_roots
+
+
+def mobile_root_ids(workflow: ETLWorkflow) -> frozenset[str]:
+    """Root ids of the activities FAC/DIS can move across group borders."""
+    # Imported lazily: heuristic.py imports this module at load time.
+    from repro.core.search.heuristic import (
+        _find_distributable,
+        _find_homologous,
+    )
+
+    roots: set[str] = set()
+    for first, second, _binary in _find_homologous(workflow):
+        roots.add(clone_root_id(first.id))
+        roots.add(clone_root_id(second.id))
+    for activity in _find_distributable(workflow):
+        roots.add(clone_root_id(activity.id))
+    return frozenset(roots)
+
+
+def group_lower_bound(
+    members: list[Activity], input_card: float, model: CostModel
+) -> float:
+    """Lower bound on the summed cost of one local group, any ordering.
+
+    Each member is priced at the smallest input it could see: the group
+    input shrunk by every *other* member's selectivity.  Composites are
+    priced at zero (their components still contribute their shrink) —
+    a merged package's cost is bounded below by zero, which keeps the
+    bound admissible when constraint merges put composites in a group.
+    """
+    total = 0.0
+    for activity in members:
+        if isinstance(activity, CompositeActivity):
+            continue
+        others = 1.0
+        for member in members:
+            if member is not activity:
+                others *= _shrink(member)
+        total += model.activity_cost(activity, (input_card * others,))
+    return total
+
+
+def state_lower_bound(
+    state: SearchState, model: CostModel, mobile_roots: frozenset[str]
+) -> float:
+    """Admissible lower bound on the cost of any descendant of ``state``.
+
+    Per local group: the group-input cardinality (unaffected by in-group
+    reordering — the selectivity product is order-invariant) shrunk by
+    every other member *and* by every mobile activity outside the group
+    (a descendant may have distributed those upstream).  Mobile, binary
+    and composite activities are priced at zero.
+    """
+    workflow = state.workflow
+    cards = state.report.cardinalities
+    mobile = [
+        activity
+        for activity in workflow.activities()
+        if _is_mobile(activity, mobile_roots)
+    ]
+    total = 0.0
+    for group in workflow.local_groups():
+        input_card = cards[workflow.providers(group[0])[0]]
+        in_group = set(group)
+        outside = 1.0
+        for activity in mobile:
+            if activity not in in_group:
+                outside *= _shrink(activity)
+        for activity in group:
+            if isinstance(activity, CompositeActivity):
+                continue
+            if _is_mobile(activity, mobile_roots):
+                continue
+            others = outside
+            for member in group:
+                if member is not activity:
+                    others *= _shrink(member)
+            total += model.activity_cost(activity, (input_card * others,))
+    return total

@@ -17,6 +17,17 @@ parallel engine introduces:
   serial, ``<= 0`` = one per CPU);
 * ``cache`` — the transposition-cache specification, see
   :meth:`~repro.core.search.transposition.TranspositionCache.resolve`.
+
+It also carries the three *pruning* knobs (all off by default — the
+default budget reproduces the unpruned algorithms byte-for-byte):
+
+* ``beam_width`` — cap each HS local-group frontier at the ``k``
+  cheapest orderings;
+* ``prune_dominated`` — drop states dominated by a cheaper
+  already-seen state of the same dominance class (see
+  :func:`~repro.core.search.bound.dominance_class`);
+* ``bound`` — branch-and-bound: cut off states whose admissible lower
+  bound (see :mod:`repro.core.search.bound`) cannot beat the incumbent.
 """
 
 from __future__ import annotations
@@ -48,18 +59,33 @@ class SearchBudget:
             path-like for an explicit cache directory, or a
             :class:`~repro.core.search.transposition.TranspositionCache`
             instance to share one cache across runs.
+        beam_width: HS/HS-Greedy only — keep at most this many frontier
+            orderings per local-group exploration (Phase I/IV).  ``None``
+            (the default) reproduces the unbeamed exploration exactly.
+        prune_dominated: drop generated states whose dominance class
+            already holds a state at least as cheap (HS Phase II/III
+            worklists and the ES frontier).  A heuristic — it may change
+            budget-truncated outcomes, never the cost of a state it keeps.
+        bound: branch-and-bound — skip expanding states whose admissible
+            lower bound cannot beat the incumbent best (HS group
+            exploration and the ES frontier).
     """
 
     max_states: int | None = None
     max_seconds: float | None = None
     jobs: int = 1
     cache: Any = None
+    beam_width: int | None = None
+    prune_dominated: bool = False
+    bound: bool = False
 
     def __post_init__(self) -> None:
         if self.max_states is not None and self.max_states < 1:
             raise ReproError("SearchBudget.max_states must be at least 1")
         if self.max_seconds is not None and self.max_seconds < 0:
             raise ReproError("SearchBudget.max_seconds must be >= 0")
+        if self.beam_width is not None and self.beam_width < 1:
+            raise ReproError("SearchBudget.beam_width must be at least 1")
 
     def resolved_jobs(self) -> int:
         """The effective worker count (``jobs <= 0`` means one per CPU)."""

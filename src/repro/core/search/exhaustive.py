@@ -18,6 +18,12 @@ import time
 from collections import deque
 
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.bound import (
+    bound_prunes,
+    dominance_class,
+    mobile_root_ids,
+    state_lower_bound,
+)
 from repro.core.search.budget import SearchBudget, coalesce_budget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
@@ -26,7 +32,7 @@ from repro.core.signature import state_signature
 from repro.core.transitions.enumerate import candidate_transitions
 from repro.core.workflow import ETLWorkflow
 from repro.exceptions import ReproError
-from repro.obs import record_transition, rejection_reason
+from repro.obs import get_recorder, record_transition, rejection_reason
 
 __all__ = ["exhaustive_search"]
 
@@ -87,6 +93,16 @@ def exhaustive_search(
         ns.put_cost(initial.signature, initial.cost)
 
         seen: set[str] = {initial.signature}
+        # Pruning modes (both default off, leaving the classic traversal
+        # untouched): dominance keeps per-class incumbents, B&B skips
+        # expanding states whose admissible lower bound the incumbent
+        # best already meets.  Pruned states still count as visited.
+        class_best: dict[str, float] | None = None
+        if budget.prune_dominated:
+            class_best = {dominance_class(initial.workflow): initial.cost}
+        mobile = mobile_root_ids(initial.workflow) if budget.bound else None
+        pruned_dominated = 0
+        bnb_cutoffs = 0
         best_first = strategy == "best_first"
         heap: list[tuple[float, str, SearchState]] = []
         fifo: deque[SearchState] = deque()
@@ -111,8 +127,13 @@ def exhaustive_search(
                 _, _, state = heapq.heappop(heap)
             else:
                 state = fifo.popleft()
+            if mobile is not None and bound_prunes(
+                state_lower_bound(state, model, mobile), best.cost
+            ):
+                bnb_cutoffs += 1
+                continue
             for transition in candidate_transitions(state.workflow):
-                successor_workflow = transition.try_apply(state.workflow)
+                successor_workflow = transition.try_apply_fast(state.workflow)
                 if successor_workflow is None:
                     record_transition(
                         algorithm="ES",
@@ -146,14 +167,24 @@ def exhaustive_search(
                     cost_after=successor.cost,
                     accepted=True,
                 )
+                if successor.cost < best.cost:
+                    best = successor
+                if class_best is not None:
+                    cls = dominance_class(successor.workflow)
+                    prior = class_best.get(cls)
+                    if prior is not None and prior <= successor.cost:
+                        # Counted as visited, compared against best, but
+                        # never expanded — a cheaper same-class state is
+                        # already on (or through) the frontier.
+                        pruned_dominated += 1
+                        continue
+                    class_best[cls] = successor.cost
                 if best_first:
                     heapq.heappush(
                         heap, (successor.cost, successor.signature, successor)
                     )
                 else:
                     fifo.append(successor)
-                if successor.cost < best.cost:
-                    best = successor
                 if (
                     budget.max_states is not None
                     and len(seen) >= budget.max_states
@@ -161,6 +192,14 @@ def exhaustive_search(
                     completed = False
                     break
 
+        recorder = get_recorder()
+        if recorder.active:
+            if pruned_dominated:
+                recorder.counter("search.pruned_dominated").add(
+                    pruned_dominated
+                )
+            if bnb_cutoffs:
+                recorder.counter("search.bnb_cutoffs").add(bnb_cutoffs)
         return OptimizationResult(
             algorithm="ES",
             initial=initial,

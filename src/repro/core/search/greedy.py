@@ -31,7 +31,14 @@ def greedy_search(
     budget: SearchBudget | None = None,
     pool=None,
 ) -> OptimizationResult:
-    """Run HS-Greedy on the initial state; see :func:`heuristic_search`."""
+    """Run HS-Greedy on the initial state; see :func:`heuristic_search`.
+
+    The :class:`SearchBudget` pruning knobs pass through unchanged:
+    ``prune_dominated`` filters the Phase II/III worklists exactly as in
+    HS, while ``beam_width`` and ``bound`` are no-ops here — greedy hill
+    climbing keeps a one-state frontier, so there is nothing to beam or
+    cut off.
+    """
     return heuristic_search(
         workflow,
         model=model,

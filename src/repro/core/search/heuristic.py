@@ -48,12 +48,19 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import time
 from dataclasses import dataclass
 
-from repro.core.activity import Activity, CompositeActivity, base_clone_id
+from repro.core.activity import Activity, CompositeActivity
 from repro.core.cost.estimator import estimate
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
+from repro.core.search.bound import (
+    bound_prunes,
+    clone_root_id,
+    dominance_class,
+    group_lower_bound,
+)
 from repro.core.search.budget import SearchBudget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
@@ -451,14 +458,8 @@ def _find_distributable(workflow: ETLWorkflow) -> list[Activity]:
     return found
 
 
-def _root_id(activity_id: str) -> str:
-    """Strip DIS clone suffixes recursively: ``8_1_2`` -> ``8``."""
-    current = activity_id
-    while True:
-        stripped = base_clone_id(current)
-        if stripped == current:
-            return current
-        current = stripped
+#: Strip DIS clone suffixes recursively: ``8_1_2`` -> ``8``.
+_root_id = clone_root_id
 
 
 def _distributable_in_state(
@@ -498,7 +499,7 @@ def _shift_forward_state(
         if not isinstance(consumer, Activity) or not consumer.is_unary:
             return None
         swap = Swap(activity, consumer)
-        shifted = swap.try_apply(current.workflow)
+        shifted = swap.try_apply_fast(current.workflow)
         if shifted is None:
             record_transition(
                 algorithm=session.algorithm,
@@ -535,7 +536,7 @@ def _shift_backward_state(
         if not isinstance(provider, Activity) or not provider.is_unary:
             return None
         swap = Swap(provider, activity)
-        shifted = swap.try_apply(current.workflow)
+        shifted = swap.try_apply_fast(current.workflow)
         if shifted is None:
             record_transition(
                 algorithm=session.algorithm,
@@ -569,14 +570,32 @@ def _shift_backward_state(
 
 
 def _group_memo_key(
-    signature: str, member_ids: list[str], greedy: bool, group_cap: int
+    signature: str,
+    member_ids: list[str],
+    greedy: bool,
+    group_cap: int,
+    beam_width: int | None = None,
+    bound: bool = False,
 ) -> str:
-    mode = "greedy" if greedy else f"bf{group_cap}"
+    """Cache key for one group outcome — the mode suffix grows only when
+    a pruning knob is on, so pre-existing cache entries stay valid."""
+    if greedy:
+        # Hill climbing ignores the pruning knobs (its frontier is one
+        # state), so greedy outcomes share a key across pruning modes.
+        mode = "greedy"
+    else:
+        mode = f"bf{group_cap}"
+        if beam_width is not None:
+            mode += f"+bw{beam_width}"
+        if bound:
+            mode += "+bnb"
     return f"{signature}|{'.'.join(member_ids)}|{mode}"
 
 
 def _group_task(
-    args: tuple[ETLWorkflow, list[str], bool, int, CostModel, bool],
+    args: tuple[
+        ETLWorkflow, list[str], bool, int, CostModel, bool, int | None, bool
+    ],
 ) -> tuple[list[tuple[str, str]], list[tuple[str, float]], list[dict]]:
     """Explore one local group's orderings from a base workflow (pure).
 
@@ -590,7 +609,9 @@ def _group_task(
     recorder either way, so serial and parallel runs produce the same
     telemetry shape and byte-identical search outcomes.
     """
-    workflow, member_ids, greedy, group_cap, model, telemetry = args
+    workflow, member_ids, greedy, group_cap, model, telemetry, beam, bound = (
+        args
+    )
     members = {workflow.node_by_id(member_id) for member_id in member_ids}
     algorithm = "HS-Greedy" if greedy else "HS"
     local = Recorder() if telemetry else NULL_RECORDER
@@ -611,7 +632,13 @@ def _group_task(
                 )
             else:
                 path, explored = _explore_hermetic(
-                    base, members, model, group_cap, algorithm
+                    base,
+                    members,
+                    model,
+                    group_cap,
+                    algorithm,
+                    beam_width=beam,
+                    bound=bound,
                 )
             local.counter("search.group.states_explored").add(len(explored))
     return path, explored, local.events()
@@ -623,8 +650,19 @@ def _explore_hermetic(
     model: CostModel,
     group_cap: int,
     algorithm: str = "HS",
+    beam_width: int | None = None,
+    bound: bool = False,
 ) -> tuple[list[tuple[str, str]], list[tuple[str, float]]]:
-    """Best-first exploration of a group's reachable orderings (HS)."""
+    """Best-first exploration of a group's reachable orderings (HS).
+
+    ``beam_width`` trims the frontier to the k cheapest orderings after
+    each expansion; ``bound`` stops exploring once the incumbent best
+    matches the group's admissible lower bound (in-group swaps leave the
+    group input and the rest of the graph invariant, so the bound is a
+    single constant per group — see
+    :func:`~repro.core.search.bound.group_lower_bound`).  Both knobs
+    default to off and leave the unpruned exploration byte-identical.
+    """
     best_cost = base.cost
     best_path: tuple[tuple[str, str], ...] = ()
     local_seen = {base.signature}
@@ -633,12 +671,34 @@ def _explore_hermetic(
     heap: list[
         tuple[float, int, SearchState, tuple[tuple[str, str], ...]]
     ] = [(base.cost, next(counter), base, ())]
+    lower_bound: float | None = None
+    if bound:
+        ordered = sorted(members, key=lambda a: a.id)
+        head = next(
+            node for node in base.workflow.topological_order()
+            if node in members
+        )
+        input_card = base.report.cardinalities[
+            base.workflow.providers(head)[0]
+        ]
+        outside_cost = base.cost - math.fsum(
+            base.report.cost_of(member) for member in ordered
+        )
+        lower_bound = outside_cost + group_lower_bound(
+            ordered, input_card, model
+        )
+    cutoffs = 0
     expansions = 0
     while heap and expansions < group_cap:
+        if lower_bound is not None and bound_prunes(lower_bound, best_cost):
+            # No frontier state can lead below the bound the incumbent
+            # already meets — every remaining expansion is cut off.
+            cutoffs += len(heap)
+            break
         _, _, expanding, path = heapq.heappop(heap)
         expansions += 1
         for swap in _group_swaps(expanding.workflow, members):
-            shifted = swap.try_apply(expanding.workflow)
+            shifted = swap.try_apply_fast(expanding.workflow)
             if shifted is None:
                 record_transition(
                     algorithm=algorithm,
@@ -667,6 +727,13 @@ def _explore_hermetic(
             heapq.heappush(
                 heap, (successor.cost, next(counter), successor, successor_path)
             )
+        if beam_width is not None and len(heap) > beam_width:
+            # nsmallest returns ascending order — a valid heap as-is.
+            heap = heapq.nsmallest(beam_width, heap)
+    if cutoffs:
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.counter("search.bnb_cutoffs").add(cutoffs)
     return list(best_path), explored
 
 
@@ -684,7 +751,7 @@ def _hill_climb_hermetic(
     while improved:
         improved = False
         for swap in _group_swaps(current.workflow, members):
-            shifted = swap.try_apply(current.workflow)
+            shifted = swap.try_apply_fast(current.workflow)
             if shifted is None:
                 record_transition(
                     algorithm=algorithm,
@@ -733,10 +800,14 @@ def _optimize_all_groups(
         session.record(state)
         return state
     group_cap = session.config.group_cap
+    beam_width = session.budget.beam_width
+    bound = session.budget.bound
     recorder = get_recorder()
 
     keys = [
-        _group_memo_key(state.signature, ids, greedy, group_cap)
+        _group_memo_key(
+            state.signature, ids, greedy, group_cap, beam_width, bound
+        )
         for ids in groups
     ]
     outcomes: list[
@@ -763,6 +834,8 @@ def _optimize_all_groups(
                 group_cap,
                 session.model,
                 recorder.active,
+                beam_width,
+                bound,
             )
             for index in pending
         ]
@@ -797,7 +870,7 @@ def _optimize_all_groups(
                 current.workflow.node_by_id(second_id),
             )
             current = current.successor(
-                swap, swap.apply(current.workflow), session.model
+                swap, swap.apply_fast(current.workflow), session.model
             )
             session.record(current)
     return current
@@ -816,6 +889,37 @@ def _group_swaps(workflow: ETLWorkflow, members: set[Activity]) -> list[Swap]:
     return swaps
 
 
+class _DominanceFilter:
+    """Phase II/III worklist guard (``SearchBudget.prune_dominated``).
+
+    A produced state whose dominance class already holds a state at
+    least as cheap is *recorded* (it counts as visited and updates the
+    running best) but not put back on the worklist — the cheaper
+    same-class state reaches every ordering it could.  Disabled (the
+    default) the filter admits everything and the phases are unchanged.
+    """
+
+    def __init__(self, session: _Session, states: list[SearchState]):
+        self.enabled = session.budget.prune_dominated
+        self.best: dict[str, float] = {}
+        if self.enabled:
+            for state in states:
+                self.admit(state)
+
+    def admit(self, state: SearchState) -> bool:
+        if not self.enabled:
+            return True
+        cls = dominance_class(state.workflow)
+        prior = self.best.get(cls)
+        if prior is not None and prior <= state.cost:
+            recorder = get_recorder()
+            if recorder.active:
+                recorder.counter("search.pruned_dominated").add(1)
+            return False
+        self.best[cls] = state.cost
+        return True
+
+
 # -- Phase II: factorization -------------------------------------------------------------
 
 
@@ -826,6 +930,7 @@ def _phase_factorize(
 ) -> list[SearchState]:
     worklist = list(visited)
     produced = list(visited)
+    dominance = _DominanceFilter(session, visited)
     for state in worklist:
         for first, second, binary in homologous_pairs:
             if first not in state.workflow or second not in state.workflow:
@@ -842,7 +947,7 @@ def _phase_factorize(
                 continue
             factorize = Factorize(binary, first, second)
             try:
-                new_workflow = factorize.apply(shifted_both.workflow)
+                new_workflow = factorize.apply_fast(shifted_both.workflow)
             except TransitionError as exc:
                 record_transition(
                     algorithm=session.algorithm,
@@ -862,7 +967,11 @@ def _phase_factorize(
                 cost_after=new_state.cost,
                 accepted=True,
             )
-            if session.record(new_state) and len(produced) < session.config.phase_state_cap:
+            if (
+                session.record(new_state)
+                and len(produced) < session.config.phase_state_cap
+                and dominance.admit(new_state)
+            ):
                 produced.append(new_state)
                 worklist.append(new_state)
     return produced
@@ -879,6 +988,7 @@ def _phase_distribute(
     distributable_roots = {_root_id(a.id) for a in distributable}
     worklist = list(visited)
     produced = list(visited)
+    dominance = _DominanceFilter(session, visited)
     for state in worklist:
         for activity in _distributable_in_state(state, distributable_roots):
             binary = _nearest_binary_upstream(state.workflow, activity)
@@ -891,7 +1001,7 @@ def _phase_distribute(
                 continue
             distribute = Distribute(binary, activity)
             try:
-                new_workflow = distribute.apply(shifted.workflow)
+                new_workflow = distribute.apply_fast(shifted.workflow)
             except TransitionError as exc:
                 record_transition(
                     algorithm=session.algorithm,
@@ -909,7 +1019,11 @@ def _phase_distribute(
                 cost_after=new_state.cost,
                 accepted=True,
             )
-            if session.record(new_state) and len(produced) < session.config.phase_state_cap:
+            if (
+                session.record(new_state)
+                and len(produced) < session.config.phase_state_cap
+                and dominance.admit(new_state)
+            ):
                 produced.append(new_state)
                 worklist.append(new_state)
     return produced

@@ -36,6 +36,12 @@ from typing import Callable, Iterable, Sequence
 
 from repro.core.cost.model import CostModel, ProcessedRowsCostModel
 from repro.core.search.annealing import annealing_search
+from repro.core.search.bound import (
+    bound_prunes,
+    dominance_class,
+    mobile_root_ids,
+    state_lower_bound,
+)
 from repro.core.search.budget import SearchBudget
 from repro.core.search.exhaustive import exhaustive_search
 from repro.core.search.greedy import greedy_search
@@ -137,7 +143,7 @@ def _expand_task(
     with use_recorder(local):
         with local.span("search.es.expand"):
             for transition in candidate_transitions(state.workflow):
-                successor_workflow = transition.try_apply(state.workflow)
+                successor_workflow = transition.try_apply_fast(state.workflow)
                 if successor_workflow is None:
                     record_transition(
                         algorithm="ES",
@@ -191,6 +197,14 @@ def parallel_exhaustive(
         ]
         best = initial
         completed = True
+        # Pruning runs entirely in the main process (wave selection and
+        # child merge), so worker count never changes what gets pruned.
+        class_best: dict[str, float] | None = None
+        if budget.prune_dominated:
+            class_best = {dominance_class(initial.workflow): initial.cost}
+        mobile = mobile_root_ids(initial.workflow) if budget.bound else None
+        pruned_dominated = 0
+        bnb_cutoffs = 0
 
         def budget_tripped() -> bool:
             if budget.max_states is not None and len(seen) >= budget.max_states:
@@ -204,7 +218,17 @@ def parallel_exhaustive(
             if budget_tripped():
                 completed = False
                 break
-            wave = [heapq.heappop(heap) for _ in range(min(_WAVE, len(heap)))]
+            wave: list[tuple[float, str, SearchState]] = []
+            while heap and len(wave) < _WAVE:
+                item = heapq.heappop(heap)
+                if mobile is not None and bound_prunes(
+                    state_lower_bound(item[2], model, mobile), best.cost
+                ):
+                    bnb_cutoffs += 1
+                    continue
+                wave.append(item)
+            if not wave:
+                break
             with recorder.span(
                 "search.es.wave", states=len(wave), algorithm="ES"
             ):
@@ -220,11 +244,18 @@ def parallel_exhaustive(
                         continue
                     seen.add(successor.signature)
                     ns.put_cost(successor.signature, successor.cost)
+                    if successor.cost < best.cost:
+                        best = successor
+                    if class_best is not None:
+                        cls = dominance_class(successor.workflow)
+                        prior = class_best.get(cls)
+                        if prior is not None and prior <= successor.cost:
+                            pruned_dominated += 1
+                            continue
+                        class_best[cls] = successor.cost
                     heapq.heappush(
                         heap, (successor.cost, successor.signature, successor)
                     )
-                    if successor.cost < best.cost:
-                        best = successor
                     if (
                         budget.max_states is not None
                         and len(seen) >= budget.max_states
@@ -236,6 +267,13 @@ def parallel_exhaustive(
             if not completed:
                 break
 
+        if recorder.active:
+            if pruned_dominated:
+                recorder.counter("search.pruned_dominated").add(
+                    pruned_dominated
+                )
+            if bnb_cutoffs:
+                recorder.counter("search.bnb_cutoffs").add(bnb_cutoffs)
         return OptimizationResult(
             algorithm="ES",
             initial=initial,

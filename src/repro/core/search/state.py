@@ -27,6 +27,7 @@ from repro.core.cost.model import CostModel
 from repro.core.signature import state_signature
 from repro.core.transitions.base import Transition
 from repro.core.workflow import ETLWorkflow
+from repro.obs.telemetry import get_recorder
 
 __all__ = ["LineageStep", "SearchState"]
 
@@ -100,6 +101,11 @@ class SearchState:
             )
         else:
             report = estimate(successor_workflow, model)
+        recorder = get_recorder()
+        if recorder.active:
+            recorder.counter("search.delta_recost_nodes").add(
+                report.recosted_nodes
+            )
         return SearchState(
             workflow=successor_workflow,
             signature=state_signature(successor_workflow),
@@ -115,3 +121,20 @@ class SearchState:
                 ),
             ),
         )
+
+    def try_successor(
+        self, transition: Transition, model: CostModel
+    ) -> "SearchState | None":
+        """Apply ``transition`` via the incremental fast path and wrap it.
+
+        The one-call hot-loop entry point: structural check, dict-level
+        copy, patched/Kahn topology, incremental validation + schema
+        propagation (``Transition.apply_fast``), then delta re-costing
+        against this state's report.  Returns ``None`` when the
+        transition is inapplicable.  ``REPRO_FULL_RECOST`` /
+        ``REPRO_COST_ORACLE`` apply (see :mod:`repro.core.flags`).
+        """
+        successor_workflow = transition.try_apply_fast(self.workflow)
+        if successor_workflow is None:
+            return None
+        return self.successor(transition, successor_workflow, model)

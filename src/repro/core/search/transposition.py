@@ -53,7 +53,10 @@ __all__ = [
     "default_cache_dir",
 ]
 
-_FORMAT_VERSION = 1
+# v2: cost entries carry their incremental components ({"t": total,
+# "n": recosted-node count}) instead of a bare float, so warm-run
+# telemetry can report how much delta work the cached value replaced.
+_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -91,6 +94,10 @@ class DeferredCostReport:
 
     __slots__ = ("total", "_workflow", "_model", "_full")
 
+    #: A cache hit re-derives nothing, so the delta-recost telemetry
+    #: (``search.delta_recost_nodes``) counts deferred reports as zero.
+    recosted_nodes = 0
+
     def __init__(self, total: float, workflow: ETLWorkflow, model: CostModel):
         self.total = total
         self._workflow = workflow
@@ -125,7 +132,7 @@ class CacheNamespace:
     def __init__(self, cache: "TranspositionCache", key: str):
         self._cache = cache
         self.key = key
-        self.costs: dict[str, float] = {}
+        self.costs: dict[str, dict[str, Any]] = {}
         self.groups: dict[str, dict[str, Any]] = {}
         self.dirty = False
         # Group keys dropped this run: excluded from merge-on-write so a
@@ -141,7 +148,7 @@ class CacheNamespace:
         return self._cache.directory / f"{self.key}.json"
 
     @staticmethod
-    def _read_file(path: Path) -> tuple[dict[str, float], dict[str, Any]]:
+    def _read_file(path: Path) -> tuple[dict[str, Any], dict[str, Any]]:
         """Best-effort read of an on-disk layer; empty when absent/corrupt."""
         try:
             with open(path, encoding="utf-8") as handle:
@@ -218,8 +225,8 @@ class CacheNamespace:
     # -- cost totals ------------------------------------------------------------
 
     def get_cost(self, signature: str) -> float | None:
-        total = self.costs.get(signature)
-        if total is None:
+        entry = self.costs.get(signature)
+        if entry is None:
             self._cache.misses += 1
             get_recorder().counter(
                 "search.transposition", kind="cost", outcome="miss"
@@ -229,11 +236,11 @@ class CacheNamespace:
         get_recorder().counter(
             "search.transposition", kind="cost", outcome="hit"
         ).add()
-        return total
+        return entry["t"]
 
-    def put_cost(self, signature: str, total: float) -> None:
+    def put_cost(self, signature: str, total: float, recosted: int = 0) -> None:
         if signature not in self.costs:
-            self.costs[signature] = total
+            self.costs[signature] = {"t": total, "n": recosted}
             self.dirty = True
 
     # -- group-exploration memo --------------------------------------------------
@@ -288,7 +295,12 @@ class CacheNamespace:
             report = estimate_incremental(
                 workflow, model, parent.report, transition.affected_nodes()
             )
-            self.put_cost(signature, report.total)
+            self.put_cost(signature, report.total, report.recosted_nodes)
+            recorder = get_recorder()
+            if recorder.active:
+                recorder.counter("search.delta_recost_nodes").add(
+                    report.recosted_nodes
+                )
         return SearchState(
             workflow=workflow,
             signature=signature,

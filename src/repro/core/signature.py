@@ -33,34 +33,34 @@ __all__ = ["state_signature", "workflow_fingerprint"]
 
 
 def state_signature(workflow: ETLWorkflow) -> str:
-    """The canonical signature string of a state."""
+    """The canonical signature string of a state.
+
+    One forward pass over the (cached) topological order — the recursive
+    provider walk this replaces dominated successor generation once
+    transition application itself became incremental.
+    """
     memo: dict[Node, str] = {}
-    target_signatures = sorted(
-        _node_signature(workflow, target, memo) for target in workflow.targets()
-    )
-    return "//".join(target_signatures)
-
-
-def _node_signature(
-    workflow: ETLWorkflow, node: Node, memo: dict[Node, str]
-) -> str:
-    cached = memo.get(node)
-    if cached is not None:
-        return cached
-    providers = workflow.providers(node)
-    if not providers:
-        signature = str(node.id)
-    elif len(providers) == 1:
-        prefix = _node_signature(workflow, providers[0], memo)
-        signature = f"{prefix}.{node.id}"
-    else:
-        branches = [f"({_node_signature(workflow, p, memo)})" for p in providers]
-        if _is_commutative(node):
-            branches.sort()
-        joined = "//".join(branches)
-        signature = f"({joined}).{node.id}"
-    memo[node] = signature
-    return signature
+    graph_pred = workflow.graph._pred
+    for node in workflow.topological_order():
+        pred = graph_pred[node]
+        if not pred:
+            memo[node] = str(node.id)
+        elif len(pred) == 1:
+            (provider,) = pred
+            memo[node] = f"{memo[provider]}.{node.id}"
+        else:
+            if _is_commutative(node):
+                # Commutative ⇒ canonical branch order is lexicographic,
+                # so the port order of the providers is irrelevant.
+                branches = sorted(f"({memo[p]})" for p in pred)
+            else:
+                ordered = sorted(pred, key=lambda p: pred[p]["port"])
+                branches = [f"({memo[p]})" for p in ordered]
+            memo[node] = f"({'//'.join(branches)}).{node.id}"
+    targets = workflow.targets()
+    if len(targets) == 1:
+        return memo[targets[0]]
+    return "//".join(sorted(memo[target] for target in targets))
 
 
 def _is_commutative(node: Node) -> bool:

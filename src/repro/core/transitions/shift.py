@@ -54,7 +54,7 @@ def shift_forward(
         if not isinstance(consumer, Activity) or not consumer.is_unary:
             return None
         swap = Swap(activity, consumer)
-        shifted = swap.try_apply(current)
+        shifted = swap.try_apply_fast(current)
         if shifted is None:
             return None
         current = shifted
@@ -81,7 +81,7 @@ def shift_backward(
         if not isinstance(provider, Activity) or not provider.is_unary:
             return None
         swap = Swap(provider, activity)
-        shifted = swap.try_apply(current)
+        shifted = swap.try_apply_fast(current)
         if shifted is None:
             return None
         current = shifted

@@ -93,6 +93,32 @@ class Swap(Transition):
             return
         _guard_row_wise_pair(self, a1, a2)
 
+    # -- fast path -------------------------------------------------------------
+
+    def patched_topology(
+        self, parent: ETLWorkflow, successor: ETLWorkflow
+    ) -> list[Node] | None:
+        """Parent order with ``a1``/``a2`` exchanged is a valid order.
+
+        Proof sketch: ``a1``'s only in-edge comes from a provider placed
+        before ``a1``'s old slot (where ``a2`` now sits), ``a2``'s only
+        out-edge goes to a consumer placed after ``a2``'s old slot (where
+        ``a1`` now sits), the new ``a2 -> a1`` edge runs left-to-right,
+        and — because ``a1``'s sole consumer was ``a2`` and ``a2``'s sole
+        provider was ``a1`` — no edge connects either activity to any node
+        between their slots.  Every other edge kept both endpoints'
+        positions.  Hence no Kahn pass (and no cycle check) is needed:
+        the swap cannot create a cycle.
+        """
+        order = list(parent.topological_order())
+        index_first = order.index(self.first)
+        index_second = order.index(self.second)
+        order[index_first], order[index_second] = (
+            order[index_second],
+            order[index_first],
+        )
+        return order
+
     # -- surgery --------------------------------------------------------------
 
     def rewire(self, workflow: ETLWorkflow) -> None:

@@ -51,10 +51,56 @@ class ETLWorkflow:
         self._ids: set[str] = set()
         self._topo_cache: list[Node] | None = None
         self._providers_cache: dict[Node, list[Node]] | None = None
+        self._consumers_cache: dict[Node, list[Node]] | None = None
+        self._schema_cache: dict[Node, DerivedSchemas] | None = None
+        self._targets_cache: list[RecordSet] | None = None
+        # Copy-on-write bookkeeping: nodes whose succ/pred inner dicts
+        # are private to this instance.  A fresh workflow owns everything
+        # it builds; a copy() owns nothing until a mutation clones the
+        # touched inner dict (see _own_succ/_own_pred).
+        self._owned_succ: set[Node] = set()
+        self._owned_pred: set[Node] = set()
+
+    def _own_succ(self, node: Node) -> dict:
+        succ = self._graph._succ
+        if node not in self._owned_succ:
+            succ[node] = dict(succ[node])
+            self._owned_succ.add(node)
+        return succ[node]
+
+    def _own_pred(self, node: Node) -> dict:
+        pred = self._graph._pred
+        if node not in self._owned_pred:
+            pred[node] = dict(pred[node])
+            self._owned_pred.add(node)
+        return pred[node]
 
     def _invalidate(self) -> None:
+        """Drop every derived cache (node population changed)."""
         self._topo_cache = None
         self._providers_cache = None
+        self._consumers_cache = None
+        self._schema_cache = None
+        self._targets_cache = None
+
+    def _invalidate_edge(self, provider: Node, consumer: Node) -> None:
+        """Targeted eviction for one edge change.
+
+        Only the consumer's provider list and the provider's consumer
+        list are stale; the rest of the adjacency caches survive, which
+        is what makes rewired copies cheap on the search hot path (a SWA
+        touches six edges, so six entries are evicted instead of the
+        whole cache).  Node population is unchanged, so the targets
+        cache survives too.
+        """
+        self._topo_cache = None
+        self._schema_cache = None
+        providers_cache = self._providers_cache
+        if providers_cache is not None:
+            providers_cache.pop(consumer, None)
+        consumers_cache = self._consumers_cache
+        if consumers_cache is not None:
+            consumers_cache.pop(provider, None)
 
     # -- construction ----------------------------------------------------------
 
@@ -67,6 +113,8 @@ class ETLWorkflow:
         if node.id in self._ids:
             raise WorkflowError(f"duplicate node id {node.id!r}: {node!r}")
         self._graph.add_node(node)
+        self._owned_succ.add(node)
+        self._owned_pred.add(node)
         self._ids.add(node.id)
         self._invalidate()
         return node
@@ -86,23 +134,72 @@ class ETLWorkflow:
             raise WorkflowError(
                 f"edge {provider.id} -> {consumer.id} already exists"
             )
-        self._graph.add_edge(provider, consumer, port=port)
-        self._invalidate()
+        data = {"port": port}
+        self._own_succ(provider)[consumer] = data
+        self._own_pred(consumer)[provider] = data
+        self._invalidate_edge(provider, consumer)
 
     def remove_edge(self, provider: Node, consumer: Node) -> None:
-        self._graph.remove_edge(provider, consumer)
-        self._invalidate()
+        try:
+            del self._own_succ(provider)[consumer]
+            del self._own_pred(consumer)[provider]
+        except KeyError:
+            raise WorkflowError(
+                f"no edge {provider.id} -> {consumer.id}"
+            ) from None
+        self._invalidate_edge(provider, consumer)
 
     def remove_node(self, node: Node) -> None:
-        self._graph.remove_node(node)
+        graph = self._graph
+        if node not in graph._node:
+            raise WorkflowError(f"node {node!r} not in workflow")
+        for consumer in list(graph._succ[node]):
+            del self._own_pred(consumer)[node]
+        for provider in list(graph._pred[node]):
+            del self._own_succ(provider)[node]
+        del graph._node[node]
+        del graph._succ[node]
+        del graph._pred[node]
+        self._owned_succ.discard(node)
+        self._owned_pred.discard(node)
         self._ids.discard(node.id)
         self._invalidate()
 
     def copy(self) -> "ETLWorkflow":
-        """A structural copy sharing the (immutable) node objects."""
+        """A copy-on-write structural copy sharing the node objects.
+
+        State generation is the search hot path, so instead of cloning
+        the adjacency (as ``nx.DiGraph.copy`` would, one Python-level
+        insert per node and edge), the copy *shares* the parent's inner
+        succ/pred dicts and owns none of them; every graph mutation goes
+        through this class, and the mutators clone an inner dict the
+        first time they touch it (``_own_succ``/``_own_pred``).  A SWA
+        successor therefore clones four small dicts out of ~2·N.
+
+        Node-attribute dicts are shared too (nothing ever writes them);
+        edge-data dicts are shared because :meth:`add_edge` refuses
+        duplicate edges, so a data dict is never updated in place.  The
+        adjacency caches carry over; rewiring evicts what it touches.
+        The parent must not be mutated afterwards — search code treats
+        states as immutable once explored, which is what makes the
+        sharing sound.
+        """
         duplicate = ETLWorkflow()
-        duplicate._graph = self._graph.copy()
+        graph = duplicate._graph
+        graph._node.update(self._graph._node)
+        graph._succ.update(self._graph._succ)
+        graph._pred.update(self._graph._pred)
+        # Both sides now share the inner dicts, so neither may write them
+        # in place: dropping this instance's ownership forces any later
+        # mutation of *either* side through the clone-on-write path.
+        self._owned_succ.clear()
+        self._owned_pred.clear()
         duplicate._ids = set(self._ids)
+        if self._providers_cache is not None:
+            duplicate._providers_cache = dict(self._providers_cache)
+        if self._consumers_cache is not None:
+            duplicate._consumers_cache = dict(self._consumers_cache)
+        duplicate._targets_cache = self._targets_cache
         return duplicate
 
     # -- inspection --------------------------------------------------------------
@@ -119,13 +216,13 @@ class ETLWorkflow:
         return self._graph.number_of_nodes()
 
     def nodes(self) -> Iterator[Node]:
-        return iter(self._graph.nodes)
+        return iter(self._graph._node)
 
     def activities(self) -> Iterator[Activity]:
-        return (n for n in self._graph.nodes if isinstance(n, Activity))
+        return (n for n in self._graph._node if isinstance(n, Activity))
 
     def recordsets(self) -> Iterator[RecordSet]:
-        return (n for n in self._graph.nodes if isinstance(n, RecordSet))
+        return (n for n in self._graph._node if isinstance(n, RecordSet))
 
     def sources(self) -> list[RecordSet]:
         """The recordsets in RS_S, ordered by id."""
@@ -133,9 +230,14 @@ class ETLWorkflow:
         return sorted(found, key=lambda n: n.id)
 
     def targets(self) -> list[RecordSet]:
-        """The recordsets in RS_T, ordered by id."""
-        found = [n for n in self.recordsets() if n.is_target]
-        return sorted(found, key=lambda n: n.id)
+        """The recordsets in RS_T, ordered by id (cached; edge changes
+        cannot alter the target population, only node changes can)."""
+        cached = self._targets_cache
+        if cached is None:
+            found = [n for n in self.recordsets() if n.is_target]
+            cached = sorted(found, key=lambda n: n.id)
+            self._targets_cache = cached
+        return cached
 
     def node_by_id(self, node_id: str) -> Node:
         for node in self._graph.nodes:
@@ -151,19 +253,32 @@ class ETLWorkflow:
             self._providers_cache = cache
         cached = cache.get(node)
         if cached is None:
-            cached = sorted(
-                self._graph.predecessors(node),
-                key=lambda p: self._graph.edges[p, node]["port"],
-            )
+            pred = self._graph._pred[node]
+            if len(pred) <= 1:
+                cached = list(pred)
+            else:
+                cached = sorted(pred, key=lambda p: pred[p]["port"])
             cache[node] = cached
         return cached
 
     def consumers(self, node: Node) -> list[Node]:
         """Data consumers of ``node`` (ordered by node id for determinism)."""
-        return sorted(self._graph.successors(node), key=lambda n: n.id)
+        cache = self._consumers_cache
+        if cache is None:
+            cache = {}
+            self._consumers_cache = cache
+        cached = cache.get(node)
+        if cached is None:
+            succ = self._graph._succ[node]
+            if len(succ) <= 1:
+                cached = list(succ)
+            else:
+                cached = sorted(succ, key=lambda n: n.id)
+            cache[node] = cached
+        return cached
 
     def edge_port(self, provider: Node, consumer: Node) -> int:
-        return self._graph.edges[provider, consumer]["port"]
+        return self._graph._succ[provider][consumer]["port"]
 
     def topological_order(self) -> list[Node]:
         """A deterministic topological order (ties broken by node id).
@@ -175,8 +290,8 @@ class ETLWorkflow:
         per state.
         """
         if self._topo_cache is None:
-            pred = self._graph.pred
-            succ = self._graph.succ
+            pred = self._graph._pred
+            succ = self._graph._succ
             in_degree = {node: len(pred[node]) for node in pred}
             ready = [
                 (node.id, node) for node, degree in in_degree.items() if degree == 0
@@ -194,6 +309,17 @@ class ETLWorkflow:
                 raise WorkflowError("workflow graph contains a cycle")
             self._topo_cache = order
         return self._topo_cache
+
+    def adopt_topology(self, order: list[Node]) -> None:
+        """Install a precomputed topological order (fast successor path).
+
+        Transitions that provably preserve a patched parent order (SWA:
+        the parent order with the two swapped nodes exchanged) hand it to
+        the rewired copy so Kahn's algorithm is skipped.  The caller is
+        responsible for validity; ``REPRO_COST_ORACLE=1`` re-derives the
+        order from scratch and asserts the patch is a valid linearisation.
+        """
+        self._topo_cache = order
 
     def downstream(self, node: Node) -> set[Node]:
         """All nodes reachable from ``node`` (excluding itself)."""
@@ -278,26 +404,151 @@ class ETLWorkflow:
         after" a transition: the transition is attempted on a copy and the
         copy is propagated.
         """
+        cached = self._schema_cache
+        if cached is not None:
+            return cached
         derived: dict[Node, DerivedSchemas] = {}
         for node in self.topological_order():
-            provider_outputs = tuple(
-                derived[p].output for p in self.providers(node)
-            )
-            if isinstance(node, RecordSet):
-                if node.is_source:
-                    derived[node] = DerivedSchemas((), node.schema)
-                    continue
-                received = provider_outputs[0]
-                if not received.compatible(node.schema):
-                    raise SchemaError(
-                        f"recordset {node.name} declared {node.schema} but "
-                        f"receives {received}"
-                    )
-                derived[node] = DerivedSchemas(provider_outputs, node.schema)
-                continue
-            output = node.derive_output(provider_outputs)
-            derived[node] = DerivedSchemas(provider_outputs, output)
+            derived[node] = self._derive_node(node, derived)
+        self._schema_cache = derived
         return derived
+
+    def _derive_node(
+        self, node: Node, derived: dict[Node, DerivedSchemas]
+    ) -> DerivedSchemas:
+        """Derive one node's schemas given its providers' entries."""
+        provider_outputs = tuple(
+            derived[p].output for p in self.providers(node)
+        )
+        if isinstance(node, RecordSet):
+            if node.is_source:
+                return DerivedSchemas((), node.schema)
+            received = provider_outputs[0]
+            if not received.compatible(node.schema):
+                raise SchemaError(
+                    f"recordset {node.name} declared {node.schema} but "
+                    f"receives {received}"
+                )
+            return DerivedSchemas(provider_outputs, node.schema)
+        output = node.derive_output(provider_outputs)
+        return DerivedSchemas(provider_outputs, output)
+
+    def propagate_schemas_incremental(
+        self,
+        parent: "ETLWorkflow",
+        affected: tuple[Node, ...],
+    ) -> dict[Node, DerivedSchemas]:
+        """Regenerate schemata reusing a parent state's derived map.
+
+        ``self`` is a rewired copy of ``parent``; ``affected`` are the
+        nodes the transition moved, created or replaced.  Work-list
+        propagation mirrors :func:`repro.core.cost.estimator
+        .estimate_incremental`: starting from the affected nodes (plus any
+        node the parent never derived), each dirty node is re-derived and
+        its consumers join the work list only while its input schemas
+        actually changed.  Theorem 1 (schemata of unaffected activities
+        are invariant under equivalent transitions) makes the walk
+        terminate after the local neighbourhood in the common case.
+
+        Raises :class:`~repro.exceptions.SchemaError` on exactly the
+        states the full :meth:`propagate_schemas` would reject: a dirty
+        node fails its own derivation the same way, and a clean node
+        cannot newly violate (its inputs are unchanged from a valid
+        parent).
+        """
+        parent_derived = parent.propagate_schemas()
+        if len(parent_derived) != len(self):
+            derived = {
+                node: schemas
+                for node, schemas in parent_derived.items()
+                if node in self
+            }
+        else:
+            # Equal node count ⇒ identical population: every shipped
+            # transition that replaces nodes also changes the count.
+            derived = dict(parent_derived)
+        dirty = {node for node in affected if node in self}
+        # Direct consumers of affected nodes changed *provider identity*
+        # even when the provider's derived schemas coincide; re-derive
+        # them unconditionally so every clean node's parent entry is
+        # known to have been computed from the same providers.
+        for node in tuple(dirty):
+            for consumer in self.consumers(node):
+                dirty.add(consumer)
+        for node in self.topological_order():
+            if node not in derived:
+                dirty.add(node)  # created by the transition (clone/merge)
+            if node not in dirty:
+                continue
+            old = derived.get(node)
+            fresh = self._derive_node(node, derived)
+            derived[node] = fresh
+            if old is None or fresh != old:
+                for consumer in self.consumers(node):
+                    dirty.add(consumer)
+        self._schema_cache = derived
+        return derived
+
+    def validate_incremental(
+        self, parent: "ETLWorkflow", affected: tuple[Node, ...]
+    ) -> None:
+        """Structural validation scoped to a transition's neighbourhood.
+
+        ``self`` is a rewired copy of a *validated* parent.  Rewiring only
+        changes degrees and ports of the affected nodes and their direct
+        neighbours, so the section 2.1 well-formedness rules are re-checked
+        there; acyclicity is covered by :meth:`topological_order` (the
+        fast successor path computes it anyway, and Kahn raises on
+        cycles).  ``REPRO_COST_ORACLE=1`` cross-checks against the full
+        :meth:`validate`.
+        """
+        self.topological_order()  # raises on cycles
+        pred = self._graph._pred
+        succ = self._graph._succ
+        scope: set[Node] = set()
+        for node in affected:
+            if node not in self._graph:
+                continue
+            scope.add(node)
+            scope.update(pred[node])
+            scope.update(succ[node])
+        for node in scope:
+            in_deg = len(pred[node])
+            out_deg = len(succ[node])
+            if isinstance(node, Activity):
+                if in_deg != node.arity:
+                    raise WorkflowError(
+                        f"activity {node.id} ({node.name}) has arity "
+                        f"{node.arity} but {in_deg} provider(s)"
+                    )
+                if out_deg == 0:
+                    raise WorkflowError(
+                        f"activity {node.id} ({node.name}) has no consumer"
+                    )
+                ports = sorted(
+                    data["port"] for data in pred[node].values()
+                )
+                if ports != list(range(node.arity)):
+                    raise WorkflowError(
+                        f"activity {node.id}: input ports {ports} != "
+                        f"{list(range(node.arity))}"
+                    )
+            else:
+                if node.kind is RecordSetKind.SOURCE:
+                    if in_deg != 0 or out_deg == 0:
+                        raise WorkflowError(
+                            f"source recordset {node.name} is miswired"
+                        )
+                elif node.kind is RecordSetKind.TARGET:
+                    if out_deg != 0 or in_deg != 1:
+                        raise WorkflowError(
+                            f"target recordset {node.name} is miswired"
+                        )
+                elif in_deg != 1 or out_deg == 0:
+                    raise WorkflowError(
+                        f"intermediate recordset {node.name} must have one "
+                        f"provider and at least one consumer"
+                    )
 
     def is_valid(self) -> bool:
         """True when the workflow is structurally and schema-wise sound."""

@@ -5,6 +5,13 @@ generated workload (:func:`repro.workloads.generate_workload` is
 deterministic in ``(category, seed)``), a private RNG walks a random chain
 of applicable transitions, and every intermediate state is checked against
 the initial state by the :class:`~repro.fuzz.oracles.ConformanceOracle`.
+A fourth, engine-free oracle rides along: the search hot path's
+delta-maintained :class:`~repro.core.cost.estimator.CostReport` is carried
+down the chain and compared *exactly* against a from-scratch estimate at
+every state (:func:`check_delta_cost`); with ``REPRO_COST_ORACLE=1`` each
+step is additionally re-applied through the incremental fast path, whose
+twin check asserts fast-vs-slow agreement — a disagreement or crash there
+surfaces as a violation rather than killing the run.
 
 The candidate enumeration extends the search-facing
 :func:`repro.core.transitions.candidate_transitions` (SWA / FAC / DIS)
@@ -25,8 +32,14 @@ import time
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.core import flags
 from repro.core.activity import Activity, CompositeActivity
-from repro.core.cost.model import CostModel
+from repro.core.cost.estimator import (
+    CostReport,
+    estimate,
+    estimate_incremental,
+)
+from repro.core.cost.model import CostModel, ProcessedRowsCostModel
 from repro.core.transitions import candidate_transitions
 from repro.core.transitions.base import Transition
 from repro.core.transitions.merge import Merge, Split
@@ -42,9 +55,11 @@ __all__ = [
     "ChainStep",
     "FuzzFailure",
     "SeedResult",
+    "check_delta_cost",
     "fuzz_candidates",
     "fuzz_seed",
     "replay_chain",
+    "replay_delta_cost",
 ]
 
 
@@ -71,6 +86,13 @@ class FuzzConfig:
     #: fuzzer differentially tests the streaming engine against the same
     #: equivalence and cost-conformance checks.
     execution_budget: ExecutionBudget | None = None
+    #: Maintain a delta-costed :class:`CostReport` along each chain and
+    #: compare it against a from-scratch estimate at every state — the
+    #: search hot path's incremental costing, checked exactly (``==``,
+    #: no epsilon).  Independently, ``REPRO_COST_ORACLE=1`` re-applies
+    #: each step through the incremental fast path and reports any
+    #: fast-vs-slow disagreement as a violation.
+    check_delta_cost: bool = True
 
     def __post_init__(self) -> None:
         if not self.categories:
@@ -175,6 +197,77 @@ def fuzz_candidates(
     return candidates
 
 
+def check_delta_cost(
+    parent_report: CostReport,
+    transition: Transition,
+    successor: ETLWorkflow,
+    model: CostModel,
+) -> tuple[CostReport, Violation | None]:
+    """Compare delta-maintained costing of ``successor`` to a full pass.
+
+    Returns the report to carry to the next step and ``None`` when the
+    two agree; on divergence the *full* report is carried forward so one
+    bad delta does not poison every later comparison.  The comparison is
+    exact (``CostReport.__eq__``: total, per-node costs, cardinalities) —
+    both sides end in :func:`math.fsum`, so there is no legitimate
+    summation-order slack to forgive.
+    """
+    delta = estimate_incremental(
+        successor, model, parent_report, transition.affected_nodes()
+    )
+    full = estimate(successor, model)
+    if delta == full:
+        return delta, None
+    diverging = sorted(
+        node.id
+        for node in set(delta.cardinalities) | set(full.cardinalities)
+        if delta.cardinalities.get(node) != full.cardinalities.get(node)
+        or delta.node_costs.get(node) != full.node_costs.get(node)
+    )
+    shown = ", ".join(diverging[:6]) + ("…" if len(diverging) > 6 else "")
+    return full, Violation(
+        "delta-cost",
+        f"delta-maintained cost {delta.total!r} vs full re-cost "
+        f"{full.total!r}; {len(diverging)} node(s) diverge ({shown})",
+    )
+
+
+def replay_delta_cost(
+    workflow: ETLWorkflow,
+    descriptions: list[str] | tuple[str, ...],
+    model: CostModel | None = None,
+    include_packaging: bool = True,
+) -> tuple[Violation, ...]:
+    """Replay a chain by description, delta-cost checking every state.
+
+    Pure model arithmetic — no engine runs — so the shrinker can afford
+    it on every probe.  Returns the first violation (annotated with its
+    step), or ``()`` when the chain diverges or every state agrees.
+    """
+    model = model if model is not None else ProcessedRowsCostModel()
+    current = workflow
+    report = estimate(current, model)
+    for step_no, description in enumerate(descriptions, start=1):
+        match = next(
+            (
+                t
+                for t in fuzz_candidates(current, include_packaging)
+                if t.describe() == description
+            ),
+            None,
+        )
+        if match is None:
+            return ()
+        successor = match.try_apply(current)
+        if successor is None:
+            return ()
+        report, violation = check_delta_cost(report, match, successor, model)
+        if violation is not None:
+            return (violation.at(step_no, description),)
+        current = successor
+    return ()
+
+
 def fuzz_seed(
     config: FuzzConfig,
     seed: int,
@@ -200,6 +293,10 @@ def fuzz_seed(
 
     started = time.perf_counter()
     current = workload.workflow
+    cost_model = model if model is not None else ProcessedRowsCostModel()
+    report: CostReport | None = (
+        estimate(current, cost_model) if config.check_delta_cost else None
+    )
     steps: list[ChainStep] = []
     counts: Counter = Counter()
     states_checked = 0
@@ -244,7 +341,33 @@ def fuzz_seed(
         counts[transition.mnemonic] += 1
         states_checked += 1
         check_started = time.perf_counter()
-        violations = oracle.check(successor)
+        violations = list(oracle.check(successor))
+        if report is not None:
+            report, cost_violation = check_delta_cost(
+                report, transition, successor, cost_model
+            )
+            if cost_violation is not None:
+                violations.append(cost_violation)
+        if flags.cost_oracle_enabled():
+            # Re-apply through the fast path, whose _apply_checked twin
+            # runs both implementations and asserts they agree; any
+            # disagreement (or raw crash) becomes a reported violation
+            # instead of killing the fuzz loop.
+            try:
+                if transition.try_apply_fast(current) is None:
+                    violations.append(
+                        Violation(
+                            "delta-cost",
+                            "fast path rejects a transition the slow "
+                            "path applied",
+                        )
+                    )
+            except Exception as exc:  # noqa: BLE001 - any crash is a finding
+                violations.append(
+                    Violation(
+                        "crash", f"fast-path twin check failed: {exc!r}"
+                    )
+                )
         oracle_seconds += time.perf_counter() - check_started
         if violations:
             step_no = len(steps)

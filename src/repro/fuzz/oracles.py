@@ -48,7 +48,7 @@ __all__ = [
 class Violation:
     """One oracle disagreement, annotated with where in the chain it fired."""
 
-    #: ``symbolic`` | ``empirical`` | ``cost`` | ``crash``
+    #: ``symbolic`` | ``empirical`` | ``cost`` | ``delta-cost`` | ``crash``
     kind: str
     detail: str
     #: 1-based step in the fuzz chain (-1 when checked outside a chain).

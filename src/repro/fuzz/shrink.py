@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from repro.core.cost.model import CostModel
 from repro.core.workflow import ETLWorkflow
 from repro.engine.executor import Executor
-from repro.fuzz.chain import FuzzFailure, replay_chain
+from repro.fuzz.chain import FuzzFailure, replay_chain, replay_delta_cost
 from repro.fuzz.oracles import ConformanceOracle, OracleConfig, Violation
 from repro.io.atomic import atomic_write_text
 from repro.io.json_io import workflow_to_dict
@@ -103,7 +103,15 @@ class _Reproducer:
         final = self.final_state(chain)
         if final is None:
             return ()
-        return tuple(self._oracle(n_rows).check(final))
+        # Engine-free, so affordable on every probe: delta-cost failures
+        # shrink like any other kind (and being data-independent, their
+        # row slice shrinks to zero, as with symbolic violations).
+        return tuple(self._oracle(n_rows).check(final)) + replay_delta_cost(
+            self.workload.workflow,
+            chain,
+            model=self.model,
+            include_packaging=self.failure.include_packaging,
+        )
 
 
 def shrink_failure(
