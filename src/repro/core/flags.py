@@ -1,6 +1,6 @@
-"""Process-wide debug/compatibility switches for the search fast path.
+"""Process-wide debug/compatibility switches for the fast paths.
 
-Two environment variables gate the incremental successor machinery:
+Three environment variables gate the performance machinery:
 
 * ``REPRO_FULL_RECOST=1`` — force every transition onto the slow,
   obviously-correct twin (full copy + full structural validation + full
@@ -13,8 +13,13 @@ Two environment variables gate the incremental successor machinery:
   ``estimate_incremental == estimate`` guarantee this is the debug oracle
   ISSUE 6 pins the optimization with; it is also wired into the fuzz
   oracles (``repro fuzz`` cost-consistency check).
+* ``REPRO_NO_COLUMNAR=1`` — disable the streaming engine's fused
+  columnar kernels and run every row-wise chain through the legacy
+  row-at-a-time operators.  The differential/property suites flip this
+  to compare the two paths; it is also the escape hatch if a fused
+  kernel ever misbehaves in production.
 
-Both are read once at import and can be toggled programmatically (tests,
+All are read once at import and can be toggled programmatically (tests,
 benchmarks) via the setters below.
 """
 
@@ -27,6 +32,8 @@ __all__ = [
     "set_full_recost",
     "cost_oracle_enabled",
     "set_cost_oracle",
+    "columnar_enabled",
+    "set_columnar",
 ]
 
 
@@ -36,6 +43,7 @@ def _env_flag(name: str) -> bool:
 
 _full_recost = _env_flag("REPRO_FULL_RECOST")
 _cost_oracle = _env_flag("REPRO_COST_ORACLE")
+_columnar = not _env_flag("REPRO_NO_COLUMNAR")
 
 
 def full_recost_enabled() -> bool:
@@ -61,4 +69,17 @@ def set_cost_oracle(enabled: bool) -> bool:
     global _cost_oracle
     previous = _cost_oracle
     _cost_oracle = bool(enabled)
+    return previous
+
+
+def columnar_enabled() -> bool:
+    """True when the streaming engine may use fused columnar kernels."""
+    return _columnar
+
+
+def set_columnar(enabled: bool) -> bool:
+    """Toggle the columnar fast path; returns the previous value."""
+    global _columnar
+    previous = _columnar
+    _columnar = bool(enabled)
     return previous

@@ -1,4 +1,27 @@
-"""Execution engine: runs ETL workflows on in-memory data."""
+"""Execution engine: runs ETL workflows on in-memory data.
+
+Stable public surface
+---------------------
+The names re-exported here (see ``__all__``) are the engine's supported
+API; everything else under ``repro.engine.*`` is internal and may move
+between releases.  The core execution surface is:
+
+* :class:`Batch` — the columnar unit of data flow: a dict of equal-length
+  column lists plus a lazy row-dict adapter (``.columns``, ``.rows()``,
+  ``.num_rows``, ``from_rows`` / ``to_rows``);
+* :class:`Executor` (and the :class:`TracingExecutor` /
+  :class:`CheckpointingExecutor` variants) — all three ``run()`` methods
+  share the ``(workflow, data, *, budget=..., recorder=..., ...)``
+  keyword shape;
+* :class:`ExecutionBudget` / :class:`ExecutionResult` /
+  :class:`ExecutionStats` — the run-configuration and run-outcome types;
+* :func:`iter_batches` / :func:`rebatch` — chunking helpers that accept a
+  :class:`Batch` or a row sequence and always yield :class:`Batch`.
+
+The deprecated row-list helper spellings (``iter_row_batches``,
+``rebatch_rows``) remain importable from :mod:`repro.engine.batches` and
+warn once per process.
+"""
 
 from repro.engine.batches import (
     DEFAULT_BATCH_SIZE,
@@ -6,6 +29,8 @@ from repro.engine.batches import (
     ResidentLedger,
     SpillableRowBuffer,
     StreamingMetrics,
+    iter_batches,
+    rebatch,
 )
 from repro.engine.calibrate import (
     CalibrationWarning,
@@ -19,6 +44,7 @@ from repro.engine.checkpoint import (
     PartialCheckpoint,
     SimulatedFailure,
 )
+from repro.engine.columnar import Batch, supports_columnar
 from repro.engine.executor import (
     ExecutionResult,
     ExecutionStats,
@@ -32,6 +58,7 @@ from repro.engine.operators import (
     default_scalar_functions,
 )
 from repro.engine.rows import Row, as_multiset, freeze_row
+from repro.engine.tracing import ActivityTrace, TraceReport, TracingExecutor
 from repro.engine.validate import (
     RunEquivalenceReport,
     StreamingConformanceReport,
@@ -40,6 +67,8 @@ from repro.engine.validate import (
 )
 
 __all__ = [
+    "Batch",
+    "supports_columnar",
     "Executor",
     "ExecutionResult",
     "ExecutionStats",
@@ -49,6 +78,11 @@ __all__ = [
     "ResidentLedger",
     "SpillableRowBuffer",
     "StreamingMetrics",
+    "iter_batches",
+    "rebatch",
+    "ActivityTrace",
+    "TraceReport",
+    "TracingExecutor",
     "CheckpointingExecutor",
     "CheckpointStore",
     "PartialCheckpoint",

@@ -9,9 +9,12 @@ own:
   :meth:`repro.engine.executor.Executor.run`;
 * :class:`ResidentLedger` — run-wide accounting of *resident rows* (rows
   the engine is currently holding in memory) with per-owner peaks;
-* :class:`SpillableRowBuffer` — an append-only row store that overflows
-  to disk once the run exceeds its resident-row budget;
-* :func:`iter_batches` / :func:`rebatch` — chunking helpers.
+* :class:`SpillableRowBuffer` — an append-only batch store that
+  overflows to disk once the run exceeds its resident-row budget;
+* :func:`iter_batches` / :func:`rebatch` — chunking helpers.  Both
+  accept either a :class:`~repro.engine.columnar.Batch` or a plain row
+  sequence and always yield ``Batch`` (the deprecated row-list variants
+  live behind ``iter_row_batches`` / ``rebatch_rows`` shims).
 
 Accounting model
 ----------------
@@ -30,9 +33,11 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
+from repro.engine.columnar import Batch
 from repro.engine.rows import Row
 from repro.exceptions import ExecutionError
 
@@ -129,13 +134,17 @@ class ResidentLedger:
 
 
 class SpillableRowBuffer:
-    """An append-only row store that spills to disk past the row budget.
+    """An append-only batch store that spills to disk past the row budget.
 
-    Appends go to an in-memory tail; whenever the run's ledger reports the
-    budget exceeded (and a spill directory is configured), the tail is
-    flushed to a pickle-framed spill file.  Iteration replays the spilled
+    Appends go to an in-memory tail of :class:`Batch` pieces; whenever
+    the run's ledger reports the budget exceeded (and a spill directory
+    is configured), the tail is flushed to a pickle-framed spill file.
+    The spill format is **columnar**: a piece with a usable column view
+    pickles as one ``('c', num_rows, columns)`` frame — one tuple of
+    column lists instead of one dict per row — and a ragged piece falls
+    back to a ``('r', rows)`` row frame.  Iteration replays the spilled
     frames followed by the in-memory tail, preserving append order, so a
-    buffer behaves exactly like the list it replaces.
+    buffer behaves exactly like the flow list it replaces.
 
     The buffer freezes on first read: the accumulate phase of a blocking
     operator is strictly before its emit phase, so appending after a read
@@ -151,35 +160,40 @@ class SpillableRowBuffer:
         self._ledger = ledger
         self._owner = owner
         self._spill_dir = spill_dir
-        self._memory: list[Row] = []
+        self._memory: list[Batch] = []
+        self._memory_rows = 0
         self._spill_path: str | None = None
         self._spilled_count = 0
         self._frozen = False
         self._closed = False
 
     def __len__(self) -> int:
-        return self._spilled_count + len(self._memory)
+        return self._spilled_count + self._memory_rows
 
     @property
     def spilled(self) -> bool:
         return self._spilled_count > 0
 
-    def extend(self, rows: Sequence[Row]) -> None:
+    def extend(self, rows: Batch | Sequence[Row]) -> None:
         if self._frozen:
             raise ExecutionError(
                 f"buffer for {self._owner!r} is frozen (already being read)"
             )
+        piece = Batch.from_rows(rows)
+        if not piece:
+            return
         if (
             self._spill_dir is not None
             and self._ledger.limit is not None
             and self._memory
-            and self._ledger.current + len(rows) > self._ledger.limit
+            and self._ledger.current + piece.num_rows > self._ledger.limit
         ):
             # Shed what we already hold *before* admitting the new batch,
             # so the buffer itself never pushes the run past its budget.
             self._flush()
-        self._memory.extend(rows)
-        self._ledger.acquire(self._owner, len(rows))
+        self._memory.append(piece)
+        self._memory_rows += piece.num_rows
+        self._ledger.acquire(self._owner, piece.num_rows)
         if self._ledger.over_budget and self._spill_dir is not None:
             self._flush()
 
@@ -195,15 +209,22 @@ class SpillableRowBuffer:
             )
             os.close(fd)
         with open(self._spill_path, "ab") as handle:
-            pickle.dump(self._memory, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        flushed = len(self._memory)
+            for piece in self._memory:
+                columns = piece.columns_or_none()
+                if columns is not None:
+                    frame = ("c", piece.num_rows, columns)
+                else:
+                    frame = ("r", piece.to_rows())
+                pickle.dump(frame, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        flushed = self._memory_rows
         self._spilled_count += flushed
         self._ledger.release(self._owner, flushed)
         self._ledger.note_spill(flushed)
         self._memory = []
+        self._memory_rows = 0
 
-    def rows(self) -> Iterator[Row]:
-        """All rows in append order (spilled frames first, then memory)."""
+    def _pieces(self) -> Iterator[Batch]:
+        """All stored pieces in append order (spilled first, then memory)."""
         self._frozen = True
         if self._spill_path is not None:
             with open(self._spill_path, "rb") as handle:
@@ -212,22 +233,53 @@ class SpillableRowBuffer:
                         frame = pickle.load(handle)
                     except EOFError:
                         break
-                    yield from frame
+                    if frame[0] == "c":
+                        yield Batch.from_columns(frame[2], frame[1])
+                    else:
+                        yield Batch.from_rows(frame[1])
         yield from self._memory
 
-    def batches(self, batch_size: int) -> Iterator[list[Row]]:
-        """The rows re-chunked to ``batch_size``; replayed disk frames are
-        charged to the ledger only while in flight."""
-        for batch in rebatch(self.rows(), batch_size):
-            yield batch
+    def rows(self) -> Iterator[Row]:
+        """All rows in append order (spilled frames first, then memory)."""
+        for piece in self._pieces():
+            yield from piece.rows()
+
+    def batches(self, batch_size: int) -> Iterator[Batch]:
+        """The stored pieces re-chunked to ``batch_size`` batches.
+
+        Re-chunking concatenates and slices whole pieces (columnar when
+        the layouts line up), never round-tripping through row dicts;
+        pieces already at ``batch_size`` pass through untouched.
+        """
+        pending: list[Batch] = []
+        held = 0
+        for piece in self._pieces():
+            pending.append(piece)
+            held += piece.num_rows
+            while held >= batch_size:
+                merged = (
+                    pending[0] if len(pending) == 1 else Batch.concat(pending)
+                )
+                if merged.num_rows == batch_size:
+                    yield merged
+                    pending = []
+                    held = 0
+                else:
+                    yield merged.slice(0, batch_size)
+                    rest = merged.slice(batch_size, merged.num_rows)
+                    pending = [rest]
+                    held = rest.num_rows
+        if held:
+            yield pending[0] if len(pending) == 1 else Batch.concat(pending)
 
     def close(self) -> None:
         """Release memory accounting and delete the spill file."""
         if self._closed:
             return
         self._closed = True
-        self._ledger.release(self._owner, len(self._memory))
+        self._ledger.release(self._owner, self._memory_rows)
         self._memory = []
+        self._memory_rows = 0
         if self._spill_path is not None:
             try:
                 os.remove(self._spill_path)
@@ -255,19 +307,69 @@ class StreamingMetrics:
         )
 
 
-def iter_batches(rows: Sequence[Row], batch_size: int) -> Iterator[list[Row]]:
-    """``rows`` chunked into lists of at most ``batch_size``."""
-    for start in range(0, len(rows), batch_size):
-        yield list(rows[start : start + batch_size])
+def iter_batches(
+    rows: Batch | Sequence[Row], batch_size: int
+) -> Iterator[Batch]:
+    """``rows`` (a :class:`Batch` or row sequence) chunked into batches
+    of at most ``batch_size`` rows.  Always yields :class:`Batch`."""
+    batch = rows if isinstance(rows, Batch) else Batch.from_rows(rows)
+    for start in range(0, batch.num_rows, batch_size):
+        yield batch.slice(start, start + batch_size)
 
 
-def rebatch(rows: Iterable[Row], batch_size: int) -> Iterator[list[Row]]:
-    """Re-chunk an arbitrary row iterable into ``batch_size`` lists."""
-    batch: list[Row] = []
+def rebatch(
+    rows: Batch | Iterable[Row], batch_size: int
+) -> Iterator[Batch]:
+    """Re-chunk an arbitrary row iterable (or a :class:`Batch`) into
+    :class:`Batch` chunks of at most ``batch_size`` rows."""
+    if isinstance(rows, Batch):
+        yield from iter_batches(rows, batch_size)
+        return
+    chunk: list[Row] = []
     for row in rows:
-        batch.append(row)
-        if len(batch) >= batch_size:
-            yield batch
-            batch = []
-    if batch:
-        yield batch
+        chunk.append(row)
+        if len(chunk) >= batch_size:
+            yield Batch.from_rows(chunk)
+            chunk = []
+    if chunk:
+        yield Batch.from_rows(chunk)
+
+
+def _iter_row_batches(
+    rows: Sequence[Row], batch_size: int
+) -> Iterator[list[Row]]:
+    for batch in iter_batches(rows, batch_size):
+        yield batch.to_rows()
+
+
+def _rebatch_rows(
+    rows: Iterable[Row], batch_size: int
+) -> Iterator[list[Row]]:
+    for batch in rebatch(rows, batch_size):
+        yield batch.to_rows()
+
+
+_ROW_HELPER_SHIMS = {
+    "iter_row_batches": (_iter_row_batches, "iter_batches"),
+    "rebatch_rows": (_rebatch_rows, "rebatch"),
+}
+_warned_row_helpers: set[str] = set()
+
+
+def __getattr__(name: str):
+    # Row-list compatibility shims: the pre-columnar engine chunked
+    # flows into list[Row]; code that still needs bare row lists can
+    # import these spellings, warned once per process.
+    shim = _ROW_HELPER_SHIMS.get(name)
+    if shim is not None:
+        helper, replacement = shim
+        if name not in _warned_row_helpers:
+            _warned_row_helpers.add(name)
+            warnings.warn(
+                f"repro.engine.batches.{name} is deprecated; use "
+                f"{replacement} (which yields Batch) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return helper
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

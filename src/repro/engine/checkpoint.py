@@ -30,9 +30,13 @@ from dataclasses import dataclass, field
 
 from repro.core.activity import Activity
 from repro.core.recordset import RecordSet
+from repro.core.flags import columnar_enabled
 from repro.core.workflow import ETLWorkflow
 from repro.engine.batches import ExecutionBudget, iter_batches
+from repro.engine.columnar import Batch, FusedChainRunner, supports_columnar
 from repro.engine.executor import (
+    _UNSET,
+    _resolve_run_args,
     ExecutionResult,
     ExecutionStats,
     Executor,
@@ -40,6 +44,7 @@ from repro.engine.executor import (
 )
 from repro.engine.rows import Row, check_rows_match_schema
 from repro.exceptions import ExecutionError
+from repro.obs import Recorder, use_recorder
 
 __all__ = [
     "SimulatedFailure",
@@ -108,9 +113,12 @@ class CheckpointStore:
     def append_partial(
         self,
         partial: PartialCheckpoint,
-        batch: list[Row],
+        batch: Batch | list[Row],
         consumed_rows: int | None,
     ) -> None:
+        # ``list(batch)`` builds row dicts from a columnar Batch and
+        # copies a plain row list — partials always store rows, which
+        # keeps restore paths and crash artifacts layout-independent.
         partial.batches.append(list(batch))
         if partial.consumed_rows is not None:
             partial.consumed_rows = consumed_rows
@@ -139,11 +147,48 @@ class CheckpointingExecutor(Executor):
         self,
         workflow: ETLWorkflow,
         source_data: Mapping[str, list[Row]],
-        check_schemas: bool = True,
-        checkpoints: CheckpointStore | None = None,
-        fail_before: str | None = None,
-        fail_after: tuple[str, int] | None = None,
-        budget: ExecutionBudget | None = None,
+        *legacy,
+        check_schemas: bool = _UNSET,  # type: ignore[assignment]
+        checkpoints: CheckpointStore | None = _UNSET,  # type: ignore[assignment]
+        fail_before: str | None = _UNSET,  # type: ignore[assignment]
+        fail_after: tuple[str, int] | None = _UNSET,  # type: ignore[assignment]
+        budget: ExecutionBudget | None = _UNSET,  # type: ignore[assignment]
+        recorder: Recorder | None = None,
+    ) -> ExecutionResult:
+        (
+            check_schemas,
+            checkpoints,
+            fail_before,
+            fail_after,
+            budget,
+        ) = _resolve_run_args(
+            "CheckpointingExecutor.run",
+            legacy,
+            ("check_schemas", "checkpoints", "fail_before", "fail_after",
+             "budget"),
+            (check_schemas, checkpoints, fail_before, fail_after, budget),
+            (True, None, None, None, None),
+        )
+        if recorder is not None:
+            with use_recorder(recorder):
+                return self._checkpointed_run(
+                    workflow, source_data, check_schemas, checkpoints,
+                    fail_before, fail_after, budget,
+                )
+        return self._checkpointed_run(
+            workflow, source_data, check_schemas, checkpoints, fail_before,
+            fail_after, budget,
+        )
+
+    def _checkpointed_run(
+        self,
+        workflow: ETLWorkflow,
+        source_data: Mapping[str, list[Row]],
+        check_schemas: bool,
+        checkpoints: CheckpointStore | None,
+        fail_before: str | None,
+        fail_after: tuple[str, int] | None,
+        budget: ExecutionBudget | None,
     ) -> ExecutionResult:
         workflow.validate()
         workflow.propagate_schemas()
@@ -233,14 +278,28 @@ class CheckpointingExecutor(Executor):
         appended = 0
         if row_wise:
             flow = inputs[0]
+            runner = None
+            if columnar_enabled() and all(
+                supports_columnar(component, self.registry)
+                for component in components
+            ):
+                runner = FusedChainRunner(self.context, self.registry)
+                runner.add(components)
             for offset in range(start, len(flow), budget.batch_size):
                 batch = flow[offset : offset + budget.batch_size]
-                out = batch
-                for component in components:
-                    operator = self.registry.get(component.template.name)
-                    produced = operator(component, (out,), self.context)
-                    stats.record(component.id, len(out), len(produced))
-                    out = produced
+                if runner is not None:
+                    out, counts, _ = runner.run_batch(Batch.from_rows(batch))
+                    for component, (rows_in, rows_out) in zip(
+                        components, counts
+                    ):
+                        stats.record(component.id, rows_in, rows_out)
+                else:
+                    out = batch
+                    for component in components:
+                        operator = self.registry.get(component.template.name)
+                        produced = operator(component, (out,), self.context)
+                        stats.record(component.id, len(out), len(produced))
+                        out = produced
                 store.append_partial(partial, out, offset + len(batch))
                 appended += 1
                 if fail_at is not None and appended >= fail_at:

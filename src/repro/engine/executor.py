@@ -25,6 +25,7 @@ identically.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 
@@ -40,6 +41,7 @@ from repro.engine.operators import (
 )
 from repro.engine.rows import Row, check_rows_match_schema
 from repro.exceptions import ExecutionError
+from repro.obs import Recorder, use_recorder
 
 __all__ = [
     "ExecutionStats",
@@ -47,6 +49,57 @@ __all__ = [
     "Executor",
     "iter_components",
 ]
+
+#: Sentinel distinguishing "keyword not passed" from an explicit value,
+#: so a deprecated positional and its keyword can be caught as a clash.
+_UNSET: object = object()
+
+_warned_positional: set[str] = set()
+
+
+def _resolve_run_args(
+    method: str,
+    legacy: tuple,
+    names: tuple[str, ...],
+    keywords: tuple,
+    defaults: tuple,
+) -> tuple:
+    """Map deprecated positional ``run()`` arguments onto their keywords.
+
+    All executors share the ``run(workflow, data, *, budget=...,
+    recorder=..., ...)`` keyword shape; arguments beyond ``(workflow,
+    data)`` passed positionally still land on the historical parameter
+    order (``names``) but warn once per method — the same facade pattern
+    :func:`repro.optimize` uses for its legacy budget spellings.
+    """
+    values = list(keywords)
+    if legacy:
+        if len(legacy) > len(names):
+            raise TypeError(
+                f"{method}() takes at most {2 + len(names)} positional "
+                f"arguments ({2 + len(legacy)} given)"
+            )
+        if method not in _warned_positional:
+            _warned_positional.add(method)
+            warnings.warn(
+                f"passing {method}() arguments positionally beyond "
+                f"(workflow, source_data) is deprecated; pass "
+                f"{', '.join(f'{name}=' for name in names[: len(legacy)])}"
+                f"by keyword",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        for index, value in enumerate(legacy):
+            if values[index] is not _UNSET:
+                raise TypeError(
+                    f"{method}() got multiple values for argument "
+                    f"{names[index]!r}"
+                )
+            values[index] = value
+    return tuple(
+        default if value is _UNSET else value
+        for value, default in zip(values, defaults)
+    )
 
 
 def iter_components(activity: Activity) -> Iterator[Activity]:
@@ -133,9 +186,11 @@ class Executor:
         self,
         workflow: ETLWorkflow,
         source_data: Mapping[str, list[Row]],
-        check_schemas: bool = True,
-        collect_rejects: bool = False,
-        budget: ExecutionBudget | None = None,
+        *legacy,
+        check_schemas: bool = _UNSET,  # type: ignore[assignment]
+        collect_rejects: bool = _UNSET,  # type: ignore[assignment]
+        budget: ExecutionBudget | None = _UNSET,  # type: ignore[assignment]
+        recorder: Recorder | None = None,
     ) -> ExecutionResult:
         """Execute ``workflow`` on ``source_data`` (keyed by source name).
 
@@ -146,7 +201,37 @@ class Executor:
         gathered into ``ExecutionResult.rejects`` (keyed by activity id).
         With a ``budget`` (or a default budget on the executor), rows are
         streamed through the graph in batches instead of materialized.
+        With a ``recorder``, that :class:`~repro.obs.Recorder` is active
+        for the duration of the run (telemetry spans/counters land there).
+
+        Arguments beyond ``(workflow, source_data)`` are keyword-only;
+        the historical positional form still works but warns once.
         """
+        check_schemas, collect_rejects, budget = _resolve_run_args(
+            "Executor.run",
+            legacy,
+            ("check_schemas", "collect_rejects", "budget"),
+            (check_schemas, collect_rejects, budget),
+            (True, False, None),
+        )
+        if recorder is not None:
+            with use_recorder(recorder):
+                return self._run(
+                    workflow, source_data, check_schemas, collect_rejects,
+                    budget,
+                )
+        return self._run(
+            workflow, source_data, check_schemas, collect_rejects, budget
+        )
+
+    def _run(
+        self,
+        workflow: ETLWorkflow,
+        source_data: Mapping[str, list[Row]],
+        check_schemas: bool,
+        collect_rejects: bool,
+        budget: ExecutionBudget | None,
+    ) -> ExecutionResult:
         budget = budget if budget is not None else self.default_budget
         if budget is not None:
             from repro.engine.streaming import execute_streaming

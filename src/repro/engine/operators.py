@@ -311,6 +311,27 @@ def _exec_intersection(
     return result
 
 
+#: The builtin operator for each builtin template, by identity.  The
+#: columnar fuser compiles *these* semantics, so it must be able to tell
+#: whether a registry still maps a builtin template to its builtin
+#: operator (``replace=True`` re-registrations opt out of fusion).
+_BUILTIN_OPERATORS: dict[str, Operator] = {
+    "selection": _exec_selection,
+    "not_null": _exec_not_null,
+    "range_check": _exec_range_check,
+    "pk_check": _exec_pk_check,
+    "projection": _exec_projection,
+    "function_apply": _exec_function_apply,
+    "surrogate_key": _exec_surrogate_key,
+    "aggregation": _exec_aggregation,
+    "distinct": _exec_distinct,
+    "union": _exec_union,
+    "join": _exec_join,
+    "difference": _exec_difference,
+    "intersection": _exec_intersection,
+}
+
+
 class OperatorRegistry:
     """Template-name -> operator mapping, user-extensible."""
 
@@ -335,23 +356,20 @@ class OperatorRegistry:
     def __contains__(self, template_name: object) -> bool:
         return template_name in self._operators
 
+    def is_builtin(self, template_name: str) -> bool:
+        """True when ``template_name`` still maps to its builtin operator."""
+        builtin = _BUILTIN_OPERATORS.get(template_name)
+        return (
+            builtin is not None
+            and self._operators.get(template_name) is builtin
+        )
+
 
 def default_registry() -> OperatorRegistry:
     """Operators for every builtin template."""
     registry = OperatorRegistry()
-    registry.register("selection", _exec_selection)
-    registry.register("not_null", _exec_not_null)
-    registry.register("range_check", _exec_range_check)
-    registry.register("pk_check", _exec_pk_check)
-    registry.register("projection", _exec_projection)
-    registry.register("function_apply", _exec_function_apply)
-    registry.register("surrogate_key", _exec_surrogate_key)
-    registry.register("aggregation", _exec_aggregation)
-    registry.register("distinct", _exec_distinct)
-    registry.register("union", _exec_union)
-    registry.register("join", _exec_join)
-    registry.register("difference", _exec_difference)
-    registry.register("intersection", _exec_intersection)
+    for template_name, op in _BUILTIN_OPERATORS.items():
+        registry.register(template_name, op)
     return registry
 
 

@@ -3,17 +3,24 @@
 The materializing executor holds every intermediate flow as a full list,
 so memory — not processed rows — becomes the binding constraint long
 before night-window-sized loads.  This module executes the same workflows
-as generator pipelines over fixed-size row batches:
+as generator pipelines over fixed-size :class:`~repro.engine.columnar.
+Batch` chunks:
 
-* **row-wise activities** (kind FILTER / FUNCTION — including every
-  custom template that declares those kinds) transform one batch at a
-  time, so a linear chain keeps only the batch in flight;
+* **row-wise activities** (kind FILTER / FUNCTION) built from fusable
+  builtin templates are compiled into a *fused* columnar kernel — one
+  generated function per chain per column layout (see
+  :mod:`repro.engine.columnar`) — and adjacent row-wise nodes join the
+  same :class:`_FusedPipe`, so a linear chain costs one pass over the
+  touched columns per batch instead of one dict rebuild per operator per
+  row.  Custom row-wise templates (and builtin templates re-bound to
+  custom operators) run the legacy row-at-a-time path unchanged;
 * **blocking activities** run an explicit *accumulate-then-emit* phase:
-  aggregation and distinct fold batches into O(groups) accumulators,
-  join buffers its build side (spilling to disk past the resident-row
-  budget, then degrading to a block nested-loop probe — the same
-  feasibility split as ``physical/implementations.py``), and
-  difference/intersection fold the right input into a multiset counter;
+  aggregation and distinct fold batches into O(groups) accumulators
+  (column-wise when the batch has a usable column view), join buffers
+  its build side (spilling to disk past the resident-row budget, then
+  degrading to a block nested-loop probe — the same feasibility split as
+  ``physical/implementations.py``), and difference/intersection fold the
+  right input into a multiset counter;
 * **fan-out nodes** (several consumers) are drained into a
   :class:`~repro.engine.batches.SpillableRowBuffer` each consumer replays;
 * custom blocking/binary templates fall back to accumulate-everything +
@@ -23,7 +30,10 @@ as generator pipelines over fixed-size row batches:
 The streaming path is row- and stats-identical to the materializing path:
 same target lists, same per-activity (member-level, for composites)
 ``ExecutionStats`` counters.  That property is enforced by the
-equivalence test suite and the fuzz oracles.
+equivalence test suite, the fuzz oracles, and the Hypothesis columnar
+conformance suite; setting ``REPRO_NO_COLUMNAR=1`` (see
+:mod:`repro.core.flags`) forces every row-wise chain onto the legacy row
+operators for differential debugging.
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from collections.abc import Iterator, Mapping
 from dataclasses import dataclass
 
 from repro.core.activity import Activity, CompositeActivity
+from repro.core.flags import columnar_enabled
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow, Node
 from repro.engine.batches import (
@@ -41,8 +52,13 @@ from repro.engine.batches import (
     ResidentLedger,
     SpillableRowBuffer,
     StreamingMetrics,
-    iter_batches,
     rebatch,
+)
+from repro.engine.columnar import (
+    Batch,
+    FusedChainRunner,
+    frozen_rows,
+    supports_columnar,
 )
 from repro.engine.executor import (
     ExecutionResult,
@@ -56,7 +72,7 @@ from repro.templates.base import ActivityKind
 
 __all__ = ["ComponentMetrics", "execute_streaming", "is_row_wise"]
 
-BatchIterator = Iterator[list[Row]]
+BatchIterator = Iterator[Batch]
 
 _ROW_WISE_KINDS = (ActivityKind.FILTER, ActivityKind.FUNCTION)
 
@@ -80,6 +96,71 @@ class ComponentMetrics:
     rows_out: int = 0
     batches: int = 0
     seconds: float = 0.0
+
+
+class _FusedPipe:
+    """A chain of fused row-wise stages, possibly spanning node bounds.
+
+    Construction happens during the topological pipeline build; adjacent
+    row-wise nodes call :meth:`add` to join an existing (not yet
+    iterated) pipe instead of stacking another generator on top, so a
+    whole source-to-blocking stretch of the workflow runs as one
+    compiled loop per batch.
+
+    Stats mirror the legacy generators: a stage records a batch only
+    when rows actually reached it — except stages inside a
+    reject-collecting activity, which (like the old reject chain) record
+    even empty intermediates.
+    """
+
+    def __init__(
+        self,
+        run: "_StreamRun",
+        upstream: BatchIterator,
+        components: tuple[Activity, ...],
+        reject_activity: str | None = None,
+    ):
+        self.run = run
+        self.upstream = upstream
+        self.runner = FusedChainRunner(run.context, run.registry)
+        self.components: list[Activity] = []
+        self.started = False
+        self.add(components, reject_activity)
+
+    def add(
+        self,
+        components: tuple[Activity, ...],
+        reject_activity: str | None = None,
+    ) -> None:
+        self.components.extend(components)
+        self.runner.add(components, reject_activity)
+
+    def __iter__(self) -> Iterator[Batch]:
+        self.started = True
+        metrics = [self.run.metric(c) for c in self.components]
+        always = [
+            self.runner.stage_in_reject_bound(i)
+            for i in range(len(self.components))
+        ]
+        rejects = self.run.rejects
+        for batch in self.upstream:
+            begun = time.perf_counter()
+            out, counts, dropped = self.runner.run_batch(batch)
+            elapsed = time.perf_counter() - begun
+            recorded = [
+                i
+                for i, (rows_in, _) in enumerate(counts)
+                if rows_in > 0 or always[i]
+            ]
+            share = elapsed / len(recorded) if recorded else 0.0
+            for i in recorded:
+                rows_in, rows_out = counts[i]
+                self.run._record(metrics[i], rows_in, rows_out, share)
+            for activity_id, rows in dropped.items():
+                if rows:
+                    rejects[activity_id].extend(rows)
+            if out:
+                yield out
 
 
 class _StreamRun:
@@ -106,6 +187,7 @@ class _StreamRun:
         self.stats = ExecutionStats()
         self.metrics: dict[str, ComponentMetrics] = {}
         self.rejects: dict[str, list[Row]] = {}
+        self.columnar = columnar_enabled()
         self._buffers: list[SpillableRowBuffer] = []
 
     # -- bookkeeping ------------------------------------------------------
@@ -228,18 +310,54 @@ class _StreamRun:
 
     def _source_batches(self, node: RecordSet, rows: list[Row]) -> BatchIterator:
         where = f"source {node.name}"
-        offset = 0
-        for batch in iter_batches(rows, self.budget.batch_size):
-            if self.check_schemas:
-                check_rows_match_schema(
-                    batch, node.schema, where, start_index=offset
-                )
-            offset += len(batch)
+        for offset, batch in self._checked_batches(node, rows, where):
             self.ledger.acquire(node.id, len(batch))
             try:
                 yield batch
             finally:
                 self.ledger.release(node.id, len(batch))
+
+    def _checked_batches(
+        self, node: RecordSet, rows: list[Row], where: str
+    ) -> Iterator[tuple[int, Batch]]:
+        """Source rows as schema-checked batches.
+
+        When schema checking is on and the columnar path is enabled, the
+        conformance check *is* the column build: every row must yield a
+        value for every schema attribute (KeyError otherwise) and carry
+        exactly ``len(schema)`` attributes — together that is set
+        equality, at one column-build pass instead of a per-row set
+        comparison, and downstream fused chains get a column view for
+        free.  Any violation re-runs the row checker for its exact
+        per-row error message.
+        """
+        batch_size = self.budget.batch_size
+        fast = self.check_schemas and self.columnar
+        attrs = node.schema.attrs
+        width = len(attrs)
+        for start in range(0, len(rows), batch_size):
+            chunk = rows[start : start + batch_size]
+            if fast:
+                try:
+                    if sum(map(len, chunk)) == width * len(chunk):
+                        columns = {
+                            name: [row[name] for row in chunk]
+                            for name in attrs
+                        }
+                        yield start, Batch.from_columns(columns, len(chunk))
+                        continue
+                except KeyError:
+                    pass
+                # Some row diverges from the schema: the row checker
+                # raises with the offending row's absolute index.
+                check_rows_match_schema(
+                    chunk, node.schema, where, start_index=start
+                )
+            elif self.check_schemas:
+                check_rows_match_schema(
+                    chunk, node.schema, where, start_index=start
+                )
+            yield start, Batch.from_rows(chunk)
 
     def _activity_iter(
         self, activity: Activity, input_iters: tuple[BatchIterator, ...]
@@ -252,6 +370,13 @@ class _StreamRun:
             and Executor.is_filter_like(activity)
             and all(is_row_wise(component) for component in components)
         ):
+            if self.columnar and all(
+                supports_columnar(component, self.registry)
+                for component in components
+            ):
+                return self._fused_iter(
+                    components, input_iters[0], reject_activity=activity.id
+                )
             return self._filter_chain_with_rejects(
                 activity, components, input_iters[0]
             )
@@ -267,6 +392,8 @@ class _StreamRun:
     ) -> BatchIterator:
         self.metric(component)  # register before any batch flows
         if is_row_wise(component):
+            if self.columnar and supports_columnar(component, self.registry):
+                return self._fused_iter((component,), input_iters[0])
             return self._rowwise(component, input_iters[0])
         name = component.template.name
         if name == "aggregation":
@@ -285,6 +412,23 @@ class _StreamRun:
 
     # -- streaming operators ---------------------------------------------
 
+    def _fused_iter(
+        self,
+        components: tuple[Activity, ...],
+        upstream: BatchIterator,
+        reject_activity: str | None = None,
+    ) -> BatchIterator:
+        """Fuse ``components`` onto ``upstream`` (extending an existing
+        pipe when the upstream is one that has not started flowing)."""
+        for component in components:
+            self.metric(component)
+        if reject_activity is not None:
+            self.rejects.setdefault(reject_activity, [])
+        if isinstance(upstream, _FusedPipe) and not upstream.started:
+            upstream.add(components, reject_activity)
+            return upstream
+        return _FusedPipe(self, upstream, components, reject_activity)
+
     def _rowwise(
         self, component: Activity, upstream: BatchIterator
     ) -> BatchIterator:
@@ -292,10 +436,11 @@ class _StreamRun:
         metric = self.metric(component)
         for batch in upstream:
             begun = time.perf_counter()
-            out = operator(component, (batch,), self.context)
-            self._record(metric, len(batch), len(out), time.perf_counter() - begun)
+            rows = batch.to_rows()
+            out = operator(component, (rows,), self.context)
+            self._record(metric, len(rows), len(out), time.perf_counter() - begun)
             if out:
-                yield out
+                yield Batch.from_rows(out)
 
     def _filter_chain_with_rejects(
         self,
@@ -319,7 +464,8 @@ class _StreamRun:
 
         def pipeline() -> BatchIterator:
             for batch in upstream:
-                out = batch
+                rows = batch.to_rows()
+                out = rows
                 for metric, operator in stages:
                     begun = time.perf_counter()
                     produced = operator(
@@ -331,14 +477,14 @@ class _StreamRun:
                     )
                     out = produced
                 kept = Counter(freeze_row(row) for row in out)
-                for row in batch:
+                for row in rows:
                     frozen = freeze_row(row)
                     if kept[frozen] > 0:
                         kept[frozen] -= 1
                     else:
                         dropped.append(row)
                 if out:
-                    yield out
+                    yield Batch.from_rows(out)
 
         return pipeline()
 
@@ -362,13 +508,33 @@ class _StreamRun:
         try:
             for batch in upstream:
                 begun = time.perf_counter()
-                for row in batch:
-                    key = tuple(row[attr] for attr in group_by)
+                columns = batch.columns_or_none()
+                if (
+                    columns is not None
+                    and measure in columns
+                    and all(attr in columns for attr in group_by)
+                ):
+                    # Column-wise accumulate: zip the key columns and the
+                    # measure column instead of building a dict per row.
+                    measure_col = columns[measure]
+                    if group_by:
+                        key_iter = zip(*(columns[a] for a in group_by))
+                    else:
+                        key_iter = (() for _ in range(batch.num_rows))
+                    pairs = zip(key_iter, measure_col)
+                else:
+                    pairs = (
+                        (
+                            tuple(row[attr] for attr in group_by),
+                            row[measure],
+                        )
+                        for row in batch.rows()
+                    )
+                for key, value in pairs:
                     state = groups.get(key)
                     if state is None:
                         groups[key] = state = [0, 0, None, None]
                         self.ledger.acquire(component.id, 1)
-                    value = row[measure]
                     if value is not None:
                         state[0] += 1
                         state[1] += value
@@ -406,6 +572,24 @@ class _StreamRun:
         finally:
             self.ledger.release(component.id, len(groups))
 
+    def _frozen_batch(self, batch: Batch) -> Iterator[tuple[int, tuple]]:
+        """Per-row ``(index, frozen_row)`` with the row path's hashability
+        error (:func:`freeze_row` raises ``ExecutionError`` on unhashable
+        values), computed column-wise when the batch allows it."""
+        columns = batch.columns_or_none()
+        if columns is None:
+            for index, row in enumerate(batch.rows()):
+                yield index, freeze_row(row)
+            return
+        for index, frozen in enumerate(frozen_rows(columns, batch.num_rows)):
+            try:
+                hash(frozen)
+            except TypeError as exc:
+                raise ExecutionError(
+                    f"row contains unhashable values: {batch.row_at(index)!r}"
+                ) from exc
+            yield index, frozen
+
     def _distinct(
         self, component: Activity, upstream: BatchIterator
     ) -> BatchIterator:
@@ -416,15 +600,27 @@ class _StreamRun:
         try:
             for batch in upstream:
                 begun = time.perf_counter()
-                for row in batch:
-                    group = tuple(row[k] for k in keys)
-                    frozen = freeze_row(row)
-                    current = best.get(group)
-                    if current is None:
-                        self.ledger.acquire(component.id, 1)
-                    if current is None or frozen < current:
-                        best[group] = frozen
-                        survivors[group] = row
+                columns = batch.columns_or_none()
+                if columns is not None and all(k in columns for k in keys):
+                    key_cols = [columns[k] for k in keys]
+                    for index, frozen in self._frozen_batch(batch):
+                        group = tuple(col[index] for col in key_cols)
+                        current = best.get(group)
+                        if current is None:
+                            self.ledger.acquire(component.id, 1)
+                        if current is None or frozen < current:
+                            best[group] = frozen
+                            survivors[group] = batch.row_at(index)
+                else:
+                    for row in batch.rows():
+                        group = tuple(row[k] for k in keys)
+                        frozen = freeze_row(row)
+                        current = best.get(group)
+                        if current is None:
+                            self.ledger.acquire(component.id, 1)
+                        if current is None or frozen < current:
+                            best[group] = frozen
+                            survivors[group] = row
                 self._record(
                     metric, len(batch), 0, time.perf_counter() - begun
                 )
@@ -469,7 +665,7 @@ class _StreamRun:
                 for batch in left:
                     begun = time.perf_counter()
                     out: list[Row] = []
-                    for row in batch:
+                    for row in batch.rows():
                         for match in index.get(
                             tuple(row[a] for a in on), ()
                         ):
@@ -481,7 +677,7 @@ class _StreamRun:
                         time.perf_counter() - begun,
                     )
                     if out:
-                        yield out
+                        yield Batch.from_rows(out)
             else:
                 # Build side spilled: block nested-loop probe — one scan
                 # of the spilled build side per probe batch, preserving
@@ -489,16 +685,17 @@ class _StreamRun:
                 # order exactly.
                 for batch in left:
                     begun = time.perf_counter()
+                    probe_rows = batch.to_rows()
                     probe_keys = [
-                        tuple(row[a] for a in on) for row in batch
+                        tuple(row[a] for a in on) for row in probe_rows
                     ]
-                    matches: list[list[Row]] = [[] for _ in batch]
+                    matches: list[list[Row]] = [[] for _ in probe_rows]
                     for build_row in buffer.rows():
                         build_key = tuple(build_row[a] for a in on)
                         for position, probe_key in enumerate(probe_keys):
                             if probe_key == build_key:
                                 merged = dict(build_row)
-                                merged.update(batch[position])
+                                merged.update(probe_rows[position])
                                 matches[position].append(merged)
                     out = [row for rows in matches for row in rows]
                     self._record(
@@ -506,7 +703,7 @@ class _StreamRun:
                         time.perf_counter() - begun,
                     )
                     if out:
-                        yield out
+                        yield Batch.from_rows(out)
         finally:
             buffer.close()
 
@@ -524,8 +721,7 @@ class _StreamRun:
         try:
             for batch in right:
                 begun = time.perf_counter()
-                for row in batch:
-                    frozen = freeze_row(row)
+                for _, frozen in self._frozen_batch(batch):
                     if counter[frozen] == 0:
                         self.ledger.acquire(component.id, 1)
                         acquired += 1
@@ -533,20 +729,20 @@ class _StreamRun:
                 self._record(metric, len(batch), 0, time.perf_counter() - begun)
             for batch in left:
                 begun = time.perf_counter()
-                out: list[Row] = []
-                for row in batch:
-                    frozen = freeze_row(row)
+                kept_indices: list[int] = []
+                for index, frozen in self._frozen_batch(batch):
                     if counter[frozen] > 0:
                         counter[frozen] -= 1
                         if keep:
-                            out.append(row)
+                            kept_indices.append(index)
                     elif not keep:
-                        out.append(row)
+                        kept_indices.append(index)
                 self._record(
-                    metric, len(batch), len(out), time.perf_counter() - begun
+                    metric, len(batch), len(kept_indices),
+                    time.perf_counter() - begun,
                 )
-                if out:
-                    yield out
+                if kept_indices:
+                    yield batch.select(kept_indices)
         finally:
             self.ledger.release(component.id, acquired)
 

@@ -108,26 +108,29 @@ class TracingExecutor(Executor):
         self.last_trace: TraceReport | None = None
         self._current: list[ActivityTrace] | None = None
 
-    def run(
+    def _run(
         self,
         workflow: ETLWorkflow,
         source_data: Mapping[str, list[Row]],
-        check_schemas: bool = True,
-        collect_rejects: bool = False,
-        budget: ExecutionBudget | None = None,
+        check_schemas: bool,
+        collect_rejects: bool,
+        budget: ExecutionBudget | None,
     ) -> ExecutionResult:
+        # Overrides the body hook, not run() itself: the base run()
+        # resolves the shared keyword shape (and installs a recorder=)
+        # before this executes, so tracing inherits the facade for free.
         self._current = []
         started = time.perf_counter()
         try:
             with get_recorder().span(
                 "engine.run", mode="streaming" if budget is not None else "batch"
             ):
-                result = super().run(
+                result = super()._run(
                     workflow,
                     source_data,
-                    check_schemas=check_schemas,
-                    collect_rejects=collect_rejects,
-                    budget=budget,
+                    check_schemas,
+                    collect_rejects,
+                    budget,
                 )
         finally:
             elapsed = time.perf_counter() - started

@@ -1,0 +1,156 @@
+"""The regularized executor ``run()`` facade and the public surface.
+
+All three executors accept the same ``(workflow, data, *, budget=...,
+recorder=..., ...)`` keyword shape; the historical positional forms keep
+working but warn once per method, and clashing positional + keyword
+spellings raise like a normal Python signature would.
+"""
+
+import warnings
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.engine import (
+    CheckpointingExecutor,
+    CheckpointStore,
+    ExecutionBudget,
+    Executor,
+    TracingExecutor,
+)
+from repro.obs.telemetry import Recorder
+from repro.workloads import generate_workload
+
+
+@pytest.fixture
+def tiny():
+    workload = generate_workload("tiny", seed=7)
+    return workload, workload.make_data(7, n=20)
+
+
+def _executor(workload, cls=Executor):
+    return cls(context=workload.context)
+
+
+class TestKeywordShape:
+    def test_all_executors_share_the_keyword_shape(self, tiny):
+        workload, data = tiny
+        budget = ExecutionBudget(batch_size=4)
+        for cls in (Executor, TracingExecutor, CheckpointingExecutor):
+            result = _executor(workload, cls).run(
+                workload.workflow, data, check_schemas=True, budget=budget
+            )
+            assert result.targets
+
+    def test_recorder_keyword_routes_telemetry(self, tiny):
+        workload, data = tiny
+        recorder = Recorder()
+        _executor(workload, TracingExecutor).run(
+            workload.workflow,
+            data,
+            budget=ExecutionBudget(batch_size=8),
+            recorder=recorder,
+        )
+        names = {event.get("name") for event in recorder.events()}
+        assert "engine.run" in names
+
+    def test_recorder_keyword_on_checkpointing_run(self, tiny):
+        workload, data = tiny
+        recorder = Recorder()
+        result = _executor(workload, CheckpointingExecutor).run(
+            workload.workflow,
+            data,
+            checkpoints=CheckpointStore(),
+            recorder=recorder,
+        )
+        assert result.targets
+
+
+class TestLegacyPositionalForms:
+    def test_positional_run_warns_once_and_still_works(self, tiny):
+        workload, data = tiny
+        executor = _executor(workload)
+        executor_module._warned_positional.discard("Executor.run")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            legacy = executor.run(workload.workflow, data, True, True)
+            repeat = executor.run(workload.workflow, data, True, True)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "check_schemas=" in str(deprecations[0].message)
+        modern = executor.run(
+            workload.workflow, data, check_schemas=True, collect_rejects=True
+        )
+        assert legacy.targets == repeat.targets == modern.targets
+        assert legacy.rejects == modern.rejects
+
+    def test_positional_budget_still_streams(self, tiny):
+        workload, data = tiny
+        executor = _executor(workload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            result = executor.run(
+                workload.workflow,
+                data,
+                True,
+                False,
+                ExecutionBudget(batch_size=4),
+            )
+        assert result.streaming is not None
+        assert result.streaming.batch_size == 4
+
+    def test_checkpointing_legacy_positional_order(self, tiny):
+        workload, data = tiny
+        executor = _executor(workload, CheckpointingExecutor)
+        store = CheckpointStore()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # Historical order: check_schemas, checkpoints, ...
+            result = executor.run(workload.workflow, data, True, store)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+        assert store.completed_nodes
+        assert result.targets
+
+    def test_positional_and_keyword_clash_raises(self, tiny):
+        workload, data = tiny
+        executor = _executor(workload)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(TypeError, match="multiple values"):
+                executor.run(
+                    workload.workflow, data, True, check_schemas=False
+                )
+
+    def test_too_many_positionals_raise(self, tiny):
+        workload, data = tiny
+        executor = _executor(workload)
+        with pytest.raises(TypeError, match="positional"):
+            executor.run(workload.workflow, data, True, False, None, "extra")
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        import repro.engine as engine
+
+        for name in engine.__all__:
+            assert getattr(engine, name) is not None
+
+    def test_core_api_names_present(self):
+        import repro.engine as engine
+
+        for name in (
+            "Batch",
+            "ExecutionBudget",
+            "Executor",
+            "ExecutionResult",
+            "ExecutionStats",
+            "TracingExecutor",
+            "CheckpointingExecutor",
+            "iter_batches",
+            "rebatch",
+        ):
+            assert name in engine.__all__
