@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Serial vs parallel HS, plus the warm transposition-cache rerun.
+"""Serial vs parallel HS and sharded streaming, plus the warm-cache rerun.
 
 Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
 
@@ -7,6 +7,9 @@ Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
   workload (default: ``large`` seed 0 — 9 local groups), with a hard check
   that every parallel run returns the byte-identical best signature, cost
   and visited count;
+* wall-clock of serial streaming vs ``shards=2,4`` partitioned streaming
+  on a deep 12-activity filter chain, with a hard check that every
+  sharded run returns byte-identical targets and stats;
 * a cold-vs-warm on-disk cache pair, recording the warm run's ``cache_hits``
   and time;
 * the incremental fast path against its ``REPRO_FULL_RECOST`` slow twin
@@ -16,15 +19,20 @@ Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
   pruning): visited volume and wall-clock per mode, with a hard check
   that B&B and dominance preserve the unpruned best cost.
 
-The speedup column is only meaningful on multi-core machines — group
-exploration is CPU-bound, so on a single-core container ``jobs>1`` adds
-pool overhead instead (the JSON records ``cpu_count`` so the perf
-trajectory can tell those environments apart).
+The speedup columns are only meaningful on multi-core machines — group
+exploration and shard pipelines are CPU-bound, so on a single-core
+container ``jobs>1``/``shards>1`` add pool overhead instead (the JSON
+records ``cpu_count`` so the perf trajectory can tell those environments
+apart).  ``--require-speedup`` turns the acceptance criterion into an
+exit code: on a multi-core machine the best jobs>1 and shards>1 runs
+must each beat serial.
 
 Usage::
 
     python benchmarks/bench_parallel.py                     # large, jobs 2,4
     python benchmarks/bench_parallel.py --category small    # CI smoke size
+    python benchmarks/bench_parallel.py --jobs 2 --shards 2 \\
+        --require-speedup                                   # 2-core CI gate
 """
 
 from __future__ import annotations
@@ -41,13 +49,24 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro import SearchBudget, heuristic_search  # noqa: E402
 from repro.core import flags  # noqa: E402
+from repro.core.activity import Activity  # noqa: E402
+from repro.core.recordset import RecordSet, RecordSetKind  # noqa: E402
+from repro.core.schema import Schema  # noqa: E402
+from repro.core.workflow import ETLWorkflow  # noqa: E402
+from repro.engine import ExecutionBudget, Executor  # noqa: E402
+from repro.engine.operators import (  # noqa: E402
+    EngineContext,
+    default_scalar_functions,
+)
 from repro.obs import (  # noqa: E402
     Recorder,
     summarize,
     use_recorder,
     verify_lineage,
 )
+from repro.templates import builtin as t  # noqa: E402
 from repro.workloads import generate_workload  # noqa: E402
+from repro.workloads.datagen import make_generic_rows  # noqa: E402
 
 
 def _run(category: str, seed: int, budget: SearchBudget, recorder=None):
@@ -58,6 +77,106 @@ def _run(category: str, seed: int, budget: SearchBudget, recorder=None):
     return time.perf_counter() - started, result
 
 
+def _deep_filter_chain() -> ETLWorkflow:
+    """A 12-activity reduce pipeline (filters + scalar functions, overall
+    selectivity ~2%): the partitionable ETL shape where shard compute
+    dominates and the merged output stays small.  Shallow scenarios like
+    ``two_branch`` ship most of their input back to the parent, so the
+    serial merge eats the parallel win; this chain is the honest
+    shards-pay case."""
+    schema = Schema(["KEY", "SRC", "DATE", "V1", "V2", "V3"])
+    wf = ETLWorkflow()
+    prev = wf.add_node(
+        RecordSet("src", "SRC", schema, RecordSetKind.SOURCE, 500000)
+    )
+    fn = t.FUNCTION_APPLY
+    for activity in (
+        # Full-volume prefix: every source row flows through these four.
+        Activity("a1", t.NOT_NULL, {"attr": "V1"}, selectivity=0.95),
+        Activity("a2", fn, {"function": "scale_double", "inputs": ("V1",),
+                            "output": "W1", "injective": True}),
+        Activity("a3", fn, {"function": "shift_up", "inputs": ("V2",),
+                            "output": "W2", "injective": True}),
+        Activity("a4", fn, {"function": "negate", "inputs": ("V3",),
+                            "output": "W3", "injective": True}),
+        # Reduce cascade: ~1% of the input survives to the target.
+        Activity("a5", t.SELECTION,
+                 {"attr": "W1", "op": ">=", "value": 100.0},
+                 selectivity=0.5),
+        Activity("a6", t.SELECTION,
+                 {"attr": "W2", "op": ">=", "value": 1075.0},
+                 selectivity=0.25),
+        Activity("a7", t.SELECTION,
+                 {"attr": "W3", "op": "<=", "value": -60.0},
+                 selectivity=0.4),
+        Activity("a8", fn, {"function": "scale_double", "inputs": ("W1",),
+                            "output": "W4", "injective": True}),
+        Activity("a9", t.SELECTION,
+                 {"attr": "W4", "op": ">=", "value": 280.0},
+                 selectivity=0.6),
+        Activity("a10", fn, {"function": "shift_up", "inputs": ("W2",),
+                             "output": "W5", "injective": True}),
+        Activity("a11", t.SELECTION,
+                 {"attr": "W5", "op": ">=", "value": 2090.0},
+                 selectivity=0.4),
+        Activity("a12", t.NOT_NULL, {"attr": "W4"}, selectivity=1.0),
+    ):
+        node = wf.add_node(activity)
+        wf.add_edge(prev, node)
+        prev = node
+    dw = wf.add_node(
+        RecordSet("dw", "DW", Schema(["KEY", "SRC", "DATE", "W3", "W4", "W5"]),
+                  RecordSetKind.TARGET)
+    )
+    wf.add_edge(prev, dw)
+    return wf
+
+
+def _engine_section(seed: int, rows: int, shard_counts: list[int]):
+    """Serial streaming vs shards=N partitioned streaming, byte-checked."""
+    workflow = _deep_filter_chain()
+    data = {"SRC": make_generic_rows(rows, seed, "SRC")}
+    executor = Executor(
+        context=EngineContext(scalar_functions=default_scalar_functions())
+    )
+    budget = ExecutionBudget(batch_size=4096)
+    started = time.perf_counter()
+    serial = executor.run(workflow, data, budget=budget)
+    serial_seconds = time.perf_counter() - started
+    out_rows = sum(len(rows_) for rows_ in serial.targets.values())
+    print(f"  engine  shards=1  {serial_seconds:7.2f}s  "
+          f"rows={rows} -> {out_rows}")
+    runs = []
+    for shards in shard_counts:
+        started = time.perf_counter()
+        sharded = executor.run(workflow, data, budget=budget, shards=shards)
+        seconds = time.perf_counter() - started
+        identical = (
+            list(sharded.targets) == list(serial.targets)
+            and sharded.targets == serial.targets
+            and sharded.stats.rows_processed == serial.stats.rows_processed
+            and sharded.stats.rows_output == serial.stats.rows_output
+        )
+        runs.append({
+            "shards": shards,
+            "seconds": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 3),
+            "identical_to_serial": identical,
+        })
+        print(f"  engine  shards={shards}  {seconds:7.2f}s  "
+              f"speedup={serial_seconds / seconds:.2f}x  "
+              f"identical={identical}")
+        if not identical:
+            return None, "sharded engine run diverged from serial"
+    return {
+        "scenario": "deep_filter_chain",
+        "rows_per_source": rows,
+        "target_rows": out_rows,
+        "serial_seconds": round(serial_seconds, 4),
+        "runs": runs,
+    }, None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--category", default="large",
@@ -65,11 +184,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jobs", default="2,4",
                         help="comma-separated parallel worker counts")
+    parser.add_argument("--shards", default="2,4",
+                        help="comma-separated engine shard counts")
+    parser.add_argument("--engine-rows", type=int, default=None,
+                        help="rows per source for the sharded-engine runs "
+                             "(default: 2000000, or 150000 for --category "
+                             "small)")
+    parser.add_argument("--require-speedup", action="store_true",
+                        help="exit 1 unless the best jobs>1 and shards>1 "
+                             "runs beat serial (skipped when cpu_count<2)")
     parser.add_argument("--output", default="BENCH_parallel.json")
     parser.add_argument("--no-full-recost", action="store_true",
                         help="skip the slow-twin comparison run")
     args = parser.parse_args(argv)
     job_counts = [int(part) for part in args.jobs.split(",") if part.strip()]
+    shard_counts = [
+        int(part) for part in args.shards.split(",") if part.strip()
+    ]
+    engine_rows = args.engine_rows
+    if engine_rows is None:
+        engine_rows = 150000 if args.category == "small" else 2000000
 
     workload = generate_workload(args.category, seed=args.seed)
     probe = workload.workflow
@@ -111,6 +245,29 @@ def main(argv: list[str] | None = None) -> int:
         if not identical:
             print("error: parallel run diverged from serial", file=sys.stderr)
             return 1
+
+    engine, engine_error = _engine_section(
+        args.seed, engine_rows, shard_counts
+    )
+    if engine_error is not None:
+        print(f"error: {engine_error}", file=sys.stderr)
+        return 1
+
+    if args.require_speedup:
+        cpu_count = os.cpu_count() or 1
+        if cpu_count < 2:
+            print("  speedup gate skipped: single-core machine")
+        else:
+            best_jobs = max(run["speedup"] for run in runs)
+            best_shards = max(run["speedup"] for run in engine["runs"])
+            print(f"  speedup gate: jobs {best_jobs:.2f}x, "
+                  f"shards {best_shards:.2f}x (cpu_count={cpu_count})")
+            if best_jobs < 1.0 or best_shards < 1.0:
+                print("error: parallelism does not pay on this "
+                      f"{cpu_count}-core machine "
+                      f"(jobs {best_jobs:.2f}x, shards {best_shards:.2f}x)",
+                      file=sys.stderr)
+                return 1
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
         cold_seconds, cold = _run(
@@ -209,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
             "replay_ok": True,
         },
         "runs": runs,
+        "engine": engine,
         "full_recost": full_recost,
         "modes": modes,
         "cache": {

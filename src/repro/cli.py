@@ -231,6 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="spill directory for over-budget buffers (implies --stream)",
     )
     cmd_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help=(
+            "split the run into N data-parallel streaming pipelines "
+            "(targets/stats/rejects identical to serial; implies --stream)"
+        ),
+    )
+    cmd_run.add_argument(
         "--trace",
         action="store_true",
         help="print a per-activity profile after the run",
@@ -485,11 +494,16 @@ def _cmd_run(args) -> int:
     workflow = load(args.workflow)
     with open(args.data, encoding="utf-8") as handle:
         source_data = json.load(handle)
-    budget = _budget_from_args(args, force=args.stream)
+    shards = args.shards
+    budget = _budget_from_args(
+        args, force=args.stream or (shards is not None and shards > 1)
+    )
     # Telemetry wants the per-operator spans only TracingExecutor records.
     tracing = args.trace or get_recorder().active
     executor = TracingExecutor() if tracing else Executor()
-    result = executor.run(workflow, source_data, budget=budget)
+    result = executor.run(
+        workflow, source_data, budget=budget, shards=shards
+    )
     for name in sorted(result.targets):
         print(f"target {name}: {len(result.targets[name])} row(s)")
     print(f"rows processed: {result.stats.total_rows_processed}")

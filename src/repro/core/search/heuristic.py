@@ -64,7 +64,11 @@ from repro.core.search.bound import (
 from repro.core.search.budget import SearchBudget
 from repro.core.search.result import OptimizationResult
 from repro.core.search.state import SearchState
-from repro.core.search.transposition import CacheNamespace, TranspositionCache
+from repro.core.search.transposition import (
+    CacheNamespace,
+    TranspositionCache,
+    _model_key,
+)
 from repro.obs import (
     NULL_RECORDER,
     Recorder,
@@ -73,7 +77,8 @@ from repro.obs import (
     rejection_reason,
     use_recorder,
 )
-from repro.core.signature import state_signature
+from repro.obs.provenance import build_transition
+from repro.core.signature import state_signature, workflow_fingerprint
 from repro.core.transitions.factorize import Distribute, Factorize
 from repro.core.transitions.merge import Merge, Split
 from repro.core.transitions.swap import Swap
@@ -133,6 +138,10 @@ class _Session:
         )
         self.ns = ns
         self.pool = pool
+        #: Fork-server token of the preloaded (S0 workflow, model) pair;
+        #: set when a pool is attached, so group tasks ship compact
+        #: lineage scripts instead of pickled workflows.
+        self.preload_token: str | None = None
         self.seen: set[str] = set()
         self.started = time.perf_counter()
         self.best: SearchState | None = None
@@ -238,6 +247,18 @@ def heuristic_search(
             pool=pool,
             algorithm=algorithm,
         )
+        if pool is not None:
+            # Fork-server preload: install (S0, model) in the parent
+            # before the pool's first fan-out, so forked workers inherit
+            # the workflow for free and group tasks reference it by
+            # token + lineage script instead of pickling whole states.
+            session.preload_token = (
+                f"hs:{workflow_fingerprint(reported_initial.workflow)}"
+                f":{_model_key(model)}"
+            )
+            pool.preload(
+                session.preload_token, (reported_initial.workflow, model)
+            )
         # Register S0 directly: the budget clock must not trip before the
         # search proper starts.
         session.seen.add(initial.signature)
@@ -592,56 +613,146 @@ def _group_memo_key(
     return f"{signature}|{'.'.join(member_ids)}|{mode}"
 
 
+#: Batch local groups into one pool task only past this count — small
+#: fan-outs keep one group per task (maximum worker overlap), large ones
+#: amortize dispatch + result shipping.  Both the in-process and pooled
+#: paths use the same batching (a pure function of the pending count),
+#: so jobs=N telemetry stays byte-identical to serial.
+_GROUP_BATCH_THRESHOLD = 8
+_GROUP_BATCH = 4
+
+#: Worker-side memo of replayed base workflows, keyed by
+#: ``(preload token, lineage script)`` — a forked worker serves many
+#: group tasks against the same few base states, so each state's script
+#: replays at most once per worker process.
+_REPLAY_CACHE: dict[tuple, ETLWorkflow] = {}
+_REPLAY_CACHE_CAP = 32
+
+#: Base-workflow reference forms inside a group task.
+_BASE_INLINE = "inline"
+_BASE_REPLAY = "replay"
+
+
+def _replay_script(
+    base_workflow: ETLWorkflow,
+    script: tuple[tuple[str, tuple[str, ...]], ...],
+    signature: str,
+) -> ETLWorkflow:
+    """Reconstruct a search state's workflow from its lineage script.
+
+    The script is the state's lineage as structured ``(mnemonic,
+    target ids)`` payloads — replayed through the real transition system
+    (PR 5's :func:`~repro.obs.provenance.build_transition` machinery) on
+    a copy of the preloaded S0.  The signature check turns any
+    divergence into a loud error instead of a silently different search.
+    """
+    workflow = base_workflow.copy()
+    workflow.validate()
+    workflow.propagate_schemas()
+    for mnemonic, targets in script:
+        workflow = build_transition(workflow, mnemonic, targets).apply(
+            workflow
+        )
+    if state_signature(workflow) != signature:
+        raise WorkflowError(
+            "lineage-script replay diverged from the shipped state "
+            f"signature ({signature[:16]}...)"
+        )
+    return workflow
+
+
+def _resolve_base(
+    base_ref: tuple, model: CostModel | None
+) -> tuple[ETLWorkflow, CostModel]:
+    """Materialize a group task's base workflow from its reference.
+
+    ``("inline", workflow)`` carries the workflow directly (in-process
+    dispatch, or callers without a preloaded pool); ``("replay", token,
+    script, signature)`` rebuilds it from the fork-inherited preload —
+    memoized per worker process, so one state's script replays once no
+    matter how many of its groups land on the same worker.
+    """
+    if base_ref[0] == _BASE_INLINE:
+        return base_ref[1], model
+    _, token, script, signature = base_ref
+    from repro.core.search.parallel import preloaded
+
+    base_workflow, preloaded_model = preloaded(token)
+    key = (token, script)
+    workflow = _REPLAY_CACHE.get(key)
+    if workflow is None:
+        workflow = _replay_script(base_workflow, script, signature)
+        while len(_REPLAY_CACHE) >= _REPLAY_CACHE_CAP:
+            _REPLAY_CACHE.pop(next(iter(_REPLAY_CACHE)))
+        _REPLAY_CACHE[key] = workflow
+    return workflow, (model if model is not None else preloaded_model)
+
+
 def _group_task(
     args: tuple[
-        ETLWorkflow, list[str], bool, int, CostModel, bool, int | None, bool
+        tuple, list[list[str]], bool, int, CostModel | None, bool,
+        int | None, bool,
     ],
-) -> tuple[list[tuple[str, str]], list[tuple[str, float]], list[dict]]:
-    """Explore one local group's orderings from a base workflow (pure).
+) -> tuple[
+    list[tuple[list[tuple[str, str]], list[tuple[str, float]]]], list[dict]
+]:
+    """Explore a batch of local groups from one base workflow (pure).
 
-    Returns ``(path, explored, events)``: ``path`` is the swap sequence
-    (pairs of activity ids) leading from the base ordering to the best one
-    found; ``explored`` is every locally-new state as ``(signature, cost)``
-    in generation order; ``events`` is the task's telemetry buffer (empty
-    when ``telemetry`` is off), shipped back through the result-merge path
-    so worker-side spans land in the parent's recorder.  Runs unchanged
-    in-process or on a worker — a worker records into a private local
-    recorder either way, so serial and parallel runs produce the same
-    telemetry shape and byte-identical search outcomes.
+    Returns ``(outcomes, events)``: one ``(path, explored)`` outcome per
+    requested group — ``path`` is the swap sequence (pairs of activity
+    ids) leading from the base ordering to the best one found,
+    ``explored`` is every locally-new state as ``(signature, cost)`` in
+    generation order — and ``events`` is the task's telemetry buffer
+    (empty when ``telemetry`` is off), shipped back through the
+    result-merge path so worker-side spans land in the parent's
+    recorder.  Runs unchanged in-process or on a worker — a worker
+    records into a private local recorder either way, so serial and
+    parallel runs produce the same telemetry shape and byte-identical
+    search outcomes.
     """
-    workflow, member_ids, greedy, group_cap, model, telemetry, beam, bound = (
+    base_ref, group_lists, greedy, group_cap, model, telemetry, beam, bound = (
         args
     )
-    members = {workflow.node_by_id(member_id) for member_id in member_ids}
+    workflow, model = _resolve_base(base_ref, model)
     algorithm = "HS-Greedy" if greedy else "HS"
     local = Recorder() if telemetry else NULL_RECORDER
+    outcomes: list[
+        tuple[list[tuple[str, str]], list[tuple[str, float]]]
+    ] = []
     with use_recorder(local):
-        with local.span(
-            "search.group",
-            members=len(member_ids),
-            mode="greedy" if greedy else "best_first",
-        ):
-            base = SearchState(
-                workflow=workflow,
-                signature=state_signature(workflow),
-                report=estimate(workflow, model),
-            )
-            if greedy:
-                path, explored = _hill_climb_hermetic(
-                    base, members, model, algorithm
+        base = SearchState(
+            workflow=workflow,
+            signature=state_signature(workflow),
+            report=estimate(workflow, model),
+        )
+        for member_ids in group_lists:
+            members = {
+                workflow.node_by_id(member_id) for member_id in member_ids
+            }
+            with local.span(
+                "search.group",
+                members=len(member_ids),
+                mode="greedy" if greedy else "best_first",
+            ):
+                if greedy:
+                    path, explored = _hill_climb_hermetic(
+                        base, members, model, algorithm
+                    )
+                else:
+                    path, explored = _explore_hermetic(
+                        base,
+                        members,
+                        model,
+                        group_cap,
+                        algorithm,
+                        beam_width=beam,
+                        bound=bound,
+                    )
+                local.counter("search.group.states_explored").add(
+                    len(explored)
                 )
-            else:
-                path, explored = _explore_hermetic(
-                    base,
-                    members,
-                    model,
-                    group_cap,
-                    algorithm,
-                    beam_width=beam,
-                    bound=bound,
-                )
-            local.counter("search.group.states_explored").add(len(explored))
-    return path, explored, local.events()
+            outcomes.append((path, explored))
+    return outcomes, local.events()
 
 
 def _explore_hermetic(
@@ -826,36 +937,69 @@ def _optimize_all_groups(
         pending.append(index)
 
     if pending:
+        # Batch pending groups into contiguous chunks — one pool task per
+        # chunk — to amortize dispatch and result shipping.  Chunking is
+        # a pure function of the pending count (never of jobs), so the
+        # task list, absorb order, and telemetry namespacing are
+        # identical for every jobs value.
+        chunk = (
+            _GROUP_BATCH if len(pending) > _GROUP_BATCH_THRESHOLD else 1
+        )
+        batches = [
+            pending[start : start + chunk]
+            for start in range(0, len(pending), chunk)
+        ]
+        token = session.preload_token
+        if token is not None and all(
+            step.targets for step in state.lineage
+        ):
+            # Compact shipping: the workers hold S0 (fork-inherited
+            # preload); reference this state by its lineage script
+            # instead of pickling the whole workflow per task.
+            script = tuple(
+                (step.mnemonic, step.targets) for step in state.lineage
+            )
+            base_ref = (_BASE_REPLAY, token, script, state.signature)
+            task_model = None
+        else:
+            base_ref = (_BASE_INLINE, state.workflow)
+            task_model = session.model
         tasks = [
             (
-                state.workflow,
-                groups[index],
+                base_ref,
+                [groups[index] for index in batch],
                 greedy,
                 group_cap,
-                session.model,
+                task_model,
                 recorder.active,
                 beam_width,
                 bound,
             )
-            for index in pending
+            for batch in batches
         ]
-        if session.pool is not None and len(pending) > 1:
+        if session.pool is not None and len(tasks) > 1:
             results = session.pool.map(_group_task, tasks)
         else:
-            results = [_group_task(task) for task in tasks]
-        for index, (path, explored, events) in zip(pending, results):
-            outcomes[index] = (path, explored)
+            inline_tasks = [
+                ((_BASE_INLINE, state.workflow), task[1], task[2], task[3],
+                 session.model) + task[5:]
+                for task in tasks
+            ]
+            results = [_group_task(task) for task in inline_tasks]
+        for batch, (batch_outcomes, events) in zip(batches, results):
             # Worker span buffers merge here, in deterministic dispatch
             # order, alongside the search outcomes themselves.
             recorder.absorb(events)
-            if session.ns is not None:
-                session.ns.put_group(
-                    keys[index],
-                    {
-                        "path": [list(pair) for pair in path],
-                        "explored": [list(item) for item in explored],
-                    },
-                )
+            for index, (path, explored) in zip(batch, batch_outcomes):
+                outcomes[index] = (path, explored)
+                if session.ns is not None:
+                    session.ns.put_group(
+                        keys[index],
+                        {
+                            "path": [list(pair) for pair in path],
+                            "explored": [list(item) for item in explored],
+                        },
+                    )
 
     # Compose in group order: replay each stream into the visited set,
     # then apply the group's best path.  Identical for any jobs value.

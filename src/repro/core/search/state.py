@@ -27,6 +27,7 @@ from repro.core.cost.model import CostModel
 from repro.core.signature import state_signature
 from repro.core.transitions.base import Transition
 from repro.core.workflow import ETLWorkflow
+from repro.obs.provenance import transition_targets
 from repro.obs.telemetry import get_recorder
 
 __all__ = ["LineageStep", "SearchState"]
@@ -36,21 +37,28 @@ __all__ = ["LineageStep", "SearchState"]
 class LineageStep:
     """One applied transition in a state's provenance chain.
 
-    The ``transition`` description (``SWA(5,6)``-style) names concrete
-    node ids, so a lineage replays exactly on the initial workflow; the
-    ``cost_after`` recorded at application time lets reports attribute
-    cost deltas to individual steps without re-estimating.
+    ``targets`` carries the bound node ids structurally (the payload
+    :func:`repro.obs.provenance.replay_lineage` rebuilds transitions
+    from), so replay never has to parse the human-facing ``transition``
+    description — node ids containing ``,``/``(``/``)`` replay exactly.
+    The description (``SWA(5,6)``-style) remains the display form, and
+    the ``cost_after`` recorded at application time lets reports
+    attribute cost deltas to individual steps without re-estimating.
     """
 
     mnemonic: str
     transition: str
     cost_after: float
+    #: Bound node ids, in :func:`repro.obs.provenance.transition_targets`
+    #: order.  Empty only on legacy (pre-structured) serialized steps.
+    targets: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
             "mnemonic": self.mnemonic,
             "transition": self.transition,
             "cost_after": self.cost_after,
+            "targets": list(self.targets),
         }
 
 
@@ -118,6 +126,7 @@ class SearchState:
                     mnemonic=transition.mnemonic,
                     transition=transition.describe(),
                     cost_after=report.total,
+                    targets=transition_targets(transition),
                 ),
             ),
         )

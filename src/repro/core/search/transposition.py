@@ -285,6 +285,7 @@ class CacheNamespace:
         per-node breakdown is only computed if the state is ever expanded.
         """
         from repro.core.search.state import LineageStep, SearchState
+        from repro.obs.provenance import transition_targets
 
         if signature is None:
             signature = state_signature(workflow)
@@ -313,6 +314,7 @@ class CacheNamespace:
                     mnemonic=transition.mnemonic,
                     transition=transition.describe(),
                     cost_after=report.total,
+                    targets=transition_targets(transition),
                 ),
             ),
         )

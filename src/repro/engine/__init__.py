@@ -16,7 +16,11 @@ between releases.  The core execution surface is:
 * :class:`ExecutionBudget` / :class:`ExecutionResult` /
   :class:`ExecutionStats` — the run-configuration and run-outcome types;
 * :func:`iter_batches` / :func:`rebatch` — chunking helpers that accept a
-  :class:`Batch` or a row sequence and always yield :class:`Batch`.
+  :class:`Batch` or a row sequence and always yield :class:`Batch`;
+* :func:`partition_plan` / :func:`execute_partitioned` — data-parallel
+  sharded streaming (``Executor.run(..., shards=N)``): range-partitioned
+  sources, one streaming pipeline per shard, deterministic merge that is
+  byte-identical to the serial run on targets/stats/rejects.
 
 The deprecated row-list helper spellings (``iter_row_batches``,
 ``rebatch_rows``) remain importable from :mod:`repro.engine.batches` and
@@ -51,6 +55,13 @@ from repro.engine.executor import (
     Executor,
     iter_components,
 )
+from repro.engine.partition import (
+    LeafPath,
+    PartitionPlan,
+    execute_partitioned,
+    partition_plan,
+    shard_bounds,
+)
 from repro.engine.operators import (
     EngineContext,
     OperatorRegistry,
@@ -80,6 +91,11 @@ __all__ = [
     "StreamingMetrics",
     "iter_batches",
     "rebatch",
+    "LeafPath",
+    "PartitionPlan",
+    "partition_plan",
+    "execute_partitioned",
+    "shard_bounds",
     "ActivityTrace",
     "TraceReport",
     "TracingExecutor",

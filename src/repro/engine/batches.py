@@ -273,7 +273,15 @@ class SpillableRowBuffer:
             yield pending[0] if len(pending) == 1 else Batch.concat(pending)
 
     def close(self) -> None:
-        """Release memory accounting and delete the spill file."""
+        """Release memory accounting and delete the spill file.
+
+        Idempotent, and guaranteed to run for engine-owned buffers: the
+        streaming run closes every buffer it created in a ``finally``
+        (shielded per buffer, so one failing close cannot leak another
+        buffer's spill file).  Direct users get the same guarantee from
+        the context-manager form, and :meth:`__del__` is a last-resort
+        net for buffers dropped without either.
+        """
         if self._closed:
             return
         self._closed = True
@@ -286,6 +294,22 @@ class SpillableRowBuffer:
             except OSError:
                 pass
             self._spill_path = None
+
+    def __enter__(self) -> "SpillableRowBuffer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        # Interpreter-shutdown safety: attributes may not exist if
+        # __init__ itself failed part-way.
+        if getattr(self, "_closed", True):
+            return
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 @dataclass

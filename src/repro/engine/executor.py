@@ -191,6 +191,7 @@ class Executor:
         collect_rejects: bool = _UNSET,  # type: ignore[assignment]
         budget: ExecutionBudget | None = _UNSET,  # type: ignore[assignment]
         recorder: Recorder | None = None,
+        shards: int | None = None,
     ) -> ExecutionResult:
         """Execute ``workflow`` on ``source_data`` (keyed by source name).
 
@@ -203,6 +204,11 @@ class Executor:
         streamed through the graph in batches instead of materialized.
         With a ``recorder``, that :class:`~repro.obs.Recorder` is active
         for the duration of the run (telemetry spans/counters land there).
+        With ``shards`` > 1, the run is split into that many data-parallel
+        streaming pipelines over range-partitioned sources (implies
+        streaming; targets/stats/rejects stay byte-identical to serial —
+        see :mod:`repro.engine.partition`), degrading to serial streaming
+        with a warning when the workflow shape does not allow it.
 
         Arguments beyond ``(workflow, source_data)`` are keyword-only;
         the historical positional form still works but warns once.
@@ -218,10 +224,11 @@ class Executor:
             with use_recorder(recorder):
                 return self._run(
                     workflow, source_data, check_schemas, collect_rejects,
-                    budget,
+                    budget, shards,
                 )
         return self._run(
-            workflow, source_data, check_schemas, collect_rejects, budget
+            workflow, source_data, check_schemas, collect_rejects, budget,
+            shards,
         )
 
     def _run(
@@ -231,8 +238,23 @@ class Executor:
         check_schemas: bool,
         collect_rejects: bool,
         budget: ExecutionBudget | None,
+        shards: int | None = None,
     ) -> ExecutionResult:
         budget = budget if budget is not None else self.default_budget
+        if shards is not None and shards > 1:
+            from repro.engine.partition import execute_partitioned
+
+            return execute_partitioned(
+                self,
+                workflow,
+                source_data,
+                # Sharding is a streaming mode: without an explicit
+                # budget, shards run under the default batch size.
+                budget if budget is not None else ExecutionBudget(),
+                shards,
+                check_schemas=check_schemas,
+                collect_rejects=collect_rejects,
+            )
         if budget is not None:
             from repro.engine.streaming import execute_streaming
 

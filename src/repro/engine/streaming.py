@@ -264,7 +264,12 @@ class _StreamRun:
                     ]
         finally:
             for buffer in self._buffers:
-                buffer.close()
+                # Shield each close: one buffer failing to clean up must
+                # not leak the spill files of the buffers after it.
+                try:
+                    buffer.close()
+                except Exception:
+                    pass
         elapsed = time.perf_counter() - started
         self.executor._streaming_finished(self.metrics, self.ledger, elapsed)
         metrics = StreamingMetrics(

@@ -115,15 +115,22 @@ class TracingExecutor(Executor):
         check_schemas: bool,
         collect_rejects: bool,
         budget: ExecutionBudget | None,
+        shards: int | None = None,
     ) -> ExecutionResult:
         # Overrides the body hook, not run() itself: the base run()
         # resolves the shared keyword shape (and installs a recorder=)
         # before this executes, so tracing inherits the facade for free.
         self._current = []
         started = time.perf_counter()
+        sharded = shards is not None and shards > 1
         try:
             with get_recorder().span(
-                "engine.run", mode="streaming" if budget is not None else "batch"
+                "engine.run",
+                mode=(
+                    "sharded"
+                    if sharded
+                    else "streaming" if budget is not None else "batch"
+                ),
             ):
                 result = super()._run(
                     workflow,
@@ -131,6 +138,7 @@ class TracingExecutor(Executor):
                     check_schemas,
                     collect_rejects,
                     budget,
+                    shards,
                 )
         finally:
             elapsed = time.perf_counter() - started

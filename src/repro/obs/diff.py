@@ -10,16 +10,21 @@ with exit code 3 and the diff artifact attached (Liu's shared-caching ETL
 lesson: cache and parallel wins only stay won when every run is compared
 against a recorded baseline).
 
-Policy design: wall-clock metrics (``*seconds``, ``speedup``) are
-machine-dependent, so they are *reported* but never *gated* — the gate
-rides on the deterministic metrics: costs, visited-state volumes,
-resident-row peaks, spill volumes, cache hits, and the boolean
-equivalence checks (``identical_to_*``, ``within_budget``), which fail
-on any flip to false.  ``rows_per_second`` is the one wall-clock
-exception: it is the columnar engine's headline number, CI machines for
-this repo are homogeneous, and the 10% threshold absorbs normal jitter —
-so a drop beyond 10% gates, protecting the fused-kernel speedup the same
-way ``visited_states`` protects the search pruning.
+Policy design: wall-clock metrics (``*seconds``) are machine-dependent,
+so they are *reported* but never *gated* — the gate rides on the
+deterministic metrics: costs, visited-state volumes, resident-row peaks,
+spill volumes, cache hits, and the boolean equivalence checks
+(``identical_to_*``, ``within_budget``), which fail on any flip to
+false.  Two wall-clock *ratios* are the exceptions: ``rows_per_second``
+(the columnar engine's headline number, 10% threshold) and ``speedup``
+(the parallel planes' headline — jobs=N search and shards=N streaming vs
+serial, 20% threshold).  Ratios divide out most machine variation and CI
+machines for this repo are homogeneous, so a drop beyond threshold
+gates, protecting the fused-kernel and parallelism wins the same way
+``visited_states`` protects the search pruning.  The warm-cache and
+fast-path speedup twins stay informational: their wins are already gated
+deterministically (``cache_hits``, ``identical_to_fast``) and their
+denominators are ~10ms runs — pure jitter.
 """
 
 from __future__ import annotations
@@ -68,9 +73,18 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # Throughput is gated: the columnar engine's headline metric may not
     # drop more than 10% against the committed baseline (see module doc).
     MetricPolicy("rows_per_second", LOWER_IS_WORSE, DEFAULT_THRESHOLD_PCT),
+    # Ratio twins whose wins are already gated deterministically (the
+    # warm cache via cache_hits, the fast path via its identical flag):
+    # their denominators are ~10ms runs, pure jitter — report only.
+    MetricPolicy("warm_speedup", INFO),
+    MetricPolicy("fast_speedup", INFO),
+    # Parallelism's headline ratio (jobs=N search / shards=N streaming vs
+    # serial): a sustained drop means the fan-out stopped paying — gate
+    # it like rows_per_second, with a wider threshold because the smoke
+    # runs are sub-second and the ratio jitters more than throughput.
+    MetricPolicy("speedup", LOWER_IS_WORSE, 20.0),
     # Machine-dependent: report, never gate.
     MetricPolicy("seconds", INFO),
-    MetricPolicy("speedup", INFO),
     MetricPolicy("cpu_count", INFO),
     MetricPolicy("format_version", INFO),
     MetricPolicy("span_events", INFO),

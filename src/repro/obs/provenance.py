@@ -54,6 +54,7 @@ __all__ = [
     "record_transition",
     "rejection_reason",
     "transition_targets",
+    "build_transition",
     "parse_transition",
     "replay_lineage",
     "verify_lineage",
@@ -144,13 +145,61 @@ def record_transition(
 # -- lineage replay ----------------------------------------------------------------
 
 
+def build_transition(
+    workflow: ETLWorkflow, mnemonic: str, targets: tuple[str, ...]
+) -> Transition:
+    """Rebuild a transition from its structured ``(mnemonic, targets)``
+    payload against a state.
+
+    The targets are the ids :func:`transition_targets` recorded at
+    application time, carried verbatim — no string parsing — so a replay
+    binds exactly even when node ids contain ``,``/``(``/``)``.  Raises
+    :class:`~repro.exceptions.ReproError` when the payload shape is
+    unrecognized or a target id is absent from ``workflow``.
+    """
+    ids = tuple(str(target) for target in targets)
+    try:
+        if mnemonic == "SWA" and len(ids) == 2:
+            return Swap(
+                workflow.node_by_id(ids[0]), workflow.node_by_id(ids[1])
+            )
+        if mnemonic == "FAC" and len(ids) == 3:
+            return Factorize(
+                workflow.node_by_id(ids[0]),
+                workflow.node_by_id(ids[1]),
+                workflow.node_by_id(ids[2]),
+            )
+        if mnemonic == "DIS" and len(ids) == 2:
+            return Distribute(
+                workflow.node_by_id(ids[0]), workflow.node_by_id(ids[1])
+            )
+        if mnemonic == "MER" and len(ids) == 2:
+            return Merge(
+                workflow.node_by_id(ids[0]), workflow.node_by_id(ids[1])
+            )
+        if mnemonic == "SPL" and len(ids) == 1:
+            return Split(workflow.node_by_id(ids[0]))
+    except ReproError as exc:
+        raise ReproError(
+            f"lineage step {mnemonic}{ids!r} does not bind: {exc}"
+        ) from exc
+    raise ReproError(
+        f"unrecognized transition payload {mnemonic!r} with "
+        f"{len(ids)} target(s)"
+    )
+
+
 def parse_transition(workflow: ETLWorkflow, description: str) -> Transition:
     """Rebuild a transition from its ``describe()`` string against a state.
 
-    The description names concrete node ids (``SWA(5,6)``), so the rebuilt
-    transition is exactly the recorded one — no candidate matching, no
-    ambiguity.  Raises :class:`~repro.exceptions.ReproError` when the
-    description is malformed or names nodes absent from ``workflow``.
+    **Legacy fallback**: structured lineage steps carry their bound node
+    ids directly (see :func:`build_transition`); this parser exists only
+    for pre-structured serialized lineages (raw strings, old step dicts).
+    It assumes node ids free of ``,``/``(``/``)`` — ids containing those
+    characters misparse here, which is exactly why the structured payload
+    is the primary path.  Raises :class:`~repro.exceptions.ReproError`
+    when the description is malformed or names nodes absent from
+    ``workflow``.
     """
     head, _, rest = description.partition("(")
     if not rest.endswith(")"):
@@ -194,6 +243,24 @@ def _step_description(step: "LineageStep | dict | str") -> str:
     if isinstance(transition, str):
         return transition
     return str(step)
+
+
+def _step_payload(
+    step: "LineageStep | dict | str",
+) -> tuple[str, tuple[str, ...]] | None:
+    """The structured ``(mnemonic, targets)`` of a step, if it carries one.
+
+    ``None`` (raw strings, legacy dicts/steps without targets) sends the
+    step down the string-parsing fallback.
+    """
+    if isinstance(step, dict):
+        mnemonic, targets = step.get("mnemonic"), step.get("targets")
+    else:
+        mnemonic = getattr(step, "mnemonic", None)
+        targets = getattr(step, "targets", None)
+    if isinstance(mnemonic, str) and targets:
+        return mnemonic, tuple(str(target) for target in targets)
+    return None
 
 
 @dataclass(frozen=True)
@@ -245,14 +312,18 @@ def replay_lineage(
     initial_cost = estimate(current, model).total
     steps: list[LineageStep] = []
     for raw in lineage:
-        description = _step_description(raw)
-        transition = parse_transition(current, description)
+        payload = _step_payload(raw)
+        if payload is not None:
+            transition = build_transition(current, *payload)
+        else:
+            transition = parse_transition(current, _step_description(raw))
         current = transition.apply(current)
         steps.append(
             LineageStep(
                 mnemonic=transition.mnemonic,
-                transition=description,
+                transition=transition.describe(),
                 cost_after=estimate(current, model).total,
+                targets=transition_targets(transition),
             )
         )
     final_cost = steps[-1].cost_after if steps else initial_cost

@@ -1,0 +1,126 @@
+"""Spill-file cleanup guarantees for :class:`SpillableRowBuffer`.
+
+The regression contract: a streaming run that fails *after* a buffer has
+spilled to disk must not leak the spill file — the run path closes every
+buffer in a shielded ``finally``, and direct users get the same guarantee
+from the context-manager / ``__del__`` forms.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import pytest
+
+from repro.engine import (
+    ExecutionBudget,
+    Executor,
+    ResidentLedger,
+    SpillableRowBuffer,
+)
+from repro.workloads.scenarios import dual_target_scenario
+
+
+def _spill_files(path) -> list[str]:
+    return sorted(
+        name for name in os.listdir(path) if name.endswith(".spill")
+    )
+
+
+def _tight_budget(tmp_path) -> ExecutionBudget:
+    return ExecutionBudget(
+        batch_size=16, max_resident_rows=32, spill_dir=str(tmp_path)
+    )
+
+
+class TestRunPathCleanup:
+    def test_clean_run_spills_and_removes_files(self, tmp_path):
+        scenario = dual_target_scenario()
+        executor = Executor(context=scenario.context)
+        result = executor.run(
+            scenario.workflow,
+            scenario.make_data(0, n=400),
+            budget=_tight_budget(tmp_path),
+        )
+        assert result.streaming.spilled_rows > 0
+        assert _spill_files(tmp_path) == []
+
+    def test_failure_after_spill_removes_files(self, tmp_path):
+        # The fan-out buffer spills while draining the source; a custom
+        # selection operator then blows up mid-pipeline.  The error must
+        # propagate AND the spill file must be gone.
+        scenario = dual_target_scenario()
+        executor = Executor(context=scenario.context)
+
+        def bomb(component, inputs, context):
+            raise RuntimeError("injected failure after spill")
+
+        executor.registry.register("selection", bomb, replace=True)
+        with pytest.raises(RuntimeError, match="injected failure"):
+            executor.run(
+                scenario.workflow,
+                scenario.make_data(0, n=400),
+                budget=_tight_budget(tmp_path),
+            )
+        assert _spill_files(tmp_path) == []
+
+    def test_one_failing_close_does_not_leak_the_others(self, tmp_path):
+        # Shielding: even if the first buffer's close() raises, buffers
+        # registered after it still get closed (and their files removed).
+        ledger = ResidentLedger(limit=4)
+        first = SpillableRowBuffer(ledger, "first", str(tmp_path))
+        second = SpillableRowBuffer(ledger, "second", str(tmp_path))
+        rows = [{"A": i} for i in range(32)]
+        first.extend(rows)
+        first.extend(rows)  # push past the limit -> spill
+        second.extend(rows)
+        second.extend(rows)
+        assert first.spilled and second.spilled
+        assert len(_spill_files(tmp_path)) == 2
+
+        def exploding_close():
+            raise OSError("disk went away")
+
+        first.close = exploding_close
+        for buffer in (first, second):
+            try:
+                buffer.close()
+            except Exception:
+                pass
+        assert len(_spill_files(tmp_path)) == 1  # first leaked, second not
+
+
+class TestBufferLifecycle:
+    def test_context_manager_removes_spill_file(self, tmp_path):
+        ledger = ResidentLedger(limit=4)
+        rows = [{"A": i} for i in range(32)]
+        with SpillableRowBuffer(ledger, "cm", str(tmp_path)) as buffer:
+            buffer.extend(rows)
+            buffer.extend(rows)
+            assert buffer.spilled
+            assert len(_spill_files(tmp_path)) == 1
+            assert [row["A"] for row in buffer.rows()] == [
+                row["A"] for row in rows + rows
+            ]
+        assert _spill_files(tmp_path) == []
+        assert ledger.current == 0
+
+    def test_del_removes_spill_file(self, tmp_path):
+        ledger = ResidentLedger(limit=4)
+        buffer = SpillableRowBuffer(ledger, "dropped", str(tmp_path))
+        buffer.extend([{"A": i} for i in range(32)])
+        buffer.extend([{"A": i} for i in range(32)])
+        assert buffer.spilled
+        assert len(_spill_files(tmp_path)) == 1
+        del buffer
+        gc.collect()
+        assert _spill_files(tmp_path) == []
+
+    def test_close_is_idempotent(self, tmp_path):
+        ledger = ResidentLedger(limit=4)
+        buffer = SpillableRowBuffer(ledger, "twice", str(tmp_path))
+        buffer.extend([{"A": 1}] * 40)
+        buffer.close()
+        buffer.close()
+        assert _spill_files(tmp_path) == []

@@ -40,7 +40,8 @@ class TestWorkerPool:
 
     def test_unpicklable_task_falls_back_to_serial(self):
         with WorkerPool(2) as pool:
-            assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+            with pytest.warns(RuntimeWarning, match="not picklable"):
+                assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
 
 
 class TestHSDeterminism:

@@ -1,0 +1,199 @@
+"""Degradation accounting for :class:`WorkerPool`.
+
+The bugfix contract: exceptions raised *by a task* propagate to the
+caller unchanged (never masked by the serial fallback), while genuine
+infrastructure failures — unpicklable payload, unstartable pool, broken
+worker — degrade loudly: a ``RuntimeWarning`` once per pool, a
+``search.pool_degraded`` counter bump per degraded call, and results
+identical to the pooled path.  The degraded search path stays
+byte-identical to serial, telemetry included.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import pytest
+
+from repro import SearchBudget, heuristic_search
+from repro.core.search.parallel import WorkerPool
+from repro.obs import Recorder, use_recorder
+from repro.workloads import generate_workload
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _boom(value: int) -> int:
+    raise ValueError(f"task exploded on {value}")
+
+
+def _exit_unless_parent(parent_pid: int) -> int:
+    # In a forked worker the pid differs -> hard-kill the worker, which
+    # surfaces to the parent as BrokenProcessPool.  In the fallback
+    # (parent process) the task completes normally.
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return parent_pid
+
+
+def _pool_degraded_events(recorder: Recorder) -> list[dict]:
+    return [
+        event
+        for event in recorder.events()
+        if event["type"] == "counter"
+        and event["name"] == "search.pool_degraded"
+    ]
+
+
+def _no_fork(self) -> None:
+    raise OSError("fork refused")
+
+
+class TestTaskErrorsPropagate:
+    def test_pooled_task_exception_is_not_masked(self):
+        # A ValueError raised inside a worker must reach the caller as-is
+        # — no RuntimeWarning, no degradation counter, no serial rerun.
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with WorkerPool(2) as pool:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    with pytest.raises(ValueError, match="task exploded"):
+                        pool.map(_boom, [1, 2, 3])
+        assert _pool_degraded_events(recorder) == []
+
+    def test_inline_task_exception_propagates(self):
+        with pytest.raises(ValueError, match="task exploded on 7"):
+            WorkerPool(1).map(_boom, [7])
+
+
+class TestPicklabilityDegradation:
+    def test_lambda_degrades_with_warning_and_counter(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with WorkerPool(2) as pool:
+                with pytest.warns(RuntimeWarning, match="not picklable"):
+                    assert pool.map(lambda v: v + 1, [1, 2, 3]) == [2, 3, 4]
+                # The warning fires once per pool; the counter keeps
+                # counting per degraded call.
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    assert pool.map(lambda v: v * 2, [2, 3]) == [4, 6]
+        events = _pool_degraded_events(recorder)
+        assert len(events) == 1
+        assert events[0]["value"] == 2
+
+    def test_picklable_payload_does_not_degrade(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with WorkerPool(2) as pool:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("error")
+                    assert pool.map(_square, [3, 4]) == [9, 16]
+        assert _pool_degraded_events(recorder) == []
+
+
+class TestInfrastructureDegradation:
+    def test_pool_start_failure_degrades(self, monkeypatch):
+        monkeypatch.setattr(WorkerPool, "_ensure", _no_fork)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with WorkerPool(2) as pool:
+                with pytest.warns(RuntimeWarning, match="failed to start"):
+                    assert pool.map(_square, [2, 3, 4]) == [4, 9, 16]
+        events = _pool_degraded_events(recorder)
+        assert len(events) == 1
+        assert events[0]["value"] == 1
+
+    def test_broken_worker_falls_back_idempotently(self):
+        # Workers hard-exit mid-task -> BrokenProcessPool.  The fallback
+        # recomputes only unfinished slots in-process and still returns
+        # every result, in order.
+        parent = os.getpid()
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with WorkerPool(2) as pool:
+                with pytest.warns(RuntimeWarning, match="pool broke mid-run"):
+                    results = pool.map(_exit_unless_parent, [parent] * 3)
+        assert results == [parent] * 3
+        assert len(_pool_degraded_events(recorder)) == 1
+
+
+class TestDegradedSearchDeterminism:
+    """jobs=2 with a dead pool must equal jobs=1 — results AND telemetry,
+    modulo the explicit ``search.pool_degraded`` accounting."""
+
+    @staticmethod
+    def _span_names(recorder: Recorder) -> list[str]:
+        return sorted(
+            event["name"]
+            for event in recorder.events()
+            if event["type"] == "span"
+        )
+
+    @staticmethod
+    def _counters(recorder: Recorder) -> dict:
+        return {
+            (event["name"], tuple(sorted(event["tags"].items()))): event[
+                "value"
+            ]
+            for event in recorder.events()
+            if event["type"] == "counter"
+        }
+
+    def test_degraded_jobs2_matches_serial_with_accounting(self, monkeypatch):
+        serial_recorder = Recorder()
+        with use_recorder(serial_recorder):
+            serial = heuristic_search(
+                generate_workload("small", seed=0).workflow.copy(),
+                budget=SearchBudget(jobs=1),
+            )
+
+        monkeypatch.setattr(WorkerPool, "_ensure", _no_fork)
+        degraded_recorder = Recorder()
+        with use_recorder(degraded_recorder):
+            with pytest.warns(RuntimeWarning, match="degraded to serial"):
+                degraded = heuristic_search(
+                    generate_workload("small", seed=0).workflow.copy(),
+                    budget=SearchBudget(jobs=2),
+                )
+
+        assert degraded.best.signature == serial.best.signature
+        assert degraded.best.cost == serial.best.cost
+        assert degraded.visited_states == serial.visited_states
+
+        assert self._span_names(degraded_recorder) == self._span_names(
+            serial_recorder
+        )
+        serial_counters = self._counters(serial_recorder)
+        degraded_counters = self._counters(degraded_recorder)
+        degraded_key = ("search.pool_degraded", ())
+        assert degraded_counters.pop(degraded_key) >= 1
+        assert degraded_counters == serial_counters
+
+    def test_two_degraded_runs_record_identical_telemetry(self, monkeypatch):
+        monkeypatch.setattr(WorkerPool, "_ensure", _no_fork)
+
+        def run():
+            recorder = Recorder()
+            with use_recorder(recorder):
+                with pytest.warns(RuntimeWarning, match="degraded"):
+                    result = heuristic_search(
+                        generate_workload("small", seed=0).workflow.copy(),
+                        budget=SearchBudget(jobs=2),
+                    )
+            return result, recorder
+
+        first, first_recorder = run()
+        second, second_recorder = run()
+        assert first.best.signature == second.best.signature
+        assert first.visited_states == second.visited_states
+        assert self._span_names(first_recorder) == self._span_names(
+            second_recorder
+        )
+        assert self._counters(first_recorder) == self._counters(
+            second_recorder
+        )
