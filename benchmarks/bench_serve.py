@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""The serving layer's acceptance numbers: latency tiers and hit rates.
+
+Drives an in-process :class:`~repro.serve.server.BackgroundServer`
+through the real wire protocol (TCP, line-delimited JSON) with a
+scripted request mix and records ``BENCH_serve.json``:
+
+* **cold** — every unique workflow optimized once against an empty
+  daemon: the full-search latency a first-time client pays;
+* **warm** — the same workflows re-requested under a *different* budget
+  spelling (same outcome, different memo key), so the search re-runs
+  against the now-warm shared transposition cache;
+* **memo** — the cold requests repeated verbatim: answered from the
+  result memo without searching.
+
+For each tier the JSON records p50/p99 latency; for the memo tier a
+burst throughput (requests/second).  Wall-clock numbers are
+informational — the *gated* metrics are the deterministic ones: the
+memo hit rate of the scripted mix, the transposition hit rate, and the
+``identical_to_direct`` / ``warm_identical`` flags asserting that every
+served answer is byte-identical to a direct in-process
+:func:`repro.optimize` call (the bench exits 1 itself if they fail —
+serving must never change the answer).
+
+Usage::
+
+    python benchmarks/bench_serve.py                      # small, 4x3 mix
+    python benchmarks/bench_serve.py --category tiny --unique 2 --repeats 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import SearchBudget, optimize  # noqa: E402
+from repro.serve import BackgroundServer, ServeConfig  # noqa: E402
+from repro.serve.protocol import result_to_dict  # noqa: E402
+from repro.workloads import generate_workload  # noqa: E402
+
+
+def _percentile(samples: list[float], pct: float) -> float:
+    ordered = sorted(samples)
+    index = max(0, math.ceil(pct / 100.0 * len(ordered)) - 1)
+    return ordered[index]
+
+
+def _tier(samples: list[float]) -> dict[str, float]:
+    return {
+        "p50_ms": round(_percentile(samples, 50) * 1000, 3),
+        "p99_ms": round(_percentile(samples, 99) * 1000, 3),
+        "mean_ms": round(sum(samples) / len(samples) * 1000, 3),
+    }
+
+
+def _timed(client, workflow, budget: dict) -> tuple[float, dict]:
+    started = time.perf_counter()
+    reply = client.optimize(workflow, "hs", budget=budget)
+    return time.perf_counter() - started, reply
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--category", default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--unique", type=int, default=4,
+        help="distinct workflows in the request mix",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="memo-tier repeats per workflow",
+    )
+    parser.add_argument("--max-states", type=int, default=800)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    budget = {"max_states": args.max_states}
+    # Same stopping outcome, different memo key: max_seconds never binds
+    # at one hour, so the warm tier re-searches instead of memo-hitting.
+    warm_budget = {"max_states": args.max_states, "max_seconds": 3600.0}
+    seeds = [args.seed + offset for offset in range(args.unique)]
+    workflows = {
+        seed: generate_workload(args.category, seed=seed).workflow
+        for seed in seeds
+    }
+
+    print(f"serve bench: {args.unique} x {args.category} workflows, "
+          f"{args.repeats} memo repeats, max_states={args.max_states}, "
+          f"workers={args.workers}")
+
+    # The reference answers the daemon must reproduce byte-for-byte.
+    direct = {
+        seed: result_to_dict(
+            optimize(
+                workflows[seed].copy(),
+                "hs",
+                budget=SearchBudget(max_states=args.max_states),
+            )
+        )
+        for seed in seeds
+    }
+
+    config = ServeConfig(workers=args.workers, queue_size=64)
+    cold_latencies: list[float] = []
+    warm_latencies: list[float] = []
+    memo_latencies: list[float] = []
+    identical_to_direct = True
+    warm_identical = True
+    warm_cache_hits = 0
+
+    with BackgroundServer(config) as background:
+        with background.client() as client:
+            for seed in seeds:
+                seconds, reply = _timed(
+                    client, workflows[seed].copy(), budget
+                )
+                cold_latencies.append(seconds)
+                if reply["served_from"] != "search":
+                    print(f"error: cold request for seed {seed} did not "
+                          "search", file=sys.stderr)
+                    return 1
+                for field in ("best_cost", "best_signature", "lineage"):
+                    if reply["result"][field] != direct[seed][field]:
+                        identical_to_direct = False
+                        print(f"error: served {field} for seed {seed} "
+                              "diverged from direct optimize()",
+                              file=sys.stderr)
+
+            for seed in seeds:
+                seconds, reply = _timed(
+                    client, workflows[seed].copy(), warm_budget
+                )
+                warm_latencies.append(seconds)
+                warm_cache_hits += reply["cache_hits"]
+                for field in ("best_cost", "best_signature"):
+                    if reply["result"][field] != direct[seed][field]:
+                        warm_identical = False
+                        print(f"error: warm-search {field} for seed {seed} "
+                              "diverged", file=sys.stderr)
+
+            burst_started = time.perf_counter()
+            for _ in range(args.repeats):
+                for seed in seeds:
+                    seconds, reply = _timed(
+                        client, workflows[seed].copy(), budget
+                    )
+                    memo_latencies.append(seconds)
+                    if reply["served_from"] != "memo":
+                        print(f"error: repeat request for seed {seed} "
+                              "missed the memo", file=sys.stderr)
+                        return 1
+            burst_seconds = time.perf_counter() - burst_started
+            stats = client.stats()
+
+    latency = {
+        "cold": _tier(cold_latencies),
+        "warm": _tier(warm_latencies),
+        "memo": _tier(memo_latencies),
+        "memo_latency_ratio": round(
+            _percentile(cold_latencies, 50) / _percentile(memo_latencies, 50),
+            1,
+        ),
+    }
+    for tier in ("cold", "warm", "memo"):
+        row = latency[tier]
+        print(f"  {tier:<5} p50 {row['p50_ms']:9.2f}ms   "
+              f"p99 {row['p99_ms']:9.2f}ms")
+    print(f"  memo answers {latency['memo_latency_ratio']}x faster than "
+          f"cold (p50); identical_to_direct={identical_to_direct}")
+
+    payload = {
+        "benchmark": "serve",
+        "category": args.category,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
+        "unique_workflows": args.unique,
+        "repeats": args.repeats,
+        "max_states": args.max_states,
+        "latency": latency,
+        "throughput": {
+            "memo_requests": len(memo_latencies),
+            "memo_requests_per_second": round(
+                len(memo_latencies) / burst_seconds, 1
+            ),
+        },
+        "memo": stats["memo"],
+        "transposition": stats["transposition"],
+        "queue": {
+            "admitted": stats["queue"]["admitted"],
+            "rejected_full": stats["queue"]["rejected_full"],
+            "rejected_tenant": stats["queue"]["rejected_tenant"],
+        },
+        "identical_to_direct": identical_to_direct,
+        "warm_identical": warm_identical,
+        "warm_cache_hits": warm_cache_hits,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0 if identical_to_direct and warm_identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

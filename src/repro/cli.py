@@ -8,6 +8,7 @@ Usage::
     python -m repro impact flow.json --source SRC1 --attribute V2
     python -m repro run flow.json --data rows.json --max-resident-rows 10000
     python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
+    python -m repro serve --socket /tmp/repro.sock --workers 2
     python -m repro optimize flow.json --telemetry spans.jsonl
     python -m repro report spans.jsonl
     python -m repro explain flow.json --diff
@@ -326,6 +327,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="resident-row budget for streaming fuzz runs",
     )
 
+    cmd_serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the optimizer-as-a-service daemon (shared warm cache, "
+            "result memo, bounded admission)"
+        ),
+    )
+    cmd_serve.add_argument(
+        "--host", default="127.0.0.1", help="TCP bind host (default: 127.0.0.1)"
+    )
+    cmd_serve.add_argument(
+        "--port",
+        type=int,
+        default=7077,
+        help="TCP port (default: 7077; 0 = ephemeral, printed at startup)",
+    )
+    cmd_serve.add_argument(
+        "--socket",
+        default=None,
+        help="serve on this UNIX-domain socket path instead of TCP",
+    )
+    cmd_serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="optimizer worker threads (default: 1)",
+    )
+    cmd_serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker-process ceiling per search; client budgets asking for "
+            "more are clamped (default: 1)"
+        ),
+    )
+    cmd_serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="bounded job-queue depth; full means reject (default: 64)",
+    )
+    cmd_serve.add_argument(
+        "--memo-capacity",
+        type=int,
+        default=1024,
+        help="LRU capacity of the request-level result memo (default: 1024)",
+    )
+    cmd_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "transposition-cache directory shared across requests "
+            "(default: in-memory only — still shared while the daemon "
+            "lives)"
+        ),
+    )
+    cmd_serve.add_argument(
+        "--tenant-max-inflight",
+        type=int,
+        default=8,
+        help="queued-or-running jobs one tenant may hold (default: 8)",
+    )
+    cmd_serve.add_argument(
+        "--tenant-max-states",
+        type=int,
+        default=None,
+        help="ceiling on any request's max_states budget (default: none)",
+    )
+    cmd_serve.add_argument(
+        "--tenant-max-seconds",
+        type=float,
+        default=None,
+        help="ceiling on any request's max_seconds budget (default: none)",
+    )
+
     cmd_report = commands.add_parser(
         "report",
         help="summarize a telemetry file, or diff it against a baseline",
@@ -557,6 +634,47 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    # Imported lazily: the daemon stack pulls in the full search plane,
+    # which the file-based subcommands never need.
+    from repro.serve import OptimizerServer, ServeConfig, TenantPolicy
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.socket,
+        workers=args.workers,
+        max_jobs=args.jobs,
+        queue_size=args.queue_size,
+        memo_capacity=args.memo_capacity,
+        cache=args.cache_dir,
+        tenant=TenantPolicy(
+            max_inflight=args.tenant_max_inflight,
+            max_states=args.tenant_max_states,
+            max_seconds=args.tenant_max_seconds,
+        ),
+    )
+    server = OptimizerServer(config)
+
+    import asyncio
+
+    async def main() -> None:
+        await server.start()
+        address = server.address
+        if isinstance(address, tuple):
+            print(f"serving on {address[0]}:{address[1]}", flush=True)
+        else:
+            print(f"serving on unix:{address}", flush=True)
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    print("daemon stopped")
+    return 0
+
+
 def _cmd_report(args) -> int:
     if args.compare is not None:
         from repro.obs.diff import compare_files
@@ -586,6 +704,7 @@ _HANDLERS = {
     "impact": _cmd_impact,
     "run": _cmd_run,
     "fuzz": _cmd_fuzz,
+    "serve": _cmd_serve,
     "report": _cmd_report,
 }
 

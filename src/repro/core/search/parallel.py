@@ -39,8 +39,10 @@ from __future__ import annotations
 
 import heapq
 import pickle
+import threading
 import time
 import warnings
+from dataclasses import replace
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context
@@ -143,9 +145,11 @@ def unload(token: str) -> None:
 class WorkerPool:
     """A lazily-started process pool with an *accounted* serial fallback.
 
-    Workers fork on first use (``fork`` start method where available, so
-    tasks inherit the loaded modules — and any :meth:`preload` payloads —
-    without re-import or pickling).  Failures are split two ways:
+    Workers start on first use — ``fork`` where available and the parent
+    is single-threaded (tasks inherit the loaded modules and any
+    :meth:`preload` payloads without re-import or pickling), else
+    ``forkserver``/``spawn`` with preloads shipped once via the pool
+    initializer (see :meth:`_start_method`).  Failures are split two ways:
 
     * **infrastructure** failures (pool cannot start, a worker died, the
       payload cannot be pickled) degrade the call to in-process
@@ -191,9 +195,29 @@ class WorkerPool:
         if self._executor is not None and token not in self._executor_tokens:
             self.close()
 
+    @staticmethod
+    def _start_method() -> str:
+        """Pick the safest available start method for this parent.
+
+        ``fork`` is the cheap default (children inherit loaded modules and
+        preloads copy-on-write) — but forking a *multi-threaded* parent is
+        undefined behaviour in POSIX: another thread may hold an internal
+        lock (allocator, logging, asyncio) at fork time and the child
+        deadlocks on first use.  The serve daemon is exactly such a parent,
+        so when any other thread is alive we switch to ``forkserver``
+        (single-threaded fork origin, preloads shipped by initializer) or
+        ``spawn``.
+        """
+        available = get_all_start_methods()
+        if threading.active_count() > 1:
+            for method in ("forkserver", "spawn"):
+                if method in available:
+                    return method
+        return "fork" if "fork" in available else "spawn"
+
     def _ensure(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            method = "fork" if "fork" in get_all_start_methods() else "spawn"
+            method = self._start_method()
             tokens = frozenset(_PRELOADED)
             if method == "fork":
                 # Children inherit ``_PRELOADED`` through fork; no
@@ -586,12 +610,10 @@ def optimize_many(
     """
     budget = budget if budget is not None else SearchBudget()
     cache, owned_cache = TranspositionCache.resolve(budget.cache)
-    shared_budget = SearchBudget(
-        max_states=budget.max_states,
-        max_seconds=budget.max_seconds,
-        jobs=budget.jobs,
-        cache=cache,
-    )
+    # dataclasses.replace keeps *every* knob — rebuilding the budget field
+    # by field once silently dropped the PR 6 pruning knobs (beam_width /
+    # prune_dominated / bound), so batch runs ignored them.
+    shared_budget = replace(budget, cache=cache)
     jobs = budget.resolved_jobs()
     pool = WorkerPool(jobs) if jobs > 1 else None
     try:

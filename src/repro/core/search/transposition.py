@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -170,6 +171,10 @@ class CacheNamespace:
         self.groups.update(groups)
 
     def flush(self) -> None:
+        with self._cache._lock:
+            self._flush_locked()
+
+    def _flush_locked(self) -> None:
         path = self._path()
         if path is None or not self.dirty:
             return
@@ -225,49 +230,58 @@ class CacheNamespace:
     # -- cost totals ------------------------------------------------------------
 
     def get_cost(self, signature: str) -> float | None:
-        entry = self.costs.get(signature)
+        with self._cache._lock:
+            entry = self.costs.get(signature)
+            if entry is None:
+                self._cache.misses += 1
+            else:
+                self._cache.hits += 1
         if entry is None:
-            self._cache.misses += 1
             get_recorder().counter(
                 "search.transposition", kind="cost", outcome="miss"
             ).add()
             return None
-        self._cache.hits += 1
         get_recorder().counter(
             "search.transposition", kind="cost", outcome="hit"
         ).add()
         return entry["t"]
 
     def put_cost(self, signature: str, total: float, recosted: int = 0) -> None:
-        if signature not in self.costs:
-            self.costs[signature] = {"t": total, "n": recosted}
-            self.dirty = True
+        with self._cache._lock:
+            if signature not in self.costs:
+                self.costs[signature] = {"t": total, "n": recosted}
+                self.dirty = True
 
     # -- group-exploration memo --------------------------------------------------
 
     def get_group(self, key: str) -> dict[str, Any] | None:
-        entry = self.groups.get(key)
+        with self._cache._lock:
+            entry = self.groups.get(key)
+            if entry is None:
+                self._cache.misses += 1
+            else:
+                self._cache.hits += 1
         if entry is None:
-            self._cache.misses += 1
             get_recorder().counter(
                 "search.transposition", kind="group", outcome="miss"
             ).add()
             return None
-        self._cache.hits += 1
         get_recorder().counter(
             "search.transposition", kind="group", outcome="hit"
         ).add()
         return entry
 
     def put_group(self, key: str, entry: dict[str, Any]) -> None:
-        self.groups[key] = entry
-        self._dropped_groups.discard(key)
-        self.dirty = True
+        with self._cache._lock:
+            self.groups[key] = entry
+            self._dropped_groups.discard(key)
+            self.dirty = True
 
     def drop_group(self, key: str) -> None:
-        if self.groups.pop(key, None) is not None:
-            self._dropped_groups.add(key)
-            self.dirty = True
+        with self._cache._lock:
+            if self.groups.pop(key, None) is not None:
+                self._dropped_groups.add(key)
+                self.dirty = True
 
     # -- successor construction ----------------------------------------------------
 
@@ -338,6 +352,12 @@ class TranspositionCache:
         #: merge-on-write flush (ours won; see :meth:`CacheNamespace.flush`).
         self.merge_conflicts = 0
         self._namespaces: dict[str, CacheNamespace] = {}
+        # One instance is shared across the serve daemon's worker threads;
+        # every in-memory read-modify-write (entry insertion, hit/miss
+        # accounting, namespace creation, flush) happens under this lock.
+        # Reentrant because flush() takes it and the obs counter callbacks
+        # it reaches may live on the same thread.
+        self._lock = threading.RLock()
 
     @classmethod
     def resolve(cls, spec: Any) -> tuple["TranspositionCache", bool]:
@@ -365,13 +385,16 @@ class TranspositionCache:
         key = f"{workflow_fingerprint(workflow)}-{_model_key(model)}"
         # Path-safe: fingerprint is hex, the model key may hold dots only.
         key = "".join(c if c.isalnum() or c in "._-" else "_" for c in key)
-        found = self._namespaces.get(key)
-        if found is None:
-            found = CacheNamespace(self, key)
-            self._namespaces[key] = found
-        return found
+        with self._lock:
+            found = self._namespaces.get(key)
+            if found is None:
+                found = CacheNamespace(self, key)
+                self._namespaces[key] = found
+            return found
 
     def flush(self) -> None:
         """Write every dirty namespace to the disk layer (no-op without one)."""
-        for namespace in self._namespaces.values():
+        with self._lock:
+            namespaces = list(self._namespaces.values())
+        for namespace in namespaces:
             namespace.flush()

@@ -83,6 +83,11 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # it like rows_per_second, with a wider threshold because the smoke
     # runs are sub-second and the ratio jitters more than throughput.
     MetricPolicy("speedup", LOWER_IS_WORSE, 20.0),
+    # Serving bench: wall-clock latency and throughput depend on the
+    # host — report only.  Memo effectiveness is gated below instead
+    # (the bench scripts its request mix, so hit rates are exact).
+    MetricPolicy("latency", INFO),
+    MetricPolicy("requests_per_second", INFO),
     # Machine-dependent: report, never gate.
     MetricPolicy("seconds", INFO),
     MetricPolicy("cpu_count", INFO),
@@ -108,7 +113,10 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     MetricPolicy("resident_rows", HIGHER_IS_WORSE),
     MetricPolicy("spilled_rows", HIGHER_IS_WORSE),
     MetricPolicy("lineage.steps", HIGHER_IS_WORSE),
-    # Cache effectiveness: fewer hits is the regression.
+    # Cache effectiveness: fewer hits is the regression.  The serve
+    # bench's hit rates come from a scripted request mix, so any drop is
+    # a real memo/cache-keying change, not noise.
+    MetricPolicy("hit_rate", LOWER_IS_WORSE, 0.0),
     MetricPolicy("cache_hits", LOWER_IS_WORSE),
     MetricPolicy("outcome=hit", LOWER_IS_WORSE),
     MetricPolicy("merge_conflicts", HIGHER_IS_WORSE),

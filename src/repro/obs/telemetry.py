@@ -157,6 +157,11 @@ class Recorder:
         self._ids = itertools.count(1)
         self._absorbed = itertools.count(1)
         self._origin = os.getpid()
+        #: Optional live-progress hook: called with each finished span's
+        #: event dict, outside the recorder lock, on the recording thread.
+        #: The serve daemon streams ``search.*`` spans to clients this way.
+        #: Callbacks must not raise; exceptions propagate to the span site.
+        self.on_span: Callable[[dict[str, Any]], None] | None = None
 
     # -- span tree --------------------------------------------------------------
 
@@ -198,6 +203,9 @@ class Recorder:
             ).to_event()
             with self._lock:
                 self._spans.append(event)
+            callback = self.on_span
+            if callback is not None:
+                callback(event)
 
     def record_span(self, name: str, seconds: float, **tags: Any) -> None:
         """Record an externally measured span (e.g. a worker-side timing)."""
@@ -378,14 +386,25 @@ NULL_RECORDER = _NullRecorder()
 
 _active: Recorder = NULL_RECORDER
 
+#: Per-thread recorder override (see :func:`use_recorder`).  The serve
+#: daemon runs concurrent optimizations on worker threads, each under its
+#: own recorder; a process-global slot would let one request's install
+#: clobber another's mid-flight.
+_thread_active = threading.local()
+
 
 def get_recorder() -> Recorder:
-    """The process-wide active recorder (:data:`NULL_RECORDER` when off)."""
-    return _active
+    """The active recorder: this thread's :func:`use_recorder` override if
+    one is in effect, else the process-wide :func:`set_recorder` slot
+    (:data:`NULL_RECORDER` when off)."""
+    override = getattr(_thread_active, "recorder", None)
+    return override if override is not None else _active
 
 
 def set_recorder(recorder: Recorder | None) -> Recorder:
-    """Install ``recorder`` (``None`` disables); returns the previous one."""
+    """Install ``recorder`` process-wide (``None`` disables); returns the
+    previous process-wide recorder.  Threads inside a :func:`use_recorder`
+    block keep their scoped recorder regardless."""
     global _active
     previous = _active
     _active = recorder if recorder is not None else NULL_RECORDER
@@ -394,9 +413,19 @@ def set_recorder(recorder: Recorder | None) -> Recorder:
 
 @contextmanager
 def use_recorder(recorder: Recorder | None) -> Iterator[Recorder]:
-    """Temporarily install ``recorder`` as the active recorder."""
-    previous = set_recorder(recorder)
+    """Temporarily install ``recorder`` as the *calling thread's* active
+    recorder (``None`` silences telemetry for the block).
+
+    The override is thread-scoped: concurrent threads can each record
+    under their own recorder without interleaving, which is what keeps
+    per-request telemetry separate in the serve daemon.  Single-threaded
+    behaviour is unchanged.
+    """
+    previous = getattr(_thread_active, "recorder", None)
+    _thread_active.recorder = (
+        recorder if recorder is not None else NULL_RECORDER
+    )
     try:
         yield get_recorder()
     finally:
-        set_recorder(previous)
+        _thread_active.recorder = previous

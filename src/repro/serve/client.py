@@ -1,0 +1,171 @@
+"""A blocking client for the serve protocol (tests, CI smoke, benches).
+
+One socket, line-delimited JSON both ways.  Responses to a request are
+matched by the echoed ``id``; progress ``event`` lines arriving before
+the final response are handed to ``on_event`` (or collected) — the
+client never drops them.  The client is deliberately synchronous:
+operational tooling (smoke tests, load generators, shell pipelines)
+wants straight-line code, and the daemon multiplexes fine over many
+plain connections.
+
+Usage::
+
+    from repro.serve import ServeClient
+
+    with ServeClient(("127.0.0.1", 7077)) as client:
+        reply = client.optimize(workflow, algorithm="hs")
+        print(reply["served_from"], reply["result"]["best_cost"])
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Callable
+
+from repro.core.workflow import ETLWorkflow
+from repro.exceptions import ReproError
+from repro.io.json_io import workflow_to_dict
+from repro.serve.protocol import decode, encode
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """An error response from the daemon; carries the protocol ``code``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """Synchronous connection to one optimizer daemon.
+
+    ``address`` is a ``(host, port)`` tuple for TCP or a filesystem path
+    for a UNIX socket — exactly what
+    :attr:`~repro.serve.server.OptimizerServer.address` reports.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | str,
+        timeout: float | None = 60.0,
+    ):
+        if isinstance(address, str):
+            self._socket = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._socket.settimeout(timeout)
+            self._socket.connect(address)
+        else:
+            host, port = address
+            self._socket = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._reader = self._socket.makefile("rb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def request(
+        self,
+        message: dict[str, Any],
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Send one request and block for its final response.
+
+        ``event`` lines for this request are forwarded to ``on_event``;
+        the final response is returned (or raised as :class:`ServeError`
+        when the daemon answered ``ok: false``).
+        """
+        rid = message.get("id")
+        if rid is None:
+            rid = next(self._ids)
+            message = {**message, "id": rid}
+        self._socket.sendall(encode(message))
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ServeError(
+                    "connection-closed",
+                    "daemon closed the connection before answering",
+                )
+            reply = decode(line)
+            if reply.get("id") != rid:
+                # Pipelined clients use one id space per connection, so a
+                # foreign id here is a protocol bug worth surfacing.
+                raise ServeError(
+                    "protocol-desync",
+                    f"expected a reply to {rid!r}, got {reply.get('id')!r}",
+                )
+            if "event" in reply:
+                if on_event is not None:
+                    on_event(reply)
+                continue
+            if not reply.get("ok", False):
+                raise ServeError(
+                    reply.get("code", "error"),
+                    reply.get("error", "daemon reported an error"),
+                )
+            return reply
+
+    # -- operations -------------------------------------------------------------
+
+    def optimize(
+        self,
+        workflow: ETLWorkflow | dict[str, Any],
+        algorithm: str = "heuristic",
+        budget: dict[str, Any] | None = None,
+        tenant: str = "default",
+        model: str | None = None,
+        stream: bool = False,
+        on_event: Callable[[dict[str, Any]], None] | None = None,
+    ) -> dict[str, Any]:
+        """Optimize ``workflow`` on the daemon; returns the envelope.
+
+        The envelope's ``result`` holds the serialized
+        :class:`~repro.core.search.result.OptimizationResult`;
+        ``served_from`` says whether the memo answered, and
+        ``cache_hits`` counts the cache lookups that built the answer.
+        """
+        document = (
+            workflow
+            if isinstance(workflow, dict)
+            else workflow_to_dict(workflow)
+        )
+        message: dict[str, Any] = {
+            "op": "optimize",
+            "workflow": document,
+            "algorithm": algorithm,
+            "tenant": tenant,
+            "stream": stream or on_event is not None,
+        }
+        if budget is not None:
+            message["budget"] = budget
+        if model is not None:
+            message["model"] = model
+        return self.request(message, on_event=on_event)
+
+    def status(self) -> dict[str, Any]:
+        return self.request({"op": "status"})
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the daemon to stop once in-flight work drains."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

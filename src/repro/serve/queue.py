@@ -1,0 +1,201 @@
+"""Bounded job queue with admission control and per-tenant budget limits.
+
+Admission is a *reject*, never a block: a daemon serving heavy traffic
+must shed load at the door (the client sees ``queue-full`` immediately
+and can back off) instead of accumulating unbounded work it will answer
+late.  Two gates run at submit time, both O(1):
+
+* **global depth** — at most ``capacity`` jobs queued (in-flight jobs
+  have left the queue and do not count; the worker count bounds those);
+* **per-tenant concurrency** — at most ``policy.max_inflight`` jobs per
+  tenant queued-or-running, so one chatty tenant cannot starve the rest.
+
+The tenant policy also *clamps* each request's :class:`SearchBudget`:
+``max_states``/``max_seconds`` may only shrink below the tenant caps and
+``jobs`` below the server-wide worker ceiling.  Clamping (rather than
+rejecting) keeps near-duplicate requests memo-compatible: every request
+a tenant sends under the same caps resolves to the same effective budget
+and therefore the same memo key.
+
+The queue is plain ``threading`` — the asyncio side submits without ever
+blocking, the worker threads wait on a condition variable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.core.search.budget import SearchBudget
+from repro.exceptions import ReproError
+
+__all__ = ["AdmissionError", "TenantPolicy", "Job", "JobQueue"]
+
+
+class AdmissionError(ReproError):
+    """A request the queue refused to admit; ``code`` names the gate."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission and budget ceilings.
+
+    Attributes:
+        max_inflight: queued-or-running jobs one tenant may hold at once.
+        max_states: ceiling on a request's ``max_states`` (``None`` = no
+            ceiling); an unbounded request is clamped *to* the ceiling.
+        max_seconds: likewise for the wall-clock budget.
+    """
+
+    max_inflight: int = 8
+    max_states: int | None = None
+    max_seconds: float | None = None
+
+    def clamp(self, budget: SearchBudget, max_jobs: int) -> SearchBudget:
+        """The effective budget for a request under this policy.
+
+        Stopping criteria are the *minimum* of the request's and the
+        tenant's; ``jobs`` is capped by the server's ``max_jobs`` (the
+        daemon owns the worker pool — a client cannot fork more of the
+        host than the operator allowed).  ``cache`` is stripped: the
+        daemon always substitutes its shared cache.
+        """
+        max_states = _floor(budget.max_states, self.max_states)
+        max_seconds = _floor(budget.max_seconds, self.max_seconds)
+        jobs = min(budget.resolved_jobs(), max(1, max_jobs))
+        return replace(
+            budget,
+            max_states=max_states,
+            max_seconds=max_seconds,
+            jobs=jobs,
+            cache=None,
+        )
+
+
+def _floor(requested: int | float | None, cap: int | float | None):
+    if requested is None:
+        return cap
+    if cap is None:
+        return requested
+    return min(requested, cap)
+
+
+@dataclass
+class Job:
+    """One admitted optimize request, queued for a worker thread."""
+
+    tenant: str
+    payload: dict[str, Any]
+    #: Called on the worker thread as ``run(job, pool)`` where ``pool``
+    #: is the thread's long-lived WorkerPool; delivery back to the event
+    #: loop is the callable's business (baked into the payload closures).
+    run: Callable[..., None]
+    enqueued_at: float = 0.0
+
+
+class JobQueue:
+    """Bounded FIFO with per-tenant inflight accounting (thread-safe)."""
+
+    def __init__(self, capacity: int, policy: TenantPolicy):
+        if capacity < 1:
+            raise ValueError("JobQueue capacity must be at least 1")
+        self.capacity = capacity
+        self.policy = policy
+        self.rejected_full = 0
+        self.rejected_tenant = 0
+        self.admitted = 0
+        self._queue: deque[Job] = deque()
+        self._inflight: dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._closed = False
+
+    # -- producer side (asyncio thread) ---------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Admit ``job`` or raise :class:`AdmissionError` immediately."""
+        with self._ready:
+            if self._closed:
+                raise AdmissionError(
+                    "shutting-down", "daemon is shutting down"
+                )
+            if len(self._queue) >= self.capacity:
+                self.rejected_full += 1
+                raise AdmissionError(
+                    "queue-full",
+                    f"job queue is full ({self.capacity} queued); retry "
+                    "with backoff",
+                )
+            holding = self._inflight.get(job.tenant, 0)
+            if holding >= self.policy.max_inflight:
+                self.rejected_tenant += 1
+                raise AdmissionError(
+                    "tenant-limit",
+                    f"tenant {job.tenant!r} already has {holding} job(s) "
+                    f"queued or running (limit {self.policy.max_inflight})",
+                )
+            job.enqueued_at = time.monotonic()
+            self._inflight[job.tenant] = holding + 1
+            self._queue.append(job)
+            self.admitted += 1
+            self._ready.notify()
+
+    # -- consumer side (worker threads) ----------------------------------------
+
+    def next_job(self, timeout: float | None = None) -> Job | None:
+        """Block for the next job; ``None`` on timeout or queue closure."""
+        with self._ready:
+            while not self._queue:
+                if self._closed:
+                    return None
+                if not self._ready.wait(timeout):
+                    return None
+            return self._queue.popleft()
+
+    def task_done(self, job: Job) -> None:
+        """Release the tenant's inflight slot once the job finished."""
+        with self._lock:
+            remaining = self._inflight.get(job.tenant, 0) - 1
+            if remaining > 0:
+                self._inflight[job.tenant] = remaining
+            else:
+                self._inflight.pop(job.tenant, None)
+
+    def close(self) -> None:
+        """Refuse new work and wake every waiting worker."""
+        with self._ready:
+            self._closed = True
+            self._ready.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # -- introspection ----------------------------------------------------------
+
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def inflight(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._inflight)
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "depth": len(self._queue),
+                "capacity": self.capacity,
+                "inflight": dict(self._inflight),
+                "admitted": self.admitted,
+                "rejected_full": self.rejected_full,
+                "rejected_tenant": self.rejected_tenant,
+            }

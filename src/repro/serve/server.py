@@ -1,0 +1,648 @@
+"""The optimizer-as-a-service daemon (stdlib asyncio, no dependencies).
+
+One long-lived process answers optimize requests for many tenants over a
+line-delimited JSON protocol (:mod:`repro.serve.protocol`) on TCP or a
+UNIX socket.  The architecture is two planes joined by a bounded queue:
+
+* the **asyncio plane** (one thread) accepts connections, parses and
+  admits requests (:mod:`repro.serve.queue`), probes the request-level
+  result memo (:mod:`repro.serve.memo`), and streams responses —
+  it never runs a search, so admission and memo hits stay fast no
+  matter how busy the workers are;
+* the **worker plane** (``workers`` threads) pulls admitted jobs and
+  runs them through :func:`~repro.core.search.parallel.run_search`, each
+  thread owning one long-lived
+  :class:`~repro.core.search.parallel.WorkerPool` (processes fork once,
+  not per request) and all threads sharing one
+  :class:`~repro.core.search.transposition.TranspositionCache` — Liu's
+  shared-cache recipe: every request warms the cache for every later
+  near-duplicate.
+
+Determinism guarantee: a served result is byte-identical (cost, plan,
+lineage) to a direct :func:`repro.optimize` call with the same effective
+budget — the daemon only ever substitutes its shared cache, and cached
+values replay exactly what the same deterministic computation would have
+produced.
+
+Progress streaming rides the obs layer: each request runs under a
+private :class:`~repro.obs.Recorder` whose ``on_span`` hook forwards
+finished ``search.*`` spans to the client as ``event`` lines, and whose
+full buffer is absorbed into the daemon's recorder for ``stats`` and
+``--telemetry``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.core.search.budget import SearchBudget
+from repro.core.search.parallel import ALGORITHMS, WorkerPool, run_search
+from repro.core.search.transposition import TranspositionCache
+from repro.core.signature import workflow_fingerprint
+from repro.obs import Recorder, get_recorder, use_recorder
+from repro.serve.memo import DEFAULT_CAPACITY, ResultMemo, memo_key
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    budget_from_dict,
+    budget_to_dict,
+    decode,
+    encode,
+    model_key,
+    resolve_model,
+    result_to_dict,
+    workflow_from_request,
+)
+from repro.serve.queue import AdmissionError, Job, JobQueue, TenantPolicy
+
+__all__ = ["ServeConfig", "OptimizerServer", "BackgroundServer"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the daemon's operator decides.
+
+    Attributes:
+        host / port: TCP endpoint; ``port=0`` binds an ephemeral port
+            (the bound address is reported by :attr:`OptimizerServer.address`).
+        unix_socket: path for a UNIX-domain socket; overrides TCP.
+        workers: optimizer worker threads (each owns one process pool).
+        max_jobs: per-search worker-process ceiling — requests asking for
+            more are clamped, so a client can never fork more of the host
+            than the operator allowed.
+        queue_size: bounded job-queue depth (admission control).
+        tenant: per-tenant inflight/budget ceilings, uniform across
+            tenants (a config file of per-tenant overrides can layer on
+            later without touching the protocol).
+        cache: transposition-cache spec, as accepted by
+            :meth:`TranspositionCache.resolve` — ``None`` keeps the warm
+            cache in-process only, a path adds the on-disk layer.
+        memo_capacity: LRU bound on fully-memoized results.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_socket: str | None = None
+    workers: int = 1
+    max_jobs: int = 1
+    queue_size: int = 64
+    tenant: TenantPolicy = field(default_factory=TenantPolicy)
+    cache: Any = None
+    memo_capacity: int = DEFAULT_CAPACITY
+
+
+class _Connection:
+    """Per-connection outbound state: one writer task drains ``out``."""
+
+    def __init__(self) -> None:
+        self.out: asyncio.Queue[dict[str, Any] | None] = asyncio.Queue()
+        self.outstanding = 0
+        self.drained = asyncio.Event()
+        self.drained.set()
+
+    def track(self) -> None:
+        self.outstanding += 1
+        self.drained.clear()
+
+    def settle(self) -> None:
+        self.outstanding -= 1
+        if self.outstanding <= 0:
+            self.drained.set()
+
+
+class OptimizerServer:
+    """The daemon: shared warm cache, result memo, bounded admission."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config if config is not None else ServeConfig()
+        self.memo = ResultMemo(self.config.memo_capacity)
+        self.queue = JobQueue(self.config.queue_size, self.config.tenant)
+        #: The daemon's own telemetry (stats source); absorbed into any
+        #: outer --telemetry recorder at shutdown.
+        self.recorder = Recorder()
+        self.cache: TranspositionCache | None = None
+        self.address: tuple[str, int] | str | None = None
+        self.started_at = time.monotonic()
+        self._owned_cache = False
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._threads: list[threading.Thread] = []
+        self._tenant_requests: dict[str, int] = {}
+        self._tenant_lock = threading.Lock()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the endpoint and start the worker threads."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self.started_at = time.monotonic()
+        self.cache, self._owned_cache = TranspositionCache.resolve(
+            self.config.cache
+        )
+        for index in range(max(1, self.config.workers)):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serve-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        if self.config.unix_socket:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_socket
+            )
+            self.address = self.config.unix_socket
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+            sock = self._server.sockets[0]
+            self.address = sock.getsockname()[:2]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a ``shutdown`` request (or :meth:`request_stop`)."""
+        if self._stop_event is None:
+            await self.start()
+        assert self._stop_event is not None
+        await self._stop_event.wait()
+        await self._shutdown()
+
+    def request_stop(self) -> None:
+        """Threadsafe stop signal (used by :class:`BackgroundServer`)."""
+        if self._loop is not None and self._stop_event is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed: a shutdown op beat us to it
+
+    async def _shutdown(self) -> None:
+        """Stop accepting, drain in-flight work, release every resource."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.queue.close()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, self._join_workers)
+        # Close lingering client connections so their handler tasks end
+        # on EOF before the loop tears down (a cancelled handler would
+        # log a spurious CancelledError from asyncio.streams).
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        deadline = time.monotonic() + 5.0
+        while self._writers and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        if self.cache is not None and self._owned_cache:
+            self.cache.flush()
+        if self.config.unix_socket:
+            try:
+                os.unlink(self.config.unix_socket)
+            except OSError:
+                pass
+        outer = get_recorder()
+        if outer.active:
+            outer.absorb(self.recorder.events())
+
+    def _join_workers(self) -> None:
+        for thread in self._threads:
+            thread.join(timeout=60.0)
+        self._threads.clear()
+
+    def run(self) -> None:
+        """Blocking entry point for ``repro serve``."""
+
+        async def main() -> None:
+            await self.start()
+            await self.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    # -- asyncio plane ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection()
+        self._writers.add(writer)
+        drain_task = asyncio.get_running_loop().create_task(
+            self._drain(conn, writer)
+        )
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._dispatch(line, conn)
+            await conn.drained.wait()
+        finally:
+            # Loop teardown cancels this task while it waits on readline;
+            # the writer task is told to finish and its own cancellation
+            # (same teardown) is not an error worth re-raising.
+            self._writers.discard(writer)
+            conn.out.put_nowait(None)
+            try:
+                await drain_task
+            except asyncio.CancelledError:
+                pass
+
+    async def _drain(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                message = await conn.out.get()
+                if message is None:
+                    break
+                writer.write(encode(message))
+                await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # the client went away; workers still settle the counter
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    def _dispatch(self, line: bytes, conn: _Connection) -> None:
+        try:
+            message = decode(line)
+        except ProtocolError as exc:
+            self._count_request("invalid")
+            conn.out.put_nowait(
+                {"ok": False, "code": "bad-request", "error": str(exc)}
+            )
+            return
+        op = message.get("op")
+        rid = message.get("id")
+        if op == "optimize":
+            self._handle_optimize(message, conn)
+        elif op == "status":
+            self._count_request("status")
+            conn.out.put_nowait({"id": rid, "ok": True, **self.status()})
+        elif op == "stats":
+            self._count_request("stats")
+            conn.out.put_nowait({"id": rid, "ok": True, **self.stats()})
+        elif op == "ping":
+            self._count_request("ping")
+            conn.out.put_nowait({"id": rid, "ok": True, "pong": True})
+        elif op == "shutdown":
+            self._count_request("shutdown")
+            conn.out.put_nowait({"id": rid, "ok": True, "stopping": True})
+            if self._stop_event is not None:
+                self._stop_event.set()
+        else:
+            self._count_request("invalid")
+            conn.out.put_nowait(
+                {
+                    "id": rid,
+                    "ok": False,
+                    "code": "bad-request",
+                    "error": f"unknown op {op!r}",
+                }
+            )
+
+    def _handle_optimize(
+        self, message: dict[str, Any], conn: _Connection
+    ) -> None:
+        rid = message.get("id")
+        accepted_at = time.monotonic()
+        self._count_request("optimize")
+        try:
+            workflow = workflow_from_request(message.get("workflow"))
+            requested = budget_from_dict(message.get("budget"))
+            algorithm = str(message.get("algorithm", "heuristic")).lower()
+            if algorithm not in ALGORITHMS:
+                raise ProtocolError(
+                    f"unknown algorithm {algorithm!r}; choose one of "
+                    f"{sorted(set(ALGORITHMS))}"
+                )
+            model_name = message.get("model")
+            resolve_model(model_name)  # validate eagerly, fail at the door
+            tenant = str(message.get("tenant", "default"))
+            stream = bool(message.get("stream", False))
+        except ProtocolError as exc:
+            conn.out.put_nowait(
+                {
+                    "id": rid,
+                    "ok": False,
+                    "code": "bad-request",
+                    "error": str(exc),
+                }
+            )
+            return
+        with self._tenant_lock:
+            self._tenant_requests[tenant] = (
+                self._tenant_requests.get(tenant, 0) + 1
+            )
+        effective = self.queue.policy.clamp(requested, self.config.max_jobs)
+        fingerprint = workflow_fingerprint(workflow)
+        canonical = ALGORITHMS[algorithm].__name__.removesuffix("_search")
+        key = memo_key(
+            fingerprint, model_key(model_name), canonical, effective
+        )
+        cached = self.memo.get(key)
+        if cached is not None:
+            self.recorder.counter("serve.memo", outcome="hit").add()
+            if stream:
+                conn.out.put_nowait(
+                    {"id": rid, "event": "memo-hit", "fingerprint": fingerprint}
+                )
+            conn.out.put_nowait(
+                self._envelope(
+                    rid,
+                    cached,
+                    served_from="memo",
+                    # The whole request was one cache lookup: the memo hit
+                    # itself plus whatever transposition hits the original
+                    # run reported.
+                    cache_hits=cached["cache_hits"] + 1,
+                    fingerprint=fingerprint,
+                    effective=effective,
+                    latency=time.monotonic() - accepted_at,
+                )
+            )
+            return
+        self.recorder.counter("serve.memo", outcome="miss").add()
+        conn.track()
+        loop = self._loop
+        assert loop is not None
+
+        def deliver(envelope: dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(self._deliver_cb, conn, envelope)
+
+        def emit(event: dict[str, Any]) -> None:
+            if stream:
+                loop.call_soon_threadsafe(
+                    conn.out.put_nowait, {"id": rid, **event}
+                )
+
+        job = Job(
+            tenant=tenant,
+            payload={
+                "id": rid,
+                "workflow": workflow,
+                "budget": effective,
+                "algorithm": algorithm,
+                "model": model_name,
+                "memo_key": key,
+                "fingerprint": fingerprint,
+                "stream": stream,
+                "accepted_at": accepted_at,
+                "deliver": deliver,
+                "emit": emit,
+            },
+            run=self._execute,
+        )
+        try:
+            self.queue.submit(job)
+        except AdmissionError as exc:
+            conn.settle()
+            self.recorder.counter("serve.rejected", code=exc.code).add()
+            conn.out.put_nowait(
+                {"id": rid, "ok": False, "code": exc.code, "error": str(exc)}
+            )
+            return
+        if stream:
+            conn.out.put_nowait(
+                {
+                    "id": rid,
+                    "event": "queued",
+                    "depth": self.queue.depth(),
+                    "fingerprint": fingerprint,
+                }
+            )
+
+    def _deliver_cb(self, conn: _Connection, envelope: dict[str, Any]) -> None:
+        conn.out.put_nowait(envelope)
+        conn.settle()
+
+    def _envelope(
+        self,
+        rid: Any,
+        payload: dict[str, Any],
+        served_from: str,
+        cache_hits: int,
+        fingerprint: str,
+        effective: SearchBudget,
+        latency: float,
+    ) -> dict[str, Any]:
+        return {
+            "id": rid,
+            "ok": True,
+            "served_from": served_from,
+            "cache_hits": cache_hits,
+            "fingerprint": fingerprint,
+            "budget": budget_to_dict(effective),
+            "latency_seconds": latency,
+            "result": payload,
+        }
+
+    # -- worker plane -----------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        pool = WorkerPool(self.config.max_jobs)
+        try:
+            while True:
+                job = self.queue.next_job(timeout=0.2)
+                if job is None:
+                    if self.queue.closed:  # drained and closed: exit
+                        break
+                    continue
+                try:
+                    job.run(job, pool)
+                finally:
+                    self.queue.task_done(job)
+        finally:
+            pool.close()
+
+    def _execute(self, job: Job, pool: WorkerPool) -> None:
+        payload = job.payload
+        emit: Callable[[dict[str, Any]], None] = payload["emit"]
+        deliver: Callable[[dict[str, Any]], None] = payload["deliver"]
+        emit(
+            {
+                "event": "started",
+                "queued_seconds": time.monotonic() - job.enqueued_at,
+            }
+        )
+        local = Recorder()
+        if payload["stream"]:
+
+            def forward(span_event: dict[str, Any]) -> None:
+                if span_event["name"].startswith("search."):
+                    emit(
+                        {
+                            "event": "progress",
+                            "span": span_event["name"],
+                            "seconds": span_event["seconds"],
+                            "tags": span_event.get("tags", {}),
+                        }
+                    )
+
+            local.on_span = forward
+        budget: SearchBudget = payload["budget"]
+        try:
+            with use_recorder(local):
+                with local.span(
+                    "serve.request",
+                    algorithm=payload["algorithm"],
+                    tenant=job.tenant,
+                ):
+                    result = run_search(
+                        payload["algorithm"],
+                        payload["workflow"],
+                        model=resolve_model(payload["model"]),
+                        budget=replace(budget, cache=self.cache),
+                        pool=pool if budget.resolved_jobs() > 1 else None,
+                    )
+        except Exception as exc:  # a search bug must answer, not hang
+            self.recorder.counter("serve.errors").add()
+            self.recorder.absorb(local.events())
+            deliver(
+                {
+                    "id": payload["id"],
+                    "ok": False,
+                    "code": "search-error",
+                    "error": f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        serialized = result_to_dict(result)
+        self.memo.put(payload["memo_key"], serialized)
+        self.recorder.absorb(local.events())
+        deliver(
+            self._envelope(
+                payload["id"],
+                serialized,
+                served_from="search",
+                cache_hits=serialized["cache_hits"],
+                fingerprint=payload["fingerprint"],
+                effective=budget,
+                latency=time.monotonic() - payload["accepted_at"],
+            )
+        )
+
+    # -- introspection ----------------------------------------------------------
+
+    def _count_request(self, op: str) -> None:
+        self.recorder.counter("serve.requests", op=op).add()
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "protocol_version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self.started_at,
+            "workers": len(self._threads),
+            "max_jobs": self.config.max_jobs,
+            "queue": self.queue.stats(),
+        }
+
+    def stats(self) -> dict[str, Any]:
+        assert self.cache is not None
+        transposition_total = self.cache.hits + self.cache.misses
+        with self._tenant_lock:
+            tenants = dict(self._tenant_requests)
+        counters = {}
+        for event in self.recorder.events():
+            if event.get("type") == "counter":
+                tags = event.get("tags", {})
+                suffix = ",".join(
+                    f"{k}={v}" for k, v in sorted(tags.items())
+                )
+                name = event["name"] + (f"[{suffix}]" if suffix else "")
+                counters[name] = event["value"]
+        return {
+            "memo": self.memo.stats(),
+            "transposition": {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "merge_conflicts": self.cache.merge_conflicts,
+                "hit_rate": (
+                    self.cache.hits / transposition_total
+                    if transposition_total
+                    else 0.0
+                ),
+            },
+            "queue": self.queue.stats(),
+            "tenants": tenants,
+            "counters": counters,
+        }
+
+
+class BackgroundServer:
+    """Run an :class:`OptimizerServer` on a background thread.
+
+    The in-process harness tests and benchmarks drive: ``with
+    BackgroundServer(config) as server: client = server.client(); ...``.
+    The context manager guarantees the daemon is bound before the body
+    runs and fully drained before it exits.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.server = OptimizerServer(config)
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread: threading.Thread | None = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("serve daemon failed to start within 30s")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"serve daemon failed to start: {self._failure}"
+            ) from self._failure
+        return self
+
+    def _main(self) -> None:
+        async def main() -> None:
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self.server.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # surfaced on stop()
+            if self._failure is None:
+                self._failure = exc
+
+    @property
+    def address(self) -> tuple[str, int] | str:
+        address = self.server.address
+        assert address is not None
+        return address
+
+    def client(self):
+        from repro.serve.client import ServeClient
+
+        return ServeClient(self.address)
+
+    def stop(self) -> None:
+        self.server.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=60.0)
+            self._thread = None
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

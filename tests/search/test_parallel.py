@@ -9,6 +9,8 @@ too.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro import (
@@ -217,3 +219,105 @@ class TestFuzzParallelPath:
         assert parallel.seeds_run == serial.seeds_run
         assert parallel.states_checked == serial.states_checked
         assert parallel.transitions_applied == serial.transitions_applied
+
+
+class TestOptimizeManyKnobs:
+    """Regression: the batch driver must forward *every* budget knob.
+
+    optimize_many once rebuilt the shared budget field by field and
+    silently dropped the PR 6 pruning knobs (beam_width / prune_dominated
+    / bound), so batch runs searched a different space than the same
+    budget passed to a per-workflow call.
+    """
+
+    def test_batch_honours_pruning_knobs(self):
+        budget = SearchBudget(beam_width=1, prune_dominated=True, bound=True)
+        workload = generate_workload("small", seed=0)
+        direct = heuristic_search(workload.workflow.copy(), budget=budget)
+        unknobbed = heuristic_search(
+            generate_workload("small", seed=0).workflow.copy(),
+            budget=SearchBudget(),
+        )
+        # The knobs must actually bite on this workload, or the equality
+        # below would pass vacuously.
+        assert direct.visited_states != unknobbed.visited_states
+        (batch,) = optimize_many(
+            [generate_workload("small", seed=0).workflow], budget=budget
+        )
+        assert batch.visited_states == direct.visited_states
+        assert batch.best.cost == direct.best.cost
+        assert batch.best.signature == direct.best.signature
+
+    def test_batch_equals_per_workflow_runs(self):
+        budget = SearchBudget(max_states=500, beam_width=2)
+        workflows = [
+            generate_workload("tiny", seed=seed).workflow for seed in range(3)
+        ]
+        batch = optimize_many(
+            [wf.copy() for wf in workflows], algorithm="hs", budget=budget
+        )
+        for workflow, result in zip(workflows, batch):
+            direct = heuristic_search(workflow.copy(), budget=budget)
+            assert result.best.cost == direct.best.cost
+            assert result.best.signature == direct.best.signature
+
+
+class TestThreadedParentStartMethod:
+    """Regression: forking a multi-threaded parent can deadlock workers.
+
+    A forked child inherits the parent's lock states but not the threads
+    that would release them; when the daemon's worker threads create
+    pools, the pool must switch to forkserver/spawn.
+    """
+
+    def test_single_threaded_parent_prefers_fork(self):
+        from multiprocessing import get_all_start_methods
+
+        if "fork" not in get_all_start_methods():
+            pytest.skip("platform has no fork")
+        if threading.active_count() > 1:
+            pytest.skip("test runner is already multi-threaded")
+        assert WorkerPool._start_method() == "fork"
+
+    def test_multithreaded_parent_avoids_fork(self):
+        stop = threading.Event()
+        keeper = threading.Thread(target=stop.wait, daemon=True)
+        keeper.start()
+        try:
+            assert WorkerPool._start_method() in ("forkserver", "spawn")
+        finally:
+            stop.set()
+            keeper.join(timeout=5.0)
+
+    def test_pool_works_from_a_threaded_parent(self):
+        stop = threading.Event()
+        keeper = threading.Thread(target=stop.wait, daemon=True)
+        keeper.start()
+        try:
+            with WorkerPool(2) as pool:
+                assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+        finally:
+            stop.set()
+            keeper.join(timeout=5.0)
+
+    def test_search_from_a_threaded_parent_matches_serial(self):
+        workload = generate_workload("tiny", seed=0)
+        serial = heuristic_search(
+            workload.workflow.copy(), budget=SearchBudget(jobs=1)
+        )
+        results: list = []
+
+        def run() -> None:
+            results.append(
+                heuristic_search(
+                    generate_workload("tiny", seed=0).workflow,
+                    budget=SearchBudget(jobs=2),
+                )
+            )
+
+        worker = threading.Thread(target=run)
+        worker.start()
+        worker.join(timeout=120.0)
+        assert results, "threaded search did not finish"
+        assert results[0].best.signature == serial.best.signature
+        assert results[0].best.cost == serial.best.cost

@@ -222,3 +222,87 @@ class TestDeferredCostReport:
         assert deferred._full is not None
         for node in workflow.nodes():
             assert deferred.cost_of(node) == full.cost_of(node)
+
+
+class TestThreadSafety:
+    """Regression: the in-memory maps are shared by daemon worker threads.
+
+    Unsynchronized dict updates can lose writes (and corrupt the
+    hit/miss counters) under concurrent get/put; the cache now holds an
+    RLock around every in-memory operation.
+    """
+
+    def test_two_thread_hammer_loses_no_updates(self, workflow):
+        import threading
+
+        cache = TranspositionCache()
+        ns = cache.namespace(workflow, ProcessedRowsCostModel())
+        per_thread = 2_000
+        barrier = threading.Barrier(2)
+        errors: list[BaseException] = []
+
+        def hammer(thread_id: int) -> None:
+            try:
+                barrier.wait(timeout=10.0)
+                for i in range(per_thread):
+                    signature = f"sig-{thread_id}-{i}"
+                    ns.put_cost(signature, float(i))
+                    assert ns.get_cost(signature) == float(i)
+                    # Contend on shared keys too, both map and counters.
+                    ns.put_cost(f"shared-{i % 50}", float(i % 50))
+                    ns.get_cost(f"shared-{i % 50}")
+                    ns.get_cost(f"missing-{thread_id}-{i}")
+                    ns.put_group(
+                        f"group-{thread_id}-{i}", {"value": i}
+                    )
+                    assert ns.get_group(f"group-{thread_id}-{i}") == {
+                        "value": i
+                    }
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(tid,)) for tid in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not errors, errors
+        # No lost updates: every private key from both threads survived.
+        for thread_id in (0, 1):
+            for i in range(per_thread):
+                assert ns.get_cost(f"sig-{thread_id}-{i}") == float(i)
+        # Counter bookkeeping stayed consistent under contention: each
+        # loop does 3 hits (own sig, shared, group) and 1 guaranteed miss
+        # plus the put-path misses; totals must reflect every operation.
+        assert cache.misses >= 2 * per_thread
+        assert cache.hits + cache.misses > 0
+
+    def test_concurrent_namespace_creation_is_single(self, workflow):
+        import threading
+
+        cache = TranspositionCache()
+        model = ProcessedRowsCostModel()
+        barrier = threading.Barrier(4)
+        spaces: list = []
+
+        def make() -> None:
+            barrier.wait(timeout=10.0)
+            spaces.append(cache.namespace(workflow, model))
+
+        threads = [threading.Thread(target=make) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert len(spaces) == 4
+        assert len({id(ns) for ns in spaces}) == 1
+
+    def test_single_thread_behaviour_unchanged(self, workflow):
+        cache = TranspositionCache()
+        ns = cache.namespace(workflow, ProcessedRowsCostModel())
+        assert ns.get_cost("sig") is None
+        ns.put_cost("sig", 42.0)
+        assert ns.get_cost("sig") == 42.0
+        assert cache.hits == 1 and cache.misses == 1

@@ -1,0 +1,123 @@
+"""Wire protocol codecs: framing, budget/model/workflow validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SearchBudget, optimize
+from repro.serve.protocol import (
+    MODELS,
+    ProtocolError,
+    budget_from_dict,
+    budget_to_dict,
+    decode,
+    encode,
+    model_key,
+    resolve_model,
+    result_to_dict,
+    workflow_from_request,
+)
+from repro.workloads import fig1_workflow
+
+
+class TestFraming:
+    def test_encode_is_one_newline_terminated_line(self):
+        line = encode({"op": "ping", "id": 7})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_encode_is_canonical(self):
+        # Sorted keys + compact separators: equal payloads are byte-equal.
+        a = encode({"b": 1, "a": [2, 3]})
+        b = encode({"a": [2, 3], "b": 1})
+        assert a == b
+        assert b" " not in a
+
+    def test_round_trip(self):
+        message = {"op": "optimize", "id": 3, "budget": {"max_states": 10}}
+        assert decode(encode(message)) == message
+
+    def test_decode_accepts_str_and_bytes(self):
+        assert decode('{"op":"ping"}') == decode(b'{"op":"ping"}')
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ProtocolError, match="undecodable"):
+            decode(b"not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode(b"[1,2,3]\n")
+
+
+class TestBudgetCodec:
+    def test_none_is_default_budget(self):
+        assert budget_from_dict(None) == SearchBudget()
+
+    def test_round_trip_keeps_every_knob(self):
+        budget = SearchBudget(
+            max_states=100,
+            max_seconds=1.5,
+            jobs=2,
+            beam_width=4,
+            prune_dominated=True,
+            bound=True,
+        )
+        assert budget_from_dict(budget_to_dict(budget)) == budget
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ProtocolError, match="max_statez"):
+            budget_from_dict({"max_statez": 100})
+
+    def test_cache_not_settable_over_the_wire(self):
+        with pytest.raises(ProtocolError, match="cache"):
+            budget_from_dict({"cache": "/tmp/evil"})
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid budget"):
+            budget_from_dict({"max_states": 0})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            budget_from_dict([1, 2])
+
+
+class TestModels:
+    def test_default_is_processed_rows(self):
+        assert type(resolve_model(None)) is MODELS["processed_rows"]
+        assert model_key(None) == "processed_rows"
+
+    def test_named_models_resolve(self):
+        for name, cls in MODELS.items():
+            assert type(resolve_model(name)) is cls
+            assert model_key(name) == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown cost model"):
+            resolve_model("quadratic")
+
+
+class TestWorkflowCodec:
+    def test_rejects_non_object(self):
+        with pytest.raises(ProtocolError, match="workflow object"):
+            workflow_from_request("fig1")
+
+    def test_rejects_invalid_document(self):
+        with pytest.raises(ProtocolError, match="invalid workflow"):
+            workflow_from_request({"activities": "nope"})
+
+
+class TestResultCodec:
+    def test_result_dict_is_json_and_covers_the_guarantee(self):
+        result = optimize(
+            fig1_workflow().workflow, "hs", budget=SearchBudget(max_states=50)
+        )
+        payload = result_to_dict(result)
+        # The wire payload must be plain JSON (the memo stores it as-is).
+        json.dumps(payload)
+        assert payload["best_cost"] == result.best.cost
+        assert payload["best_signature"] == result.best.signature
+        assert payload["lineage"] == result.lineage_dicts()
+        assert payload["visited_states"] == result.visited_states
+        assert payload["algorithm"] == result.algorithm

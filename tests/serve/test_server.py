@@ -1,0 +1,312 @@
+"""End-to-end daemon coverage: determinism, memo, admission, streaming.
+
+The serving guarantee under test: a served result is byte-identical to a
+direct :func:`repro.optimize` call with the same budget — the daemon's
+warm caches and memo change latency, never the answer.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import SearchBudget, optimize
+from repro.io.json_io import workflow_to_dict
+from repro.serve import (
+    BackgroundServer,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    TenantPolicy,
+)
+from repro.serve.protocol import decode, encode, result_to_dict
+from repro.workloads import fig1_workflow, generate_workload
+
+BUDGET = {"max_states": 300}
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServeConfig(workers=2, queue_size=8, memo_capacity=64)
+    with BackgroundServer(config) as background:
+        yield background
+
+
+def _workflow(seed: int = 0):
+    return generate_workload("tiny", seed=seed).workflow
+
+
+class TestDeterminism:
+    def test_served_equals_direct_optimize(self, server):
+        """Cost, plan and lineage match a direct in-process run exactly."""
+        direct = optimize(
+            _workflow(), "hs", budget=SearchBudget(max_states=300)
+        )
+        with server.client() as client:
+            reply = client.optimize(_workflow(), "hs", budget=BUDGET)
+        served = reply["result"]
+        expected = result_to_dict(direct)
+        for field in (
+            "best_cost",
+            "best_signature",
+            "best_workflow",
+            "initial_cost",
+            "initial_signature",
+            "lineage",
+            "visited_states",
+            "transition_mix",
+            "completed",
+        ):
+            assert served[field] == expected[field], field
+        # Byte-identical on the wire, not merely ==.
+        assert encode(
+            {k: served[k] for k in ("best_workflow", "lineage")}
+        ) == encode({k: expected[k] for k in ("best_workflow", "lineage")})
+
+    def test_memo_hit_replays_identically(self, server):
+        wf = _workflow(seed=1)
+        with server.client() as client:
+            cold = client.optimize(wf.copy(), "hs", budget=BUDGET)
+            warm = client.optimize(wf.copy(), "hs", budget=BUDGET)
+        assert cold["served_from"] == "search"
+        assert warm["served_from"] == "memo"
+        assert warm["result"] == cold["result"]
+
+    def test_jobs_do_not_change_the_answer_or_the_memo_key(self, server):
+        wf = _workflow(seed=2)
+        with server.client() as client:
+            serial = client.optimize(
+                wf.copy(), "hs", budget={**BUDGET, "jobs": 1}
+            )
+            parallel = client.optimize(
+                wf.copy(), "hs", budget={**BUDGET, "jobs": 4}
+            )
+        # jobs is excluded from the memo key: the second request hits.
+        assert parallel["served_from"] == "memo"
+        assert parallel["result"] == serial["result"]
+
+
+class TestMemoLatency:
+    def test_repeat_request_is_an_order_of_magnitude_faster(self, server):
+        wf = generate_workload("small", seed=5).workflow
+        with server.client() as client:
+            started = time.perf_counter()
+            cold = client.optimize(wf.copy(), "hs", budget={"max_states": 800})
+            cold_latency = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = client.optimize(wf.copy(), "hs", budget={"max_states": 800})
+            warm_latency = time.perf_counter() - started
+        assert cold["served_from"] == "search"
+        assert warm["served_from"] == "memo"
+        assert warm["cache_hits"] > 0
+        assert warm_latency < cold_latency / 10, (
+            f"memo hit took {warm_latency:.4f}s vs cold {cold_latency:.4f}s"
+        )
+
+    def test_envelope_reports_latency_and_hits(self, server):
+        with server.client() as client:
+            reply = client.optimize(_workflow(seed=3), "hs", budget=BUDGET)
+        assert reply["latency_seconds"] >= 0
+        assert reply["cache_hits"] >= 0
+        assert len(reply["fingerprint"]) == 24
+        assert reply["budget"]["max_states"] == BUDGET["max_states"]
+
+
+class TestStreaming:
+    def test_progress_events_arrive_before_the_result(self, server):
+        events: list[dict] = []
+        with server.client() as client:
+            reply = client.optimize(
+                _workflow(seed=4),
+                "hs",
+                budget=BUDGET,
+                on_event=events.append,
+            )
+        assert reply["ok"]
+        stages = [event["event"] for event in events]
+        assert "queued" in stages
+        assert "started" in stages
+        # search.* telemetry spans are forwarded as progress events.
+        assert any(stage == "progress" for stage in stages)
+        assert all(event["id"] == reply["id"] for event in events)
+
+
+class TestOps:
+    def test_ping(self, server):
+        with server.client() as client:
+            assert client.ping()
+
+    def test_status_shape(self, server):
+        with server.client() as client:
+            status = client.status()
+        assert status["workers"] == 2
+        assert status["protocol_version"] == 1
+        assert status["uptime_seconds"] >= 0
+        assert "queue" in status
+
+    def test_stats_counts_memo_and_transposition(self, server):
+        with server.client() as client:
+            wf = _workflow(seed=6)
+            client.optimize(wf.copy(), "hs", budget=BUDGET)
+            client.optimize(wf.copy(), "hs", budget=BUDGET)
+            stats = client.stats()
+        assert stats["memo"]["hits"] >= 1
+        assert stats["memo"]["entries"] >= 1
+        assert "transposition" in stats
+        assert stats["tenants"]["default"] >= 2
+
+    def test_bad_requests_keep_the_connection_usable(self, server):
+        with server.client() as client:
+            sock = client._socket
+            sock.sendall(b"this is not json\n")
+            reply = decode(client._reader.readline())
+            assert reply["code"] == "bad-request"
+            sock.sendall(encode({"op": "frobnicate", "id": 1}))
+            reply = decode(client._reader.readline())
+            assert reply["code"] == "bad-request"
+            # The stream did not desync: a real request still answers.
+            assert client.ping()
+
+    def test_unknown_budget_field_is_bad_request(self, server):
+        with server.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.optimize(
+                    _workflow(), "hs", budget={"max_statez": 100}
+                )
+            assert excinfo.value.code == "bad-request"
+
+    def test_unknown_algorithm_is_bad_request(self, server):
+        with server.client() as client:
+            with pytest.raises(ServeError) as excinfo:
+                client.optimize(_workflow(), "simplex", budget=BUDGET)
+            assert excinfo.value.code == "bad-request"
+
+
+class TestAdmission:
+    def test_tenant_inflight_limit_rejects_the_second_request(self):
+        config = ServeConfig(
+            workers=1, queue_size=8, tenant=TenantPolicy(max_inflight=1)
+        )
+        # One slow job occupies the tenant slot; the second submit on the
+        # same connection must bounce with tenant-limit while the first
+        # still answers correctly.
+        document = workflow_to_dict(generate_workload("small", seed=7).workflow)
+        with BackgroundServer(config) as background:
+            host, port = background.address
+            with socket.create_connection((host, port), timeout=60) as sock:
+                reader = sock.makefile("rb")
+                for rid in (1, 2):
+                    sock.sendall(
+                        encode(
+                            {
+                                "op": "optimize",
+                                "id": rid,
+                                "workflow": document,
+                                "algorithm": "hs",
+                                "budget": {"max_states": 4000},
+                            }
+                        )
+                    )
+                replies = {}
+                while len(replies) < 2:
+                    line = reader.readline()
+                    assert line, "daemon closed the connection"
+                    message = decode(line)
+                    if "event" in message:
+                        continue
+                    replies[message["id"]] = message
+        assert replies[1]["ok"] is True
+        assert replies[2]["ok"] is False
+        assert replies[2]["code"] == "tenant-limit"
+
+    def test_tenant_budget_ceiling_clamps_the_search(self):
+        config = ServeConfig(
+            workers=1, tenant=TenantPolicy(max_states=50)
+        )
+        with BackgroundServer(config) as background:
+            with background.client() as client:
+                reply = client.optimize(
+                    generate_workload("small", seed=8).workflow,
+                    "hs",
+                    budget={"max_states": 100_000},
+                )
+        assert reply["result"]["visited_states"] <= 50
+        assert reply["budget"]["max_states"] == 50
+
+
+class TestShutdown:
+    def test_shutdown_op_stops_the_daemon(self):
+        with BackgroundServer(ServeConfig(workers=1)) as background:
+            with background.client() as client:
+                client.optimize(_workflow(), "hs", budget=BUDGET)
+                reply = client.shutdown()
+                assert reply["stopping"] is True
+            background._thread.join(timeout=30.0)
+            assert not background._thread.is_alive()
+
+
+class TestConcurrency:
+    def test_many_clients_many_workflows(self):
+        """4 threads × distinct workflows: every answer matches direct."""
+        config = ServeConfig(workers=2, queue_size=32)
+        seeds = list(range(4))
+        direct = {
+            seed: result_to_dict(
+                optimize(
+                    _workflow(seed=seed),
+                    "hs",
+                    budget=SearchBudget(max_states=300),
+                )
+            )
+            for seed in seeds
+        }
+        failures: list[str] = []
+        with BackgroundServer(config) as background:
+
+            def hammer(seed: int) -> None:
+                try:
+                    with ServeClient(background.address) as client:
+                        for _ in range(3):
+                            reply = client.optimize(
+                                _workflow(seed=seed), "hs", budget=BUDGET
+                            )
+                            for field in ("best_cost", "best_signature"):
+                                if reply["result"][field] != direct[seed][field]:
+                                    failures.append(
+                                        f"seed {seed}: {field} diverged"
+                                    )
+                except Exception as exc:  # surfaced after join
+                    failures.append(f"seed {seed}: {exc!r}")
+
+            threads = [
+                threading.Thread(target=hammer, args=(seed,))
+                for seed in seeds
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120.0)
+            with background.client() as client:
+                stats = client.stats()
+        assert not failures, failures
+        # 3 repeats per seed: at least the repeats hit the memo.
+        assert stats["memo"]["hits"] >= len(seeds) * 2
+
+
+class TestFig1:
+    def test_paper_workflow_round_trips(self, server):
+        """The paper's running example serves with its known improvement."""
+        direct = optimize(
+            fig1_workflow().workflow, "hs", budget=SearchBudget(max_states=300)
+        )
+        with server.client() as client:
+            reply = client.optimize(
+                fig1_workflow().workflow, "hs", budget=BUDGET
+            )
+        assert reply["result"]["best_cost"] == direct.best.cost
+        assert reply["result"]["improvement_percent"] == pytest.approx(
+            direct.improvement_percent
+        )
