@@ -17,7 +17,10 @@ Records the parallel engine's acceptance numbers in ``BENCH_parallel.json``:
   speedup;
 * the pruned search modes (``beam_width=8``, branch-and-bound, dominance
   pruning): visited volume and wall-clock per mode, with a hard check
-  that B&B and dominance preserve the unpruned best cost.
+  that B&B and dominance preserve the unpruned best cost;
+* the telemetry-overhead pair: the same cold serial search with a live
+  :class:`Recorder` vs the ``NULL_RECORDER``, byte-identical result
+  required; the delta is recorded as informational, never gated.
 
 The speedup columns are only meaningful on multi-core machines — group
 exploration and shard pipelines are CPU-bound, so on a single-core
@@ -223,6 +226,29 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  jobs=1  {serial_seconds:7.2f}s  "
           f"visited={serial.visited_states}  best={serial.best.cost:.0f}")
 
+    # Telemetry must be ~free when off: the same cold serial search with
+    # the NULL_RECORDER, byte-identical result required.  The overhead
+    # delta lands in the payload as informational (the diff gate lists
+    # ``telemetry_overhead`` as INFO — recorded, never gated).
+    off_seconds, off = _run(args.category, args.seed, SearchBudget())
+    off_identical = (
+        off.best.signature == serial.best.signature
+        and off.best.cost == serial.best.cost
+        and off.visited_states == serial.visited_states
+    )
+    overhead_pct = 100.0 * (serial_seconds - off_seconds) / off_seconds
+    telemetry_overhead = {
+        "on_seconds": round(serial_seconds, 4),
+        "off_seconds": round(off_seconds, 4),
+        "overhead_pct": round(overhead_pct, 2),
+    }
+    print(f"  telemetry on {serial_seconds:.2f}s / off {off_seconds:.2f}s "
+          f"({overhead_pct:+.1f}% overhead, identical={off_identical})")
+    if not off_identical:
+        print("error: telemetry-off run diverged from recorder-on run",
+              file=sys.stderr)
+        return 1
+
     runs = []
     for jobs in job_counts:
         seconds, result = _run(
@@ -377,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
             "identical_to_cold": warm_identical,
         },
         "telemetry": summarize(recorder.events()),
+        "telemetry_overhead": telemetry_overhead,
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -9,8 +9,11 @@ Usage::
     python -m repro run flow.json --data rows.json --max-resident-rows 10000
     python -m repro fuzz --seeds 50 --corpus .fuzz-corpus
     python -m repro serve --socket /tmp/repro.sock --workers 2
+    python -m repro serve --port 7077 --metrics-port 9100
+    python -m repro top --socket /tmp/repro.sock
     python -m repro optimize flow.json --telemetry spans.jsonl
     python -m repro report spans.jsonl
+    python -m repro report spans.jsonl --trace TRACE_ID
     python -m repro explain flow.json --diff
     python -m repro explain flow.json --dot > plan.dot
     python -m repro report BENCH.json --compare benchmarks/baselines/BENCH.json
@@ -49,9 +52,12 @@ from repro.io import dumps, load, to_dot, to_text
 from repro.obs import (
     NULL_RECORDER,
     Recorder,
+    filter_trace,
     get_recorder,
     load_events,
     render_summary,
+    render_trace,
+    run_top,
     summarize,
     use_recorder,
 )
@@ -402,6 +408,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="ceiling on any request's max_seconds budget (default: none)",
     )
+    cmd_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve Prometheus text exposition over plain HTTP GET "
+            "/metrics on this TCP port (0 = ephemeral, printed at startup)"
+        ),
+    )
+
+    cmd_top = commands.add_parser(
+        "top",
+        help="live one-screen summary of a running serve daemon",
+    )
+    cmd_top.add_argument(
+        "--host", default="127.0.0.1", help="daemon host (default: 127.0.0.1)"
+    )
+    cmd_top.add_argument(
+        "--port", type=int, default=7077, help="daemon port (default: 7077)"
+    )
+    cmd_top.add_argument(
+        "--socket",
+        default=None,
+        help="connect over this UNIX-domain socket path instead of TCP",
+    )
+    cmd_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default: 2.0)",
+    )
+    cmd_top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="render this many screens then exit (default: 0 = forever)",
+    )
+    cmd_top.add_argument(
+        "--exemplars",
+        action="store_true",
+        help="also show the slowest / failed request exemplar rings",
+    )
+    cmd_top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append screens instead of clearing the terminal between polls",
+    )
 
     cmd_report = commands.add_parser(
         "report",
@@ -438,6 +491,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--include-info",
         action="store_true",
         help="with --compare, also list informational (ungated) metrics",
+    )
+    cmd_report.add_argument(
+        "--trace",
+        metavar="TRACE_ID",
+        default=None,
+        dest="trace_id",
+        help=(
+            "filter the telemetry file to one request's span tree (the "
+            "trace_id from a serve envelope or exemplar); exit 1 when no "
+            "spans carry the id"
+        ),
     )
 
     # Every subcommand records telemetry the same way.
@@ -653,6 +717,7 @@ def _cmd_serve(args) -> int:
             max_states=args.tenant_max_states,
             max_seconds=args.tenant_max_seconds,
         ),
+        metrics_port=args.metrics_port,
     )
     server = OptimizerServer(config)
 
@@ -665,6 +730,9 @@ def _cmd_serve(args) -> int:
             print(f"serving on {address[0]}:{address[1]}", flush=True)
         else:
             print(f"serving on unix:{address}", flush=True)
+        if server.metrics_address is not None:
+            host, port = server.metrics_address
+            print(f"metrics on http://{host}:{port}/metrics", flush=True)
         await server.serve_until_shutdown()
 
     try:
@@ -675,7 +743,39 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    # Imported lazily, same as _cmd_serve: the client pulls in the serve
+    # protocol stack.
+    from repro.serve import ServeClient
+
+    address = args.socket if args.socket else (args.host, args.port)
+    clear = sys.stdout.isatty() and not args.no_clear
+    with ServeClient(address) as client:
+        try:
+            run_top(
+                client,
+                interval=args.interval,
+                iterations=args.iterations,
+                show_exemplars=args.exemplars,
+                clear=clear,
+            )
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def _cmd_report(args) -> int:
+    if args.trace_id is not None:
+        events = load_events(args.jsonl)
+        trace_events = filter_trace(events, args.trace_id)
+        if args.json:
+            print(json.dumps(trace_events, indent=2, sort_keys=True))
+        else:
+            print(render_trace(trace_events))
+        has_spans = any(
+            event.get("type") == "span" for event in trace_events
+        )
+        return 0 if has_spans else 1
     if args.compare is not None:
         from repro.obs.diff import compare_files
 
@@ -705,6 +805,7 @@ _HANDLERS = {
     "run": _cmd_run,
     "fuzz": _cmd_fuzz,
     "serve": _cmd_serve,
+    "top": _cmd_top,
     "report": _cmd_report,
 }
 

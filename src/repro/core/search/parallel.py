@@ -324,18 +324,20 @@ class WorkerPool:
 
 
 def _expand_task(
-    args: tuple[SearchState, CostModel, bool],
+    args: tuple[SearchState, CostModel, bool, str | None],
 ) -> tuple[list[SearchState], list[dict]]:
     """Generate and cost every successor of one state (pure).
 
     Returns the successors plus the task's telemetry buffer — workers ship
     their span/counter events back with the expansion so the parent merges
-    them in deterministic pop order.
+    them in deterministic pop order.  The shipped trace id (if any) rides
+    along so worker spans carry the originating request's ``trace`` tag
+    at the source, not just after absorb-side stamping.
     """
-    state, model, telemetry = args
+    state, model, telemetry, trace = args
     local = Recorder() if telemetry else NULL_RECORDER
     successors: list[SearchState] = []
-    with use_recorder(local):
+    with use_recorder(local), local.trace(trace):
         with local.span("search.es.expand"):
             for transition in candidate_transitions(state.workflow):
                 successor_workflow = transition.try_apply_fast(state.workflow)
@@ -429,7 +431,15 @@ def parallel_exhaustive(
             ):
                 expansions = pool.map(
                     _expand_task,
-                    [(state, model, recorder.active) for _, _, state in wave],
+                    [
+                        (
+                            state,
+                            model,
+                            recorder.active,
+                            recorder.current_trace_id(),
+                        )
+                        for _, _, state in wave
+                    ],
                 )
                 for _, events in expansions:
                     recorder.absorb(events)
@@ -491,12 +501,12 @@ def parallel_exhaustive(
 
 
 def _anneal_chain(
-    args: tuple[ETLWorkflow, CostModel | None, dict, bool],
+    args: tuple[ETLWorkflow, CostModel | None, dict, bool, str | None],
 ) -> tuple[OptimizationResult, list[dict]]:
     """One annealing chain plus its telemetry buffer (worker-safe)."""
-    workflow, model, kwargs, telemetry = args
+    workflow, model, kwargs, telemetry, trace = args
     local = Recorder() if telemetry else NULL_RECORDER
-    with use_recorder(local):
+    with use_recorder(local), local.trace(trace):
         # The per-chain span is recorded inside annealing_search itself, so
         # serial and pooled chains produce identical telemetry shapes.
         result = annealing_search(workflow, model=model, **kwargs)
@@ -537,6 +547,7 @@ def annealing_multi_chain(
                 "budget": chain_budget,
             },
             recorder.active,
+            recorder.current_trace_id(),
         )
         for chain in range(jobs)
     ]

@@ -34,6 +34,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
@@ -230,18 +231,24 @@ class CacheNamespace:
     # -- cost totals ------------------------------------------------------------
 
     def get_cost(self, signature: str) -> float | None:
+        recorder = get_recorder()
+        started = time.perf_counter() if recorder.active else 0.0
         with self._cache._lock:
             entry = self.costs.get(signature)
             if entry is None:
                 self._cache.misses += 1
             else:
                 self._cache.hits += 1
+        if recorder.active:
+            recorder.histogram("search.transposition_lookup_seconds").observe(
+                time.perf_counter() - started
+            )
         if entry is None:
-            get_recorder().counter(
+            recorder.counter(
                 "search.transposition", kind="cost", outcome="miss"
             ).add()
             return None
-        get_recorder().counter(
+        recorder.counter(
             "search.transposition", kind="cost", outcome="hit"
         ).add()
         return entry["t"]
@@ -255,18 +262,24 @@ class CacheNamespace:
     # -- group-exploration memo --------------------------------------------------
 
     def get_group(self, key: str) -> dict[str, Any] | None:
+        recorder = get_recorder()
+        started = time.perf_counter() if recorder.active else 0.0
         with self._cache._lock:
             entry = self.groups.get(key)
             if entry is None:
                 self._cache.misses += 1
             else:
                 self._cache.hits += 1
+        if recorder.active:
+            recorder.histogram("search.transposition_lookup_seconds").observe(
+                time.perf_counter() - started
+            )
         if entry is None:
-            get_recorder().counter(
+            recorder.counter(
                 "search.transposition", kind="group", outcome="miss"
             ).add()
             return None
-        get_recorder().counter(
+        recorder.counter(
             "search.transposition", kind="group", outcome="hit"
         ).add()
         return entry

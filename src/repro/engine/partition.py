@@ -307,8 +307,11 @@ def _run_shard(
     """Execute every leaf on this shard's source slices (pure).
 
     Returns a picklable summary: per-leaf target rows and rejects, plus
-    per-component row/batch counters and the shard's resident peak.
+    per-component row/batch counters, the shard's resident peak, and its
+    wall-clock seconds (the parent records one ``engine.shard`` span per
+    shard from these, so a trace shows shard skew).
     """
+    shard_started = time.perf_counter()
     ledger = ResidentLedger(budget.max_resident_rows)
     processed: dict[str, int] = {}
     produced: dict[str, int] = {}
@@ -405,6 +408,7 @@ def _run_shard(
         "produced": produced,
         "batches": batches,
         "peak": ledger.peak,
+        "seconds": time.perf_counter() - shard_started,
     }
 
 
@@ -523,6 +527,16 @@ def execute_partitioned(
             )
             for shard in range(shards)
         ]
+
+    recorder = get_recorder()
+    if recorder.active:
+        for shard, result in enumerate(shard_results):
+            recorder.record_span(
+                "engine.shard",
+                result.get("seconds", 0.0),
+                shard=shard,
+                shards=shards,
+            )
 
     # Merge.  Registration order mirrors the serial pipeline build (topo
     # order, components in chain order) so the stats/metrics key order is

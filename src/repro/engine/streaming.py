@@ -45,6 +45,7 @@ from dataclasses import dataclass
 
 from repro.core.activity import Activity, CompositeActivity
 from repro.core.flags import columnar_enabled
+from repro.obs import get_recorder
 from repro.core.recordset import RecordSet
 from repro.core.workflow import ETLWorkflow, Node
 from repro.engine.batches import (
@@ -803,4 +804,7 @@ def execute_streaming(
         check_schemas=check_schemas,
         collect_rejects=collect_rejects,
     )
-    return run.execute()
+    with get_recorder().span(
+        "engine.streaming", batch_size=budget.batch_size
+    ):
+        return run.execute()

@@ -3,10 +3,15 @@
 The subsystem has four layers:
 
 * :mod:`repro.obs.telemetry` — :class:`Span` / :class:`Counter` /
-  :class:`Gauge` primitives, structured events, the thread- and
-  process-safe :class:`Recorder`, and the process-wide active-recorder
-  slot (:func:`get_recorder` / :func:`use_recorder`) instrumented call
-  sites read from;
+  :class:`Gauge` / :class:`Histogram` primitives, structured events,
+  request-scoped trace stamping (:meth:`Recorder.trace`), the thread-
+  and process-safe :class:`Recorder`, and the process-wide
+  active-recorder slot (:func:`get_recorder` / :func:`use_recorder`)
+  instrumented call sites read from;
+* :mod:`repro.obs.expose` — the Prometheus text-format renderer behind
+  the serve daemon's ``metrics`` op and ``--metrics-port`` endpoint;
+* :mod:`repro.obs.top` — the ``repro top`` live-summary renderer and
+  polling loop over a running daemon's ``status``/``stats`` ops;
 * :mod:`repro.obs.provenance` — the optimizer decision log (one
   structured event per *considered* transition) and the replayable
   lineage: :func:`replay_lineage` / :func:`verify_lineage` re-apply a
@@ -31,12 +36,15 @@ from repro.obs.telemetry import (
     NULL_RECORDER,
     Counter,
     Gauge,
+    Histogram,
     Recorder,
     Span,
     get_recorder,
+    new_trace_id,
     set_recorder,
     use_recorder,
 )
+from repro.obs.expose import CONTENT_TYPE, render_prometheus
 from repro.obs.diff import (
     DEFAULT_POLICIES,
     DiffReport,
@@ -59,9 +67,17 @@ from repro.obs.provenance import (
     transition_targets,
     verify_lineage,
 )
-from repro.obs.report import load_events, render_summary, summarize
+from repro.obs.report import (
+    filter_trace,
+    load_events,
+    render_summary,
+    render_trace,
+    summarize,
+)
+from repro.obs.top import render_exemplars, render_top, run_top
 
 __all__ = [
+    "CONTENT_TYPE",
     "DEFAULT_POLICIES",
     "FORMAT_VERSION",
     "NULL_RECORDER",
@@ -69,6 +85,7 @@ __all__ = [
     "Counter",
     "DiffReport",
     "Gauge",
+    "Histogram",
     "LineageMismatch",
     "LineageReplay",
     "MetricDiff",
@@ -77,16 +94,23 @@ __all__ = [
     "Span",
     "compare_files",
     "compare_metrics",
+    "filter_trace",
     "flatten_metrics",
     "get_recorder",
     "lineage_mix",
     "load_events",
     "load_metrics",
+    "new_trace_id",
     "parse_transition",
     "record_transition",
     "rejection_reason",
+    "render_exemplars",
+    "render_prometheus",
     "render_summary",
+    "render_top",
+    "render_trace",
     "replay_lineage",
+    "run_top",
     "set_recorder",
     "summarize",
     "transition_targets",

@@ -88,6 +88,10 @@ DEFAULT_POLICIES: tuple[MetricPolicy, ...] = (
     # (the bench scripts its request mix, so hit rates are exact).
     MetricPolicy("latency", INFO),
     MetricPolicy("requests_per_second", INFO),
+    # Recorder-on vs NULL_RECORDER cold-search delta (bench_parallel):
+    # wall-clock noise on shared runners dwarfs the real overhead, so the
+    # ratio is surfaced in `repro report --compare` but never gated.
+    MetricPolicy("telemetry_overhead", INFO),
     # Machine-dependent: report, never gate.
     MetricPolicy("seconds", INFO),
     MetricPolicy("cpu_count", INFO),

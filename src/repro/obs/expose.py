@@ -1,0 +1,172 @@
+"""Prometheus text-format exposition for recorder event streams.
+
+:func:`render_prometheus` turns the JSON-able event list produced by
+:meth:`~repro.obs.telemetry.Recorder.events` into the Prometheus text
+exposition format (``text/plain; version=0.0.4``): counters become
+``<name>_total``, gauges keep their name (with a ``_max`` twin for the
+high-water mark), and log2-bucketed :class:`~repro.obs.telemetry.Histogram`
+events become cumulative ``_bucket{le="..."}`` series plus ``_sum`` /
+``_count``, which is exactly what a scraper needs to compute quantiles
+server-side.
+
+The renderer is pure (events in, text out) so the serve daemon, tests,
+and offline tools can all share it; the daemon serves the result both
+over the line-JSON protocol (``metrics`` op) and over a plain-HTTP
+``GET /metrics`` endpoint (``--metrics-port``).  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render_prometheus",
+]
+
+#: The content type Prometheus scrapers expect for text exposition.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitized = _NAME_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return f"{prefix}{sanitized}"
+
+
+def _label_name(name: str) -> str:
+    sanitized = _LABEL_OK.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = f"_{sanitized}"
+    return sanitized
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _labels(tags: dict[str, Any], extra: dict[str, str] | None = None) -> str:
+    pairs = {_label_name(k): _escape_label(v) for k, v in sorted(tags.items())}
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(f'{k}="{v}"' for k, v in pairs.items())
+    return f"{{{rendered}}}"
+
+
+def _format_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(
+    events: list[dict[str, Any]], prefix: str = "repro_"
+) -> str:
+    """Render counter/gauge/histogram events as Prometheus exposition text.
+
+    Span and structured events are skipped — they belong to the tracing
+    plane, not the metrics plane.  Duplicate (name, tags) series (e.g.
+    events pooled from several recorders) are aggregated: counter values
+    and histogram buckets sum, gauges keep the last value / overall max.
+    """
+    counters: dict[tuple[str, str], float] = {}
+    gauges: dict[tuple[str, str], tuple[float | None, float | None]] = {}
+    histograms: dict[tuple[str, str], dict[str, Any]] = {}
+    kinds: dict[str, str] = {}
+
+    for event in events:
+        kind = event.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        name = _metric_name(event.get("name", ""), prefix)
+        tags = event.get("tags") or {}
+        labels = _labels(tags)
+        key = (name, labels)
+        if kind == "counter":
+            kinds.setdefault(name, "counter")
+            counters[key] = counters.get(key, 0.0) + float(
+                event.get("value", 0) or 0
+            )
+        elif kind == "gauge":
+            kinds.setdefault(name, "gauge")
+            last, peak = gauges.get(key, (None, None))
+            value = event.get("value")
+            maximum = event.get("max")
+            if value is not None:
+                last = float(value)
+            if maximum is not None:
+                peak = (
+                    float(maximum)
+                    if peak is None
+                    else max(peak, float(maximum))
+                )
+            gauges[key] = (last, peak)
+        else:
+            kinds.setdefault(name, "histogram")
+            merged = histograms.setdefault(
+                key, {"count": 0, "sum": 0.0, "zero": 0, "buckets": {}}
+            )
+            merged["count"] += int(event.get("count", 0))
+            merged["sum"] += float(event.get("sum", 0.0))
+            merged["zero"] += int(event.get("zero", 0))
+            for index, bucket_count in (event.get("buckets") or {}).items():
+                bucket = int(index)
+                merged["buckets"][bucket] = merged["buckets"].get(
+                    bucket, 0
+                ) + int(bucket_count)
+
+    lines: list[str] = []
+    emitted_type: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in emitted_type:
+            lines.append(f"# TYPE {name} {kind}")
+            emitted_type.add(name)
+
+    for (name, labels), value in sorted(counters.items()):
+        type_line(f"{name}_total", "counter")
+        lines.append(f"{name}_total{labels} {_format_value(value)}")
+
+    for (name, labels), (last, peak) in sorted(gauges.items()):
+        type_line(name, "gauge")
+        lines.append(f"{name}{labels} {_format_value(last)}")
+        if peak is not None:
+            type_line(f"{name}_max", "gauge")
+            lines.append(f"{name}_max{labels} {_format_value(peak)}")
+
+    for (name, labels), merged in sorted(histograms.items()):
+        type_line(name, "histogram")
+        tags_only = labels[1:-1] if labels else ""
+        cumulative = merged["zero"]
+        series: list[tuple[str, int]] = []
+        if merged["zero"]:
+            series.append(("0", cumulative))
+        for index in sorted(merged["buckets"]):
+            cumulative += merged["buckets"][index]
+            series.append((_format_value(2.0**index), cumulative))
+        for upper, count in series:
+            le = f'le="{upper}"'
+            joined = f"{tags_only},{le}" if tags_only else le
+            lines.append(f"{name}_bucket{{{joined}}} {count}")
+        inf = 'le="+Inf"'
+        joined = f"{tags_only},{inf}" if tags_only else inf
+        lines.append(f"{name}_bucket{{{joined}}} {merged['count']}")
+        lines.append(f"{name}_sum{labels} {_format_value(merged['sum'])}")
+        lines.append(f"{name}_count{labels} {merged['count']}")
+
+    return "\n".join(lines) + "\n" if lines else ""

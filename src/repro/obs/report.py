@@ -13,9 +13,18 @@ line up as four rows, engine operators as one row per activity.
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Iterable
 
-__all__ = ["load_events", "summarize", "render_summary"]
+from repro.obs.telemetry import Histogram
+
+__all__ = [
+    "load_events",
+    "summarize",
+    "render_summary",
+    "filter_trace",
+    "render_trace",
+]
 
 #: Tag keys that identify a span row in the summary, in priority order.
 _DETAIL_TAGS = (
@@ -51,10 +60,20 @@ def _span_detail(tags: dict[str, Any]) -> str:
 def _label(name: str, tags: dict[str, Any], detail: str = "") -> str:
     if detail:
         return f"{name}[{detail}]"
-    if tags:
-        parts = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+    # ``trace`` is a tracing-plane tag (one value per request); letting it
+    # into the label would split every aggregate row per request.
+    parts = ",".join(
+        f"{k}={v}" for k, v in sorted(tags.items()) if k != "trace"
+    )
+    if parts:
         return f"{name}[{parts}]"
     return name
+
+
+def _percentile(sorted_values: list[float], quantile: float) -> float:
+    """Nearest-rank percentile over an ascending-sorted sample."""
+    rank = max(1, math.ceil(quantile * len(sorted_values)))
+    return sorted_values[rank - 1]
 
 
 def _event_detail(fields: dict[str, Any]) -> str:
@@ -79,8 +98,10 @@ def _event_detail(fields: dict[str, Any]) -> str:
 def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
     """Aggregate events into a JSON-able summary dict."""
     span_rows: dict[str, dict[str, Any]] = {}
+    span_samples: dict[str, list[float]] = {}
     counter_rows: dict[str, int] = {}
     gauge_rows: dict[str, dict[str, Any]] = {}
+    histogram_rows: dict[str, Histogram] = {}
     event_rows: dict[str, int] = {}
     span_count = 0
     event_count = 0
@@ -106,6 +127,7 @@ def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
             row["count"] += 1
             row["total_seconds"] += seconds
             row["max_seconds"] = max(row["max_seconds"], seconds)
+            span_samples.setdefault(label, []).append(seconds)
         elif kind == "counter":
             label = _label(event["name"], event.get("tags", {}))
             counter_rows[label] = counter_rows.get(label, 0) + int(
@@ -120,11 +142,26 @@ def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
                     row[key] is None or value > row[key]
                 ):
                     row[key] = value
-    for row in span_rows.values():
+        elif kind == "histogram":
+            label = _label(event["name"], event.get("tags", {}))
+            merged = histogram_rows.setdefault(
+                label, Histogram(event["name"], {})
+            )
+            merged.merge_event(event)
+    for label, row in span_rows.items():
         row["mean_seconds"] = (
             row["total_seconds"] / row["count"] if row["count"] else 0.0
         )
-        for key in ("total_seconds", "max_seconds", "mean_seconds"):
+        samples = sorted(span_samples.get(label, ()))
+        row["p50_seconds"] = _percentile(samples, 0.50) if samples else 0.0
+        row["p95_seconds"] = _percentile(samples, 0.95) if samples else 0.0
+        for key in (
+            "total_seconds",
+            "max_seconds",
+            "mean_seconds",
+            "p50_seconds",
+            "p95_seconds",
+        ):
             row[key] = round(row[key], 6)
     return {
         "span_events": span_count,
@@ -132,6 +169,10 @@ def summarize(events: Iterable[dict[str, Any]]) -> dict[str, Any]:
         "spans": dict(sorted(span_rows.items())),
         "counters": dict(sorted(counter_rows.items())),
         "gauges": dict(sorted(gauge_rows.items())),
+        "histograms": {
+            label: histogram.summary()
+            for label, histogram in sorted(histogram_rows.items())
+        },
         "events": dict(sorted(event_rows.items())),
     }
 
@@ -145,13 +186,18 @@ def render_summary(summary: dict[str, Any]) -> str:
         width = max(width, len("span"))
         lines.append(
             f"{'span':<{width}}  {'count':>7}  {'total ms':>10}  "
-            f"{'mean ms':>10}  {'max ms':>10}"
+            f"{'mean ms':>10}  {'p50 ms':>10}  {'p95 ms':>10}  "
+            f"{'max ms':>10}"
         )
         for label, row in spans.items():
+            p50 = row.get("p50_seconds", row["mean_seconds"])
+            p95 = row.get("p95_seconds", row["max_seconds"])
             lines.append(
                 f"{label:<{width}}  {row['count']:>7}  "
                 f"{1000 * row['total_seconds']:>10.2f}  "
                 f"{1000 * row['mean_seconds']:>10.2f}  "
+                f"{1000 * p50:>10.2f}  "
+                f"{1000 * p95:>10.2f}  "
                 f"{1000 * row['max_seconds']:>10.2f}"
             )
     else:
@@ -172,6 +218,27 @@ def render_summary(summary: dict[str, Any]) -> str:
             last = row["value"] if row["value"] is not None else "—"
             peak = row["max"] if row["max"] is not None else "—"
             lines.append(f"{label:<{width}}  {last:>12}  {peak:>12}")
+    histogram_rows = summary.get("histograms", {})
+    if histogram_rows:
+        width = max(
+            max(len(label) for label in histogram_rows), len("histogram")
+        )
+        lines.append("")
+        lines.append(
+            f"{'histogram':<{width}}  {'count':>7}  {'mean ms':>10}  "
+            f"{'p50 ms':>10}  {'p90 ms':>10}  {'p99 ms':>10}"
+        )
+        for label, row in histogram_rows.items():
+            cells = []
+            for key in ("mean", "p50", "p90", "p99"):
+                value = row.get(key)
+                cells.append(
+                    f"{1000 * value:>10.2f}" if value is not None else f"{'—':>10}"
+                )
+            lines.append(
+                f"{label:<{width}}  {row.get('count', 0):>7}  "
+                + "  ".join(cells)
+            )
     event_rows = summary.get("events", {})
     if event_rows:
         width = max(max(len(label) for label in event_rows), len("event"))
@@ -179,4 +246,72 @@ def render_summary(summary: dict[str, Any]) -> str:
         lines.append(f"{'event':<{width}}  {'count':>12}")
         for label, value in event_rows.items():
             lines.append(f"{label:<{width}}  {value:>12}")
+    return "\n".join(lines)
+
+
+def filter_trace(
+    events: Iterable[dict[str, Any]], trace_id: str
+) -> list[dict[str, Any]]:
+    """The subset of ``events`` belonging to one request's trace.
+
+    Spans match on their ``trace`` tag, structured events on their
+    ``trace`` field; counters, gauges, and histograms are aggregate
+    instruments with no per-request identity, so they never match.
+    """
+    matched: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("type")
+        if kind == "span":
+            if (event.get("tags") or {}).get("trace") == trace_id:
+                matched.append(event)
+        elif kind == "event":
+            if (event.get("fields") or {}).get("trace") == trace_id:
+                matched.append(event)
+    return matched
+
+
+def render_trace(events: Iterable[dict[str, Any]]) -> str:
+    """Render one trace's spans as an indented tree (file order preserved
+    among siblings).  Spans whose parent is outside the filtered set are
+    promoted to roots, so a partial file still renders."""
+    spans = [e for e in events if e.get("type") == "span"]
+    structured = [e for e in events if e.get("type") == "event"]
+    if not spans:
+        return "no spans in trace"
+    by_id = {
+        span["span_id"]: span for span in spans if span.get("span_id")
+    }
+    children: dict[str | None, list[dict[str, Any]]] = {}
+    roots: list[dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_id")
+        if parent in by_id:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+    lines: list[str] = []
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        tags = {
+            k: v
+            for k, v in (span.get("tags") or {}).items()
+            if k != "trace"
+        }
+        detail = (
+            " " + ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+            if tags
+            else ""
+        )
+        seconds = float(span.get("seconds", 0.0))
+        lines.append(
+            f"{'  ' * depth}{span.get('name')}  "
+            f"{1000 * seconds:.2f}ms{detail}"
+        )
+        for child in children.get(span.get("span_id"), ()):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+    if structured:
+        lines.append(f"+ {len(structured)} structured event(s) in trace")
     return "\n".join(lines)

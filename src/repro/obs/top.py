@@ -1,0 +1,190 @@
+"""``repro top``: a live one-screen summary of a running serve daemon.
+
+The renderer is pure — ``status`` + ``stats`` dicts in (as returned by
+the daemon's protocol ops), text out — so tests exercise it without a
+terminal.  :func:`run_top` is the thin polling loop the CLI drives: it
+re-polls ``status``/``stats`` every ``interval`` seconds and derives
+req/s from the counter delta between polls (first poll falls back to
+lifetime totals over uptime).
+
+Latency percentiles come from the ``histograms`` section of ``stats``
+(daemon-side :class:`~repro.obs.telemetry.Histogram` summaries), so the
+screen shows live p50/p90/p99 without scraping or re-parsing the
+Prometheus exposition.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["render_top", "render_exemplars", "run_top"]
+
+#: Histogram labels surfaced on the screen, in display order.
+_LATENCY_ROWS = (
+    "serve.request_latency_seconds",
+    "serve.queue_wait_seconds",
+    "serve.search_seconds",
+    "serve.memo_lookup_seconds",
+    "search.transposition_lookup_seconds",
+)
+
+
+def _requests_per_second(
+    stats: dict[str, Any],
+    previous: dict[str, Any] | None,
+    elapsed: float | None,
+    uptime: float,
+) -> float:
+    counters = stats.get("counters", {})
+    total = sum(
+        value
+        for key, value in counters.items()
+        if key.startswith("serve.requests")
+    )
+    if previous is not None and elapsed and elapsed > 0:
+        before = sum(
+            value
+            for key, value in previous.get("counters", {}).items()
+            if key.startswith("serve.requests")
+        )
+        return max(0.0, (total - before) / elapsed)
+    return total / uptime if uptime > 0 else 0.0
+
+
+def _ms(value: Any) -> str:
+    if value is None:
+        return f"{'—':>9}"
+    return f"{1000 * float(value):>9.2f}"
+
+
+def render_top(
+    status: dict[str, Any],
+    stats: dict[str, Any],
+    previous: dict[str, Any] | None = None,
+    elapsed: float | None = None,
+) -> str:
+    """Render one screenful from a daemon's ``status`` and ``stats``."""
+    uptime = float(status.get("uptime_seconds", 0.0))
+    queue = status.get("queue", {})
+    memo = stats.get("memo", {})
+    transposition = stats.get("transposition", {})
+    counters = stats.get("counters", {})
+    rate = _requests_per_second(stats, previous, elapsed, uptime)
+    total_requests = sum(
+        value
+        for key, value in counters.items()
+        if key.startswith("serve.requests")
+    )
+    errors = counters.get("serve.errors", 0)
+    rejected = queue.get("rejected_full", 0) + queue.get("rejected_tenant", 0)
+    lines = [
+        (
+            f"repro serve · pid {status.get('pid', '?')} · "
+            f"up {uptime:.0f}s · workers {status.get('workers', '?')} · "
+            f"max_jobs {status.get('max_jobs', '?')}"
+        ),
+        (
+            f"requests: {total_requests} total · {rate:.2f} req/s · "
+            f"errors {errors}"
+        ),
+        (
+            f"queue: depth {queue.get('depth', 0)}/"
+            f"{queue.get('capacity', 0)} · "
+            f"admitted {queue.get('admitted', 0)} · rejected {rejected} "
+            f"(full {queue.get('rejected_full', 0)}, "
+            f"tenant {queue.get('rejected_tenant', 0)})"
+        ),
+        (
+            f"memo: {memo.get('entries', 0)}/{memo.get('capacity', 0)} "
+            f"entries · hit rate {100 * memo.get('hit_rate', 0.0):.1f}% · "
+            f"transposition hit rate "
+            f"{100 * transposition.get('hit_rate', 0.0):.1f}%"
+        ),
+    ]
+    inflight = stats.get("queue", {}).get("inflight", {})
+    tenants = stats.get("tenants", {})
+    if tenants or inflight:
+        cells = [
+            f"{tenant}={inflight.get(tenant, 0)}/{tenants.get(tenant, 0)}"
+            for tenant in sorted(set(tenants) | set(inflight))
+        ]
+        lines.append(
+            "tenants (inflight/requests): " + "  ".join(cells)
+        )
+    histograms = stats.get("histograms", {})
+    if histograms:
+        width = max(len(label) for label in _LATENCY_ROWS)
+        lines.append("")
+        lines.append(
+            f"{'latency':<{width}}  {'count':>7}  {'p50 ms':>9}  "
+            f"{'p90 ms':>9}  {'p99 ms':>9}"
+        )
+        for label in _LATENCY_ROWS:
+            row = histograms.get(label)
+            if row is None:
+                continue
+            lines.append(
+                f"{label:<{width}}  {row.get('count', 0):>7}  "
+                f"{_ms(row.get('p50'))}  {_ms(row.get('p90'))}  "
+                f"{_ms(row.get('p99'))}"
+            )
+    return "\n".join(lines)
+
+
+def render_exemplars(snapshot: dict[str, Any]) -> str:
+    """Render an ``exemplars`` op snapshot as two short tables."""
+    lines: list[str] = []
+    for section, title in (("slowest", "slowest"), ("failed", "failed")):
+        entries = snapshot.get(section, [])
+        lines.append(f"{title} requests ({len(entries)}):")
+        if not entries:
+            lines.append("  (none)")
+            continue
+        for entry in entries:
+            latency = 1000 * float(entry.get("latency_seconds", 0.0))
+            queued = 1000 * float(entry.get("queued_seconds", 0.0))
+            spans = len(entry.get("spans", []))
+            outcome = (
+                "ok" if entry.get("ok") else entry.get("code", "failed")
+            )
+            lines.append(
+                f"  {entry.get('trace_id', '?'):<18} "
+                f"{entry.get('tenant', '?'):<10} "
+                f"{entry.get('algorithm', '?'):<10} "
+                f"{latency:>9.2f}ms  queued {queued:>8.2f}ms  "
+                f"{spans:>4} spans  {outcome}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    client: Any,
+    interval: float = 2.0,
+    iterations: int = 0,
+    show_exemplars: bool = False,
+    clear: bool = False,
+    write: Callable[[str], None] = print,
+) -> int:
+    """Poll ``client`` and render screens; returns the screens rendered.
+
+    ``iterations=0`` polls forever (until interrupted); tests and smoke
+    jobs pass ``iterations=1`` for a single deterministic screen.
+    """
+    previous: dict[str, Any] | None = None
+    previous_at: float | None = None
+    rendered = 0
+    while True:
+        status = client.status()
+        stats = client.stats()
+        now = time.monotonic()
+        elapsed = now - previous_at if previous_at is not None else None
+        screen = render_top(status, stats, previous=previous, elapsed=elapsed)
+        if show_exemplars:
+            screen = f"{screen}\n\n{render_exemplars(client.exemplars())}"
+        write(("\x1b[2J\x1b[H" + screen) if clear else screen)
+        rendered += 1
+        previous, previous_at = stats, now
+        if iterations and rendered >= iterations:
+            return rendered
+        time.sleep(interval)

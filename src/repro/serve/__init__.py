@@ -14,11 +14,13 @@ Layout:
 * :mod:`repro.serve.protocol` — wire format, budget/model/result codecs;
 * :mod:`repro.serve.queue` — bounded admission + tenant policy;
 * :mod:`repro.serve.memo` — fingerprint-keyed full-result memo;
+* :mod:`repro.serve.exemplars` — bounded slow/failed request rings;
 * :mod:`repro.serve.server` — the asyncio daemon itself;
 * :mod:`repro.serve.client` — a synchronous client.
 """
 
 from repro.serve.client import ServeClient, ServeError
+from repro.serve.exemplars import ExemplarStore
 from repro.serve.memo import ResultMemo, memo_key
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -34,6 +36,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "AdmissionError",
     "BackgroundServer",
+    "ExemplarStore",
     "JobQueue",
     "OptimizerServer",
     "ProtocolError",

@@ -151,6 +151,14 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})
 
+    def metrics(self) -> str:
+        """The daemon's Prometheus text exposition (``metrics`` op)."""
+        return str(self.request({"op": "metrics"}).get("text", ""))
+
+    def exemplars(self) -> dict[str, Any]:
+        """The slow/failed request exemplar rings (``exemplars`` op)."""
+        return self.request({"op": "exemplars"})
+
     def ping(self) -> bool:
         return bool(self.request({"op": "ping"}).get("pong"))
 

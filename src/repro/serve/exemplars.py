@@ -1,0 +1,83 @@
+"""Bounded exemplar rings: the N slowest and N most recent failed requests.
+
+A p99-slow optimize request is only diagnosable after the fact if
+*something* kept its span tree — but keeping every request's tree is
+always-on full tracing, which a production daemon cannot afford.  The
+:class:`ExemplarStore` is the middle ground the tentpole asks for: the
+daemon records every search-served request here, the store keeps only
+the slowest ``capacity`` of them (a min-heap on latency, so a new
+request evicts the *least* slow exemplar) plus a ring of the most
+recent failures, and the ``exemplars`` protocol op (or ``repro top
+--exemplars``) dumps them with full span trees, budget, and tenant
+tags.
+
+Exemplars are plain JSON-able dicts; span lists are capped so a
+pathological request cannot balloon daemon memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["ExemplarStore", "DEFAULT_EXEMPLARS", "SPAN_CAP"]
+
+#: Default ring size for both the slowest and the failed ring.
+DEFAULT_EXEMPLARS = 8
+
+#: Max span events kept per exemplar; the rest are dropped and counted.
+SPAN_CAP = 512
+
+
+class ExemplarStore:
+    """Thread-safe bounded rings of slow and failed request exemplars."""
+
+    def __init__(self, capacity: int = DEFAULT_EXEMPLARS):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        #: Min-heap of (latency, seq, exemplar): the root is the least
+        #: slow kept exemplar, which is exactly what a faster newcomer
+        #: must beat to enter.
+        self._slow: list[tuple[float, int, dict[str, Any]]] = []
+        self._failed: deque[dict[str, Any]] = deque(maxlen=self.capacity)
+
+    def record(
+        self, exemplar: dict[str, Any], *, failed: bool = False
+    ) -> None:
+        entry = dict(exemplar)
+        spans = entry.get("spans") or []
+        if len(spans) > SPAN_CAP:
+            entry["spans"] = spans[:SPAN_CAP]
+            entry["spans_truncated"] = len(spans) - SPAN_CAP
+        with self._lock:
+            if failed:
+                self._failed.append(entry)
+                return
+            item = (
+                float(entry.get("latency_seconds") or 0.0),
+                next(self._seq),
+                entry,
+            )
+            if len(self._slow) < self.capacity:
+                heapq.heappush(self._slow, item)
+            elif item[0] > self._slow[0][0]:
+                heapq.heapreplace(self._slow, item)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-able dump: slowest-first ring plus most-recent failures.
+
+        Entries are shallow-copied so a consumer mutating the dump (or a
+        serializer annotating it) cannot corrupt the live rings.
+        """
+        with self._lock:
+            slow = sorted(self._slow, key=lambda item: (-item[0], item[1]))
+            failed = [dict(entry) for entry in self._failed]
+        return {
+            "capacity": self.capacity,
+            "slowest": [dict(item[2]) for item in slow],
+            "failed": failed,
+        }

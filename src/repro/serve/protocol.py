@@ -20,7 +20,15 @@ requests over one connection:
 ``status`` / ``stats``
     Daemon liveness (queue depth, in-flight, uptime, workers) and
     effectiveness counters (memo and transposition hit rates, per-tenant
-    request counts).
+    request counts, latency histogram summaries).
+
+``metrics``
+    The full Prometheus text exposition (the same document the optional
+    ``--metrics-port`` HTTP endpoint serves) under ``"text"``.
+
+``exemplars``
+    The bounded rings of slowest / most recently failed requests, each
+    with its full span tree, budget, and tenant tags.
 
 ``shutdown``
     Acknowledge, then stop accepting work and exit cleanly once in-flight
@@ -68,7 +76,15 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Every request op the daemon understands.
-OPS = ("optimize", "status", "stats", "ping", "shutdown")
+OPS = (
+    "optimize",
+    "status",
+    "stats",
+    "metrics",
+    "exemplars",
+    "ping",
+    "shutdown",
+)
 
 #: Cost models selectable over the wire.  Closures and custom models are
 #: not shippable through a JSON protocol; the registry covers the

@@ -29,6 +29,22 @@ private :class:`~repro.obs.Recorder` whose ``on_span`` hook forwards
 finished ``search.*`` spans to the client as ``event`` lines, and whose
 full buffer is absorbed into the daemon's recorder for ``stats`` and
 ``--telemetry``.
+
+Production observability is three planes on top of that substrate:
+
+* **metrics** — per-request latency, queue wait, search time, and memo
+  lookup time feed daemon-level histograms; the ``metrics`` protocol op
+  and the optional ``--metrics-port`` plain-HTTP ``GET /metrics``
+  endpoint expose everything in Prometheus text format
+  (:mod:`repro.obs.expose`), and ``repro top`` renders a live summary;
+* **traces** — every request gets a ``trace_id`` (returned in its
+  envelope) stamped onto all spans the request records, including
+  worker-process buffers shipped back through the pool, so one
+  request's tree is reassemblable from the daemon's mixed stream
+  (``repro report --trace ID``);
+* **exemplars** — a bounded ring of the slowest and most recently
+  failed requests keeps full span trees for post-hoc p99 diagnosis
+  (:mod:`repro.serve.exemplars`, the ``exemplars`` op).
 """
 
 from __future__ import annotations
@@ -44,7 +60,16 @@ from repro.core.search.budget import SearchBudget
 from repro.core.search.parallel import ALGORITHMS, WorkerPool, run_search
 from repro.core.search.transposition import TranspositionCache
 from repro.core.signature import workflow_fingerprint
-from repro.obs import Recorder, get_recorder, use_recorder
+from repro.obs import (
+    CONTENT_TYPE,
+    Histogram,
+    Recorder,
+    get_recorder,
+    new_trace_id,
+    render_prometheus,
+    use_recorder,
+)
+from repro.serve.exemplars import DEFAULT_EXEMPLARS, ExemplarStore
 from repro.serve.memo import DEFAULT_CAPACITY, ResultMemo, memo_key
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -83,6 +108,13 @@ class ServeConfig:
             :meth:`TranspositionCache.resolve` — ``None`` keeps the warm
             cache in-process only, a path adds the on-disk layer.
         memo_capacity: LRU bound on fully-memoized results.
+        metrics_port: when set, also serve plain-HTTP ``GET /metrics``
+            (Prometheus text exposition) on this TCP port; ``0`` binds
+            an ephemeral port (see :attr:`OptimizerServer.metrics_address`).
+            ``None`` (default) disables the endpoint — the ``metrics``
+            protocol op works either way.
+        exemplar_capacity: ring size for the slowest / most recently
+            failed request exemplars kept for post-hoc diagnosis.
     """
 
     host: str = "127.0.0.1"
@@ -94,6 +126,8 @@ class ServeConfig:
     tenant: TenantPolicy = field(default_factory=TenantPolicy)
     cache: Any = None
     memo_capacity: int = DEFAULT_CAPACITY
+    metrics_port: int | None = None
+    exemplar_capacity: int = DEFAULT_EXEMPLARS
 
 
 class _Connection:
@@ -125,11 +159,14 @@ class OptimizerServer:
         #: The daemon's own telemetry (stats source); absorbed into any
         #: outer --telemetry recorder at shutdown.
         self.recorder = Recorder()
+        self.exemplars = ExemplarStore(self.config.exemplar_capacity)
         self.cache: TranspositionCache | None = None
         self.address: tuple[str, int] | str | None = None
+        self.metrics_address: tuple[str, int] | None = None
         self.started_at = time.monotonic()
         self._owned_cache = False
         self._server: asyncio.base_events.Server | None = None
+        self._metrics_server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
         self._threads: list[threading.Thread] = []
@@ -166,6 +203,14 @@ class OptimizerServer:
             )
             sock = self._server.sockets[0]
             self.address = sock.getsockname()[:2]
+        if self.config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._handle_metrics_http,
+                self.config.host,
+                self.config.metrics_port,
+            )
+            sock = self._metrics_server.sockets[0]
+            self.metrics_address = sock.getsockname()[:2]
 
     async def serve_until_shutdown(self) -> None:
         """Serve until a ``shutdown`` request (or :meth:`request_stop`)."""
@@ -188,6 +233,9 @@ class OptimizerServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+            await self._metrics_server.wait_closed()
         self.queue.close()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(None, self._join_workers)
@@ -295,6 +343,21 @@ class OptimizerServer:
         elif op == "stats":
             self._count_request("stats")
             conn.out.put_nowait({"id": rid, "ok": True, **self.stats()})
+        elif op == "metrics":
+            self._count_request("metrics")
+            conn.out.put_nowait(
+                {
+                    "id": rid,
+                    "ok": True,
+                    "content_type": CONTENT_TYPE,
+                    "text": self.metrics_text(),
+                }
+            )
+        elif op == "exemplars":
+            self._count_request("exemplars")
+            conn.out.put_nowait(
+                {"id": rid, "ok": True, **self.exemplars.snapshot()}
+            )
         elif op == "ping":
             self._count_request("ping")
             conn.out.put_nowait({"id": rid, "ok": True, "pong": True})
@@ -353,13 +416,22 @@ class OptimizerServer:
         key = memo_key(
             fingerprint, model_key(model_name), canonical, effective
         )
+        trace_id = new_trace_id()
+        lookup_started = time.monotonic()
         cached = self.memo.get(key)
+        self.recorder.histogram("serve.memo_lookup_seconds").observe(
+            time.monotonic() - lookup_started
+        )
         if cached is not None:
             self.recorder.counter("serve.memo", outcome="hit").add()
             if stream:
                 conn.out.put_nowait(
                     {"id": rid, "event": "memo-hit", "fingerprint": fingerprint}
                 )
+            latency = time.monotonic() - accepted_at
+            self.recorder.histogram("serve.request_latency_seconds").observe(
+                latency
+            )
             conn.out.put_nowait(
                 self._envelope(
                     rid,
@@ -371,7 +443,8 @@ class OptimizerServer:
                     cache_hits=cached["cache_hits"] + 1,
                     fingerprint=fingerprint,
                     effective=effective,
-                    latency=time.monotonic() - accepted_at,
+                    latency=latency,
+                    trace_id=trace_id,
                 )
             )
             return
@@ -401,6 +474,8 @@ class OptimizerServer:
                 "fingerprint": fingerprint,
                 "stream": stream,
                 "accepted_at": accepted_at,
+                "trace": trace_id,
+                "tenant": tenant,
                 "deliver": deliver,
                 "emit": emit,
             },
@@ -438,6 +513,7 @@ class OptimizerServer:
         fingerprint: str,
         effective: SearchBudget,
         latency: float,
+        trace_id: str | None = None,
     ) -> dict[str, Any]:
         return {
             "id": rid,
@@ -447,6 +523,7 @@ class OptimizerServer:
             "fingerprint": fingerprint,
             "budget": budget_to_dict(effective),
             "latency_seconds": latency,
+            "trace_id": trace_id,
             "result": payload,
         }
 
@@ -472,12 +549,9 @@ class OptimizerServer:
         payload = job.payload
         emit: Callable[[dict[str, Any]], None] = payload["emit"]
         deliver: Callable[[dict[str, Any]], None] = payload["deliver"]
-        emit(
-            {
-                "event": "started",
-                "queued_seconds": time.monotonic() - job.enqueued_at,
-            }
-        )
+        trace_id: str = payload["trace"]
+        queued_seconds = time.monotonic() - job.enqueued_at
+        emit({"event": "started", "queued_seconds": queued_seconds})
         local = Recorder()
         if payload["stream"]:
 
@@ -494,35 +568,69 @@ class OptimizerServer:
 
             local.on_span = forward
         budget: SearchBudget = payload["budget"]
+        search_started = time.monotonic()
         try:
-            with use_recorder(local):
+            with use_recorder(local), local.trace(trace_id):
                 with local.span(
                     "serve.request",
                     algorithm=payload["algorithm"],
                     tenant=job.tenant,
                 ):
-                    result = run_search(
-                        payload["algorithm"],
-                        payload["workflow"],
-                        model=resolve_model(payload["model"]),
-                        budget=replace(budget, cache=self.cache),
-                        pool=pool if budget.resolved_jobs() > 1 else None,
-                    )
+                    local.record_span("serve.queue_wait", queued_seconds)
+                    with local.span("serve.search"):
+                        result = run_search(
+                            payload["algorithm"],
+                            payload["workflow"],
+                            model=resolve_model(payload["model"]),
+                            budget=replace(budget, cache=self.cache),
+                            pool=pool if budget.resolved_jobs() > 1 else None,
+                        )
         except Exception as exc:  # a search bug must answer, not hang
+            latency = time.monotonic() - payload["accepted_at"]
             self.recorder.counter("serve.errors").add()
-            self.recorder.absorb(local.events())
+            events = local.events()
+            self.recorder.absorb(events)
+            self._observe_request(queued_seconds, None, latency)
+            self.exemplars.record(
+                self._exemplar(
+                    payload,
+                    job,
+                    events,
+                    latency=latency,
+                    queued_seconds=queued_seconds,
+                    ok=False,
+                    code="search-error",
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                failed=True,
+            )
             deliver(
                 {
                     "id": payload["id"],
                     "ok": False,
                     "code": "search-error",
                     "error": f"{type(exc).__name__}: {exc}",
+                    "trace_id": trace_id,
                 }
             )
             return
+        search_seconds = time.monotonic() - search_started
         serialized = result_to_dict(result)
         self.memo.put(payload["memo_key"], serialized)
-        self.recorder.absorb(local.events())
+        latency = time.monotonic() - payload["accepted_at"]
+        events = local.events()
+        self.recorder.absorb(events)
+        self._observe_request(queued_seconds, search_seconds, latency)
+        self.exemplars.record(
+            self._exemplar(
+                payload,
+                job,
+                events,
+                latency=latency,
+                queued_seconds=queued_seconds,
+                ok=True,
+            )
+        )
         deliver(
             self._envelope(
                 payload["id"],
@@ -531,9 +639,56 @@ class OptimizerServer:
                 cache_hits=serialized["cache_hits"],
                 fingerprint=payload["fingerprint"],
                 effective=budget,
-                latency=time.monotonic() - payload["accepted_at"],
+                latency=latency,
+                trace_id=trace_id,
             )
         )
+
+    def _observe_request(
+        self,
+        queued_seconds: float,
+        search_seconds: float | None,
+        latency: float,
+    ) -> None:
+        self.recorder.histogram("serve.queue_wait_seconds").observe(
+            queued_seconds
+        )
+        if search_seconds is not None:
+            self.recorder.histogram("serve.search_seconds").observe(
+                search_seconds
+            )
+        self.recorder.histogram("serve.request_latency_seconds").observe(
+            latency
+        )
+
+    def _exemplar(
+        self,
+        payload: dict[str, Any],
+        job: Job,
+        events: list[dict[str, Any]],
+        latency: float,
+        queued_seconds: float,
+        ok: bool,
+        code: str | None = None,
+        error: str | None = None,
+    ) -> dict[str, Any]:
+        exemplar = {
+            "trace_id": payload["trace"],
+            "tenant": job.tenant,
+            "algorithm": payload["algorithm"],
+            "fingerprint": payload["fingerprint"],
+            "budget": budget_to_dict(payload["budget"]),
+            "served_from": "search",
+            "ok": ok,
+            "latency_seconds": latency,
+            "queued_seconds": queued_seconds,
+            "spans": [e for e in events if e.get("type") == "span"],
+        }
+        if code is not None:
+            exemplar["code"] = code
+        if error is not None:
+            exemplar["error"] = error
+        return exemplar
 
     # -- introspection ----------------------------------------------------------
 
@@ -548,6 +703,9 @@ class OptimizerServer:
             "workers": len(self._threads),
             "max_jobs": self.config.max_jobs,
             "queue": self.queue.stats(),
+            "metrics_address": (
+                list(self.metrics_address) if self.metrics_address else None
+            ),
         }
 
     def stats(self) -> dict[str, Any]:
@@ -556,14 +714,17 @@ class OptimizerServer:
         with self._tenant_lock:
             tenants = dict(self._tenant_requests)
         counters = {}
+        histograms = {}
         for event in self.recorder.events():
+            tags = event.get("tags", {})
+            suffix = ",".join(f"{k}={v}" for k, v in sorted(tags.items()))
+            name = event.get("name", "") + (f"[{suffix}]" if suffix else "")
             if event.get("type") == "counter":
-                tags = event.get("tags", {})
-                suffix = ",".join(
-                    f"{k}={v}" for k, v in sorted(tags.items())
-                )
-                name = event["name"] + (f"[{suffix}]" if suffix else "")
                 counters[name] = event["value"]
+            elif event.get("type") == "histogram":
+                merged = Histogram(event["name"], {})
+                merged.merge_event(event)
+                histograms[name] = merged.summary()
         return {
             "memo": self.memo.stats(),
             "transposition": {
@@ -579,7 +740,97 @@ class OptimizerServer:
             "queue": self.queue.stats(),
             "tenants": tenants,
             "counters": counters,
+            "histograms": histograms,
         }
+
+    def metrics_text(self) -> str:
+        """The full Prometheus exposition: recorder instruments plus
+        synthesized operational gauges (queue, memo, cache, uptime)."""
+        assert self.cache is not None
+
+        def gauge(name: str, value: Any, **tags: Any) -> dict[str, Any]:
+            return {
+                "type": "gauge",
+                "name": name,
+                "value": value,
+                "max": None,
+                "tags": tags,
+            }
+
+        queue_stats = self.queue.stats()
+        memo_stats = self.memo.stats()
+        events = self.recorder.events()
+        events.append(
+            gauge(
+                "serve.uptime_seconds",
+                time.monotonic() - self.started_at,
+            )
+        )
+        events.append(gauge("serve.queue_depth", queue_stats["depth"]))
+        events.append(gauge("serve.queue_capacity", queue_stats["capacity"]))
+        for tenant, inflight in sorted(queue_stats["inflight"].items()):
+            events.append(
+                gauge("serve.tenant_inflight", inflight, tenant=tenant)
+            )
+        for key in ("entries", "capacity", "hits", "misses", "hit_rate"):
+            events.append(gauge(f"serve.memo_{key}", memo_stats[key]))
+        transposition_total = self.cache.hits + self.cache.misses
+        events.append(gauge("serve.transposition_hits", self.cache.hits))
+        events.append(gauge("serve.transposition_misses", self.cache.misses))
+        events.append(
+            gauge(
+                "serve.transposition_hit_rate",
+                (
+                    self.cache.hits / transposition_total
+                    if transposition_total
+                    else 0.0
+                ),
+            )
+        )
+        return render_prometheus(events)
+
+    async def _handle_metrics_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Minimal plain-HTTP responder for ``GET /metrics`` scrapes.
+
+        One request per connection (``Connection: close``); anything but
+        a GET for ``/metrics`` gets a 404.  This is a scrape endpoint,
+        not a web server — no keep-alive, no chunking, no TLS.
+        """
+        try:
+            request_line = await reader.readline()
+            while True:  # drain request headers until the blank line
+                header = await reader.readline()
+                if not header or header in (b"\r\n", b"\n"):
+                    break
+            parts = request_line.decode("latin-1", "replace").split()
+            path = parts[1].split("?")[0] if len(parts) > 1 else ""
+            if len(parts) > 1 and parts[0] == "GET" and path == "/metrics":
+                body = self.metrics_text().encode("utf-8")
+                status_line = "HTTP/1.1 200 OK"
+                content_type = CONTENT_TYPE
+            else:
+                body = b"not found\n"
+                status_line = "HTTP/1.1 404 Not Found"
+                content_type = "text/plain; charset=utf-8"
+            head = (
+                f"{status_line}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
 
 
 class BackgroundServer:

@@ -360,6 +360,50 @@ class TestTelemetry:
             label.startswith("search.phase") for label in summary["spans"]
         )
 
+    def test_report_trace_filters_one_request_tree(self, tmp_path, capsys):
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        for trace in ("t-a", "t-b"):
+            with recorder.trace(trace), recorder.span(
+                "serve.request", tenant="default"
+            ):
+                with recorder.span("serve.search"):
+                    pass
+        jsonl = str(tmp_path / "serve.jsonl")
+        recorder.flush_jsonl(jsonl)
+
+        assert main(["report", jsonl, "--trace", "t-a"]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out and "serve.search" in out
+        # One request's tree only: two spans, not four.
+        assert out.count("serve.request") == 1
+
+    def test_report_trace_json_mode(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        with recorder.trace("t-x"), recorder.span("serve.request"):
+            pass
+        jsonl = str(tmp_path / "serve.jsonl")
+        recorder.flush_jsonl(jsonl)
+        assert main(["report", jsonl, "--trace", "t-x", "--json"]) == 0
+        events = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in events] == ["serve.request"]
+
+    def test_report_trace_unknown_id_exits_one(self, tmp_path, capsys):
+        from repro.obs import Recorder
+
+        recorder = Recorder()
+        with recorder.span("serve.request"):
+            pass
+        jsonl = str(tmp_path / "serve.jsonl")
+        recorder.flush_jsonl(jsonl)
+        assert main(["report", jsonl, "--trace", "missing"]) == 1
+        assert "no spans" in capsys.readouterr().out
+
     def test_report_without_spans_exits_one(self, tmp_path, capsys):
         jsonl = tmp_path / "empty.jsonl"
         jsonl.write_text(

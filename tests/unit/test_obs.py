@@ -8,10 +8,14 @@ import pytest
 
 from repro.obs import (
     NULL_RECORDER,
+    Histogram,
     Recorder,
+    filter_trace,
     get_recorder,
     load_events,
+    new_trace_id,
     render_summary,
+    render_trace,
     set_recorder,
     summarize,
     use_recorder,
@@ -257,3 +261,293 @@ class TestSummarize:
 
     def test_render_empty_summary(self):
         assert "no spans recorded" in render_summary(summarize([]))
+
+
+class TestHistogram:
+    def test_summary_reports_count_sum_and_quantiles(self):
+        h = Histogram("latency", {})
+        for value in (0.001, 0.002, 0.004, 0.008):
+            h.observe(value)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == pytest.approx(0.015)
+        assert summary["mean"] == pytest.approx(0.015 / 4)
+        # Quantiles are bucket upper bounds: <= 2x relative error.
+        assert 0.002 <= summary["p50"] <= 0.004
+        assert summary["p99"] >= 0.008
+
+    def test_bucket_boundaries_are_powers_of_two(self):
+        h = Histogram("x", {})
+        # An exact power of two belongs to the bucket it bounds:
+        # bucket i covers (2**(i-1), 2**i].
+        h.observe(0.5)
+        assert h.buckets == {-1: 1}
+        h.observe(0.500001)
+        assert h.buckets == {-1: 1, 0: 1}
+        assert h.percentile(0.5) == 0.5
+
+    def test_zero_and_negative_land_in_the_zero_bucket(self):
+        h = Histogram("x", {})
+        h.observe(0.0)
+        h.observe(-1.0)
+        assert h.zero == 2
+        assert h.buckets == {}
+        assert h.percentile(0.5) == 0.0
+
+    def test_merge_event_combines_counts(self):
+        a = Histogram("x", {})
+        b = Histogram("x", {})
+        a.observe(0.5)
+        b.observe(0.5)
+        b.observe(0.0)
+        b.observe(3.0)
+        a.merge_event(b.to_event())
+        assert a.count == 4
+        assert a.sum == pytest.approx(4.0)
+        assert a.zero == 1
+        assert a.buckets == {-1: 2, 2: 1}
+
+    def test_to_event_round_trips_through_merge(self):
+        a = Histogram("x", {"op": "optimize"})
+        for value in (0.1, 0.2, 4.0):
+            a.observe(value)
+        fresh = Histogram("x", {"op": "optimize"})
+        fresh.merge_event(a.to_event())
+        assert fresh.summary() == a.summary()
+
+    def test_empty_histogram_has_no_quantiles(self):
+        summary = Histogram("x", {}).summary()
+        assert summary["count"] == 0
+        assert summary["p50"] is None and summary["p99"] is None
+
+    def test_recorder_registry_reuses_by_name_and_tags(self):
+        recorder = Recorder()
+        h = recorder.histogram("latency", op="optimize")
+        assert recorder.histogram("latency", op="optimize") is h
+        assert recorder.histogram("latency", op="status") is not h
+        h.observe(0.25)
+        events = [e for e in recorder.events() if e["type"] == "histogram"]
+        assert len(events) == 2
+
+    def test_null_recorder_histogram_is_inert(self):
+        h = NULL_RECORDER.histogram("latency")
+        h.observe(1.0)
+        h.merge_event({"count": 5})
+        assert h.count == 0
+        assert h.summary()["p50"] is None
+        assert NULL_RECORDER.events() == []
+
+
+class TestInstrumentThreadSafety:
+    def test_counter_add_is_atomic_across_threads(self):
+        # Regression: Counter.add used an unlocked read-modify-write, so
+        # two hammering threads could lose increments.
+        import threading
+
+        recorder = Recorder()
+        counter = recorder.counter("hits")
+        iterations = 50_000
+
+        def hammer():
+            for _ in range(iterations):
+                counter.add(1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 2 * iterations
+
+    def test_gauge_max_tracks_across_threads(self):
+        import threading
+
+        recorder = Recorder()
+        gauge = recorder.gauge("depth")
+
+        def hammer(offset):
+            for value in range(offset, 10_000 + offset):
+                gauge.set(value)
+
+        threads = [
+            threading.Thread(target=hammer, args=(offset,))
+            for offset in (0, 5_000)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert gauge.max == 14_999
+
+    def test_histogram_observe_is_atomic_across_threads(self):
+        import threading
+
+        h = Histogram("x", {})
+        iterations = 20_000
+
+        def hammer():
+            for _ in range(iterations):
+                h.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert h.count == 2 * iterations
+        assert h.buckets == {-1: 2 * iterations}
+
+
+class TestTrace:
+    def test_trace_context_stamps_spans_and_events(self):
+        recorder = Recorder()
+        with recorder.trace("t-1"):
+            with recorder.span("serve.request"):
+                recorder.record_span("child", 0.1)
+                recorder.record_event("decision", verdict="keep")
+        spans = _spans(recorder)
+        assert all(s["tags"]["trace"] == "t-1" for s in spans)
+        (event,) = [e for e in recorder.events() if e["type"] == "event"]
+        assert event["fields"]["trace"] == "t-1"
+
+    def test_trace_none_clears_the_context(self):
+        recorder = Recorder()
+        with recorder.trace("outer"):
+            assert recorder.current_trace_id() == "outer"
+            with recorder.trace(None):
+                assert recorder.current_trace_id() is None
+                with recorder.span("untraced"):
+                    pass
+            assert recorder.current_trace_id() == "outer"
+        (span,) = _spans(recorder)
+        assert "trace" not in span["tags"]
+
+    def test_explicit_trace_tag_wins_over_the_context(self):
+        recorder = Recorder()
+        with recorder.trace("ctx"):
+            with recorder.span("work", trace="explicit"):
+                pass
+        (span,) = _spans(recorder)
+        assert span["tags"]["trace"] == "explicit"
+
+    def test_new_trace_ids_are_unique(self):
+        ids = {new_trace_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_absorb_stamps_missing_trace_tags(self):
+        worker = Recorder()
+        with worker.span("search.group"):
+            pass
+        worker.record_event("transition", mnemonic="SWA")
+        parent = Recorder()
+        with parent.trace("t-9"), parent.span("serve.request"):
+            parent.absorb(worker.events())
+        spans = {s["name"]: s for s in _spans(parent)}
+        assert spans["search.group"]["tags"]["trace"] == "t-9"
+        assert spans["serve.request"]["tags"]["trace"] == "t-9"
+        (event,) = [e for e in parent.events() if e["type"] == "event"]
+        assert event["fields"]["trace"] == "t-9"
+
+    def test_absorb_preserves_preexisting_trace_tags(self):
+        worker = Recorder()
+        with worker.trace("t-native"), worker.span("search.group"):
+            pass
+        parent = Recorder()
+        with parent.trace("t-other"):
+            parent.absorb(worker.events())
+        spans = {s["name"]: s for s in _spans(parent)}
+        assert spans["search.group"]["tags"]["trace"] == "t-native"
+
+    def test_filter_and_render_one_request_tree(self):
+        recorder = Recorder()
+        for trace in ("t-a", "t-b"):
+            with recorder.trace(trace), recorder.span("serve.request"):
+                with recorder.span("serve.search"):
+                    pass
+        recorder.counter("serve.requests").add(2)
+        events = recorder.events()
+        mine = filter_trace(events, "t-a")
+        assert [e["name"] for e in mine] == ["serve.search", "serve.request"]
+        rendered = render_trace(mine)
+        assert "serve.request" in rendered and "serve.search" in rendered
+        assert filter_trace(events, "t-missing") == []
+
+
+class TestOnSpanConcurrency:
+    def test_two_threads_drop_nothing_and_keep_trees_separate(self):
+        # Two simultaneous serve requests hammer one recorder from their
+        # own threads; every span must arrive exactly once, parented
+        # within its own thread's tree, stamped with its own trace id.
+        import threading
+
+        recorder = Recorder()
+        seen: list[dict] = []
+        seen_lock = threading.Lock()
+
+        def hook(event):
+            with seen_lock:
+                seen.append(event)
+
+        recorder.on_span = hook
+        requests = 200
+
+        def request_thread(trace):
+            with recorder.trace(trace):
+                for index in range(requests):
+                    with recorder.span("serve.request", index=index):
+                        with recorder.span("serve.search"):
+                            pass
+
+        threads = [
+            threading.Thread(target=request_thread, args=(trace,))
+            for trace in ("t-left", "t-right")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = _spans(recorder)
+        assert len(spans) == 2 * requests * 2
+        assert len(seen) == len(spans)
+        assert {s["span_id"] for s in seen} == {s["span_id"] for s in spans}
+        by_id = {s["span_id"]: s for s in spans}
+        for span in spans:
+            if span["name"] != "serve.search":
+                continue
+            parent = by_id[span["parent_id"]]
+            assert parent["name"] == "serve.request"
+            # Never parented across the two request threads.
+            assert parent["tags"]["trace"] == span["tags"]["trace"]
+
+    def test_absorbed_worker_buffers_preserve_trace_tags(self):
+        import threading
+
+        def worker_buffer(trace):
+            worker = Recorder()
+            with worker.trace(trace):
+                with worker.span("search.group", members=2):
+                    pass
+            return worker.events()
+
+        recorder = Recorder()
+
+        def absorb_thread(trace):
+            with recorder.trace(trace), recorder.span("serve.request"):
+                for _ in range(50):
+                    recorder.absorb(worker_buffer(trace))
+
+        threads = [
+            threading.Thread(target=absorb_thread, args=(trace,))
+            for trace in ("t-one", "t-two")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        groups = [s for s in _spans(recorder) if s["name"] == "search.group"]
+        assert len(groups) == 100
+        assert {s["tags"]["trace"] for s in groups} == {"t-one", "t-two"}
+        # Span ids stay unique after namespacing 100 absorbed buffers.
+        ids = [s["span_id"] for s in _spans(recorder)]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,158 @@
+"""Unit tests for the ``repro top`` renderer and polling loop.
+
+The renderer is pure (status/stats dicts in, text out), so these tests
+drive it with canned protocol payloads; the end-to-end test against a
+live daemon lives in ``tests/serve/test_observability.py``.
+"""
+
+from __future__ import annotations
+
+from repro.obs import render_exemplars, render_top, run_top
+
+
+def _status():
+    return {
+        "pid": 4242,
+        "uptime_seconds": 10.0,
+        "workers": 2,
+        "max_jobs": 2,
+        "queue": {
+            "depth": 1,
+            "capacity": 64,
+            "inflight": {"default": 1},
+            "admitted": 7,
+            "rejected_full": 1,
+            "rejected_tenant": 2,
+        },
+    }
+
+
+def _stats(requests=20):
+    return {
+        "memo": {"entries": 3, "capacity": 1024, "hits": 5, "misses": 5,
+                 "hit_rate": 0.5},
+        "transposition": {"hits": 9, "misses": 1, "hit_rate": 0.9},
+        "queue": {"inflight": {"default": 1, "acme": 0}},
+        "tenants": {"default": 15, "acme": 5},
+        "counters": {
+            "serve.requests[op=optimize]": requests,
+            "serve.errors": 1,
+        },
+        "histograms": {
+            "serve.request_latency_seconds": {
+                "count": requests, "sum": 2.0, "mean": 0.1,
+                "p50": 0.125, "p90": 0.25, "p99": 0.5,
+            },
+            "serve.queue_wait_seconds": {
+                "count": requests, "sum": 0.2, "mean": 0.01,
+                "p50": 0.008, "p90": 0.016, "p99": 0.016,
+            },
+        },
+    }
+
+
+class TestRenderTop:
+    def test_one_screen_carries_every_headline_number(self):
+        screen = render_top(_status(), _stats())
+        assert "pid 4242" in screen
+        assert "workers 2" in screen and "max_jobs 2" in screen
+        assert "20 total" in screen
+        assert "2.00 req/s" in screen  # 20 requests / 10s uptime
+        assert "errors 1" in screen
+        assert "depth 1/64" in screen
+        assert "rejected 3 (full 1, tenant 2)" in screen
+        assert "hit rate 50.0%" in screen
+        assert "transposition hit rate 90.0%" in screen
+        assert "default=1/15" in screen and "acme=0/5" in screen
+
+    def test_latency_table_shows_p50_p90_p99_in_ms(self):
+        screen = render_top(_status(), _stats())
+        (row,) = [
+            line for line in screen.splitlines()
+            if line.startswith("serve.request_latency_seconds")
+        ]
+        assert "125.00" in row and "250.00" in row and "500.00" in row
+
+    def test_rate_uses_counter_delta_between_polls(self):
+        screen = render_top(
+            _status(), _stats(requests=30),
+            previous=_stats(requests=20), elapsed=5.0,
+        )
+        assert "2.00 req/s" in screen  # (30 - 20) / 5s, not 30 / uptime
+
+    def test_empty_daemon_renders_without_histograms(self):
+        screen = render_top(
+            {"pid": 1, "uptime_seconds": 0.0, "queue": {}},
+            {"memo": {}, "transposition": {}, "counters": {}},
+        )
+        assert "0 total" in screen
+        assert "latency" not in screen
+
+
+class TestRenderExemplars:
+    def test_slow_and_failed_sections(self):
+        snapshot = {
+            "capacity": 8,
+            "slowest": [{
+                "trace_id": "t1-9", "tenant": "acme", "algorithm": "hs",
+                "latency_seconds": 1.5, "queued_seconds": 0.01,
+                "ok": True, "spans": [{}, {}],
+            }],
+            "failed": [{
+                "trace_id": "t1-10", "tenant": "acme", "algorithm": "es",
+                "latency_seconds": 0.2, "queued_seconds": 0.0,
+                "ok": False, "code": "bad-request", "spans": [],
+            }],
+        }
+        text = render_exemplars(snapshot)
+        assert "slowest requests (1):" in text
+        assert "t1-9" in text and "1500.00ms" in text and " ok" in text
+        assert "failed requests (1):" in text
+        assert "t1-10" in text and "bad-request" in text
+
+    def test_empty_rings(self):
+        text = render_exemplars({"slowest": [], "failed": []})
+        assert text.count("(none)") == 2
+
+
+class _FakeClient:
+    def __init__(self):
+        self.polls = 0
+
+    def status(self):
+        return _status()
+
+    def stats(self):
+        self.polls += 1
+        return _stats(requests=10 * self.polls)
+
+    def exemplars(self):
+        return {"slowest": [], "failed": []}
+
+
+class TestRunTop:
+    def test_renders_the_requested_iterations(self):
+        client = _FakeClient()
+        screens: list[str] = []
+        rendered = run_top(
+            client, interval=0.0, iterations=3, write=screens.append
+        )
+        assert rendered == 3 and client.polls == 3
+        assert all("repro serve" in screen for screen in screens)
+        assert not screens[0].startswith("\x1b")
+
+    def test_clear_prefixes_the_ansi_clear_sequence(self):
+        screens: list[str] = []
+        run_top(
+            _FakeClient(), interval=0.0, iterations=1, clear=True,
+            write=screens.append,
+        )
+        assert screens[0].startswith("\x1b[2J\x1b[H")
+
+    def test_exemplars_section_is_appended(self):
+        screens: list[str] = []
+        run_top(
+            _FakeClient(), interval=0.0, iterations=1, show_exemplars=True,
+            write=screens.append,
+        )
+        assert "slowest requests (0):" in screens[0]
